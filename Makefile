@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick ablations micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:            ## regenerate the paper's tables (minutes)
+	dune exec bench/main.exe
+
+bench-quick:      ## small-circuit subset
+	dune exec bench/main.exe -- --quick
+
+ablations:        ## design-choice ablations A-F
+	dune exec bench/main.exe -- --ablations
+
+micro:            ## Bechamel kernel micro-benchmarks
+	dune exec bench/main.exe -- --micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/compaction_flow.exe
+	dune exec examples/at_speed_delay.exe
+	dune exec examples/custom_circuit.exe
+	dune exec examples/diagnosis.exe
+
+clean:
+	dune clean

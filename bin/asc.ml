@@ -1,0 +1,353 @@
+(* asc — command-line interface to the scan test compaction toolchain. *)
+
+open Cmdliner
+module Bv = Asc_util.Bitvec
+module Circuit = Asc_netlist.Circuit
+module Pipeline = Asc_core.Pipeline
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Print per-phase debug logs." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for every stochastic step (default 1)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let name_arg =
+  let doc = "Benchmark circuit name (see `asc list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let check_name name =
+  if not (Asc_circuits.Registry.mem name) then begin
+    Printf.eprintf "unknown circuit %S; known: %s\n" name
+      (String.concat " " Asc_circuits.Registry.names);
+    exit 1
+  end
+
+(* --- list / info / export --------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Asc_util.Table.create ~caption:"Benchmark circuits"
+        [
+          Asc_util.Table.left "circuit"; Asc_util.Table.right "PIs";
+          Asc_util.Table.right "POs"; Asc_util.Table.right "FFs";
+          Asc_util.Table.right "gates"; Asc_util.Table.right "depth";
+          Asc_util.Table.left "notes";
+        ]
+    in
+    List.iter
+      (fun name ->
+        let c = Asc_circuits.Registry.get name in
+        let notes =
+          match Asc_circuits.Profile.find name with
+          | Some p when p.scaled -> "scaled stand-in"
+          | Some _ -> "synthetic stand-in"
+          | None -> "embedded ISCAS-89 netlist"
+        in
+        Asc_util.Table.add_row t
+          [
+            name;
+            string_of_int (Circuit.n_inputs c);
+            string_of_int (Circuit.n_outputs c);
+            string_of_int (Circuit.n_dffs c);
+            string_of_int (Circuit.n_gates c);
+            string_of_int (Circuit.max_level c);
+            notes;
+          ])
+      Asc_circuits.Registry.names;
+    Asc_util.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark circuits") Term.(const run $ const ())
+
+let info_cmd =
+  let run name seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    Format.printf "%a@." Circuit.pp_stats c;
+    let collapse = Asc_fault.Collapse.run c in
+    Printf.printf "stuck-at faults: %d uncollapsed, %d collapsed\n"
+      (Array.length (Asc_fault.Collapse.universe collapse))
+      (Asc_fault.Collapse.n_classes collapse);
+    Printf.printf "transition faults: %d\n"
+      (Array.length (Asc_tfault.Tfault.universe c));
+    List.iter
+      (fun (k, n) -> Printf.printf "  %-6s %5d\n" (Asc_netlist.Gate.to_string k) n)
+      (List.sort compare (Circuit.kind_counts c))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Circuit statistics")
+    Term.(const run $ name_arg $ seed_arg)
+
+let export_cmd =
+  let file_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let run name file seed =
+    check_name name;
+    Asc_netlist.Bench_io.write_file file (Asc_circuits.Registry.get ~seed name);
+    Printf.printf "wrote %s\n" file
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write a circuit as an ISCAS `.bench` file")
+    Term.(const run $ name_arg $ file_arg $ seed_arg)
+
+(* --- run / baseline / atspeed ------------------------------------------ *)
+
+let t0_arg =
+  let doc = "T0 source: 'directed' or 'random'." in
+  Arg.(value & opt string "directed" & info [ "t0" ] ~doc)
+
+let run_cmd =
+  let run name t0 seed verbose =
+    setup_logs verbose;
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let t0_source =
+      match t0 with
+      | "directed" -> Pipeline.Directed (Asc_circuits.Registry.t0_budget name)
+      | "random" -> Pipeline.Random_seq 1000
+      | _ ->
+          Printf.eprintf "bad --t0 %S (expected directed|random)\n" t0;
+          exit 1
+    in
+    let config = Asc_core.Experiments.config_for ~seed ~t0_source in
+    let prepared = Pipeline.prepare ~config c in
+    let r = Pipeline.run ~config prepared in
+    Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
+      (Bv.count prepared.targets)
+      (Array.length prepared.comb_tests);
+    Printf.printf "T0: length %d, detects %d without scan\n" r.t0_length r.f0_count;
+    List.iteri
+      (fun i (it : Pipeline.iteration) ->
+        Printf.printf "  iteration %d: SI=%d u_SO=%d L=%d detected=%d\n" (i + 1)
+          it.si_index it.u_so it.len_after_omission it.detected_count)
+      r.iterations;
+    Printf.printf "tau_seq: L = %d, detects %d\n"
+      (Asc_scan.Scan_test.length r.tau_seq)
+      (Bv.count r.f_seq);
+    Printf.printf "phase 3: %d added tests (%d faults uncoverable by C)\n"
+      (Array.length r.added) (Bv.count r.uncovered);
+    Printf.printf "cycles: %d initial, %d after phase 4\n" r.cycles_initial
+      r.cycles_final;
+    Printf.printf "final coverage: %d / %d\n"
+      (Bv.count r.final_detected)
+      (Bv.count prepared.targets)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
+    Term.(const run $ name_arg $ t0_arg $ seed_arg $ verbose_arg)
+
+let baseline_cmd =
+  let run name seed verbose =
+    setup_logs verbose;
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let config = { Pipeline.default_config with seed } in
+    let prepared = Pipeline.prepare ~config c in
+    let b = Asc_core.Baseline_static.run prepared in
+    Printf.printf "[4] baseline on %s: |C| = %d\n" name (Array.length b.initial_tests);
+    Printf.printf "initial: %d cycles\n" b.cycles_initial;
+    Printf.printf "compacted: %d cycles (%d combinations, %d tests left)\n"
+      b.cycles_final b.combinations (Array.length b.final_tests)
+  in
+  Cmd.v (Cmd.info "baseline" ~doc:"Run the static baseline of [4]")
+    Term.(const run $ name_arg $ seed_arg $ verbose_arg)
+
+let atspeed_cmd =
+  let run name seed =
+    check_name name;
+    let r = Asc_core.Experiments.run_circuit ~seed name in
+    print_string (Asc_util.Table.render (Asc_report.Report.table_at_speed [ r ]))
+  in
+  Cmd.v
+    (Cmd.info "atspeed" ~doc:"Transition-fault coverage of the final test sets")
+    Term.(const run $ name_arg $ seed_arg)
+
+(* --- test-set save / verify, import, partial scan ----------------------- *)
+
+let save_cmd =
+  let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run name file t0 seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let t0_source =
+      match t0 with
+      | "directed" -> Pipeline.Directed (Asc_circuits.Registry.t0_budget name)
+      | "random" -> Pipeline.Random_seq 1000
+      | _ ->
+          Printf.eprintf "bad --t0 %S\n" t0;
+          exit 1
+    in
+    let config = Asc_core.Experiments.config_for ~seed ~t0_source in
+    let prepared = Pipeline.prepare ~config c in
+    let r = Pipeline.run ~config prepared in
+    Asc_scan.Tset_io.write_file file c r.final_tests;
+    Printf.printf "wrote %d tests (%d cycles) to %s\n"
+      (Array.length r.final_tests) r.cycles_final file
+  in
+  Cmd.v
+    (Cmd.info "save-tests" ~doc:"Run the proposed procedure and save the final test set")
+    Term.(const run $ name_arg $ file_arg $ t0_arg $ seed_arg)
+
+let verify_cmd =
+  let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run name file seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
+    let collapse = Asc_fault.Collapse.run c in
+    let faults = Asc_fault.Collapse.reps collapse in
+    let cov = Asc_scan.Tset.coverage c tests ~faults in
+    Printf.printf "%d tests, %d cycles, %d / %d collapsed faults detected\n"
+      (Array.length tests)
+      (Asc_scan.Time_model.cycles_of_tests c tests)
+      (Bv.count cov) (Array.length faults)
+  in
+  Cmd.v (Cmd.info "verify-tests" ~doc:"Fault-simulate a saved test set")
+    Term.(const run $ name_arg $ file_arg $ seed_arg)
+
+let import_cmd =
+  let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    let c = Asc_netlist.Bench_io.parse_file file in
+    Format.printf "%a@." Circuit.pp_stats c;
+    let config = Pipeline.default_config in
+    let prepared = Pipeline.prepare ~config c in
+    let r = Pipeline.run ~config prepared in
+    Printf.printf "proposed procedure: %d cycles initial, %d final, %d/%d detected\n"
+      r.cycles_initial r.cycles_final
+      (Bv.count r.final_detected)
+      (Bv.count prepared.targets)
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Run the procedure on an ISCAS `.bench` netlist file")
+    Term.(const run $ file_arg)
+
+let partial_cmd =
+  let ratio_arg =
+    let doc = "Fraction of flip-flops kept on the scan chain." in
+    Arg.(value & opt float 0.5 & info [ "ratio" ] ~doc)
+  in
+  let run name ratio seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let budget = Asc_circuits.Registry.t0_budget name in
+    let config =
+      Asc_core.Experiments.config_for ~seed ~t0_source:(Pipeline.Directed budget)
+    in
+    let prepared = Pipeline.prepare ~config c in
+    let r = Pipeline.run ~config prepared in
+    let chain = Asc_scan.Partial.by_fanout c ~ratio in
+    let cov = Asc_scan.Partial.coverage c chain r.final_tests ~faults:prepared.faults in
+    Printf.printf
+      "%s with %d/%d flip-flops scanned (full-scan tests reused): %d cycles \
+       (full scan: %d), coverage %d/%d\n"
+      name
+      (Asc_scan.Partial.n_scanned chain)
+      (Circuit.n_dffs c)
+      (Asc_scan.Partial.cycles c chain r.final_tests)
+      r.cycles_final
+      (Bv.count (Bv.inter cov prepared.targets))
+      (Bv.count prepared.targets);
+    (* The procedure adapted to the partial chain. *)
+    let pconfig =
+      { Asc_core.Pipeline_partial.default_config with
+        seed; t0_source = Pipeline.Directed budget }
+    in
+    let pr = Asc_core.Pipeline_partial.run ~config:pconfig prepared ~chain in
+    Printf.printf
+      "adapted partial-scan procedure: %d cycles, coverage %d/%d (%d tests)\n"
+      pr.cycles_final
+      (Bv.count pr.final_detected)
+      (Bv.count prepared.targets)
+      (Array.length pr.final_tests)
+  in
+  Cmd.v
+    (Cmd.info "partial" ~doc:"Evaluate the final test set under partial scan")
+    Term.(const run $ name_arg $ ratio_arg $ seed_arg)
+
+let audit_cmd =
+  let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let run name file seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
+    let collapse = Asc_fault.Collapse.run c in
+    let faults = Asc_fault.Collapse.reps collapse in
+    let targets = Bv.create ~default:true (Array.length faults) in
+    let report = Asc_scan.Audit.run c tests ~faults ~targets in
+    Format.printf "%a@." Asc_scan.Audit.pp report;
+    Array.iteri
+      (fun i inc -> Printf.printf "  test %2d: L=%d, +%d faults\n" i
+          (Asc_scan.Scan_test.length tests.(i)) inc)
+      report.incremental
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Audit a saved test set (duplicates, useless tests)")
+    Term.(const run $ name_arg $ file_arg $ seed_arg)
+
+let waveform_cmd =
+  let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
+  let len_arg =
+    let doc = "Number of random functional cycles to dump." in
+    Arg.(value & opt int 32 & info [ "cycles" ] ~doc)
+  in
+  let run name file len seed =
+    check_name name;
+    let c = Asc_circuits.Registry.get ~seed name in
+    let rng = Asc_util.Rng.of_name ~seed (name ^ "/waveform") in
+    let si = Asc_util.Rng.bool_array rng (Circuit.n_dffs c) in
+    let seq =
+      Array.init len (fun _ -> Asc_util.Rng.bool_array rng (Circuit.n_inputs c))
+    in
+    Asc_sim.Vcd.write_file file c ~si ~seq;
+    Printf.printf "wrote %d cycles of %s to %s (open with GTKWave)\n" len name file
+  in
+  Cmd.v
+    (Cmd.info "waveform" ~doc:"Dump a VCD waveform of a random scan test")
+    Term.(const run $ name_arg $ file_arg $ len_arg $ seed_arg)
+
+(* --- tables -------------------------------------------------------------- *)
+
+let tables_cmd =
+  let circuits_arg =
+    let doc = "Comma-separated circuit list (default: the paper's 19)." in
+    Arg.(value & opt (some string) None & info [ "circuits" ] ~doc)
+  in
+  let dynamic_arg =
+    let doc = "Also run the dynamic baseline of [2,3] (slow)." in
+    Arg.(value & flag & info [ "dynamic" ] ~doc)
+  in
+  let run circuits dynamic seed verbose =
+    setup_logs verbose;
+    let names =
+      match circuits with
+      | None -> Asc_circuits.Profile.names
+      | Some s -> String.split_on_char ',' s
+    in
+    List.iter check_name names;
+    let runs =
+      List.map
+        (fun n ->
+          Printf.printf "running %s...\n%!" n;
+          Asc_core.Experiments.run_circuit ~seed ~with_dynamic:dynamic n)
+        names
+    in
+    print_string (Asc_report.Report.render_all runs)
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
+    Term.(const run $ circuits_arg $ dynamic_arg $ seed_arg $ verbose_arg)
+
+let () =
+  let doc = "scan test compaction for at-speed testing (Pomeranz & Reddy, DAC 2001)" in
+  let info = Cmd.info "asc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; info_cmd; export_cmd; import_cmd; run_cmd; baseline_cmd;
+            atspeed_cmd; save_cmd; verify_cmd; audit_cmd; waveform_cmd;
+            partial_cmd; tables_cmd;
+          ]))

@@ -1,0 +1,68 @@
+(* Compaction shoot-out on one benchmark circuit: the proposed procedure
+   (directed and random T0) against the static baseline of [4] and the
+   dynamic baseline of [2,3], with the clock-cycle accounting the paper
+   uses throughout.
+
+     dune exec examples/compaction_flow.exe          # s298 by default
+     dune exec examples/compaction_flow.exe -- s382  # any benchmark name
+*)
+
+module Bv = Asc_util.Bitvec
+module Scan_test = Asc_scan.Scan_test
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s298" in
+  if not (Asc_circuits.Registry.mem name) then begin
+    Printf.eprintf "unknown circuit %S; known: %s\n" name
+      (String.concat " " Asc_circuits.Registry.names);
+    exit 1
+  end;
+  Printf.printf "circuit %s — running all four flows...\n%!" name;
+  let run = Asc_core.Experiments.run_circuit ~with_dynamic:true name in
+  let c = run.prepared.circuit in
+  let n_sv = Asc_netlist.Circuit.n_dffs c in
+  let n_targets = Bv.count run.prepared.targets in
+  Printf.printf "N_SV = %d, target faults = %d, |C| = %d\n\n" n_sv n_targets
+    (Array.length run.prepared.comb_tests);
+
+  let describe label tests cycles detected =
+    let stats = Asc_scan.Time_model.length_stats tests in
+    Printf.printf "%-22s %3d tests, %6d cycles, %5d detected, ave L %.2f (%d-%d)\n"
+      label (Array.length tests) cycles detected stats.average stats.lo stats.hi
+  in
+  let coverage tests =
+    Bv.count
+      (Bv.inter
+         (Asc_scan.Tset.coverage c tests ~faults:run.prepared.faults)
+         run.prepared.targets)
+  in
+  (* The [4] flow: C as length-one scan tests, then combining. *)
+  let b = run.static_baseline in
+  describe "[4] initial" b.initial_tests b.cycles_initial (coverage b.initial_tests);
+  describe "[4] compacted" b.final_tests b.cycles_final (coverage b.final_tests);
+
+  (* The dynamic flow of [2,3]. *)
+  (match run.dynamic_baseline with
+  | Some d ->
+      let cycles = Asc_core.Experiments.dynamic_cycles d c in
+      describe "[2,3] dynamic" d.tests cycles (Bv.count d.detected)
+  | None -> ());
+
+  (* The proposed procedure. *)
+  let show label (r : Asc_core.Pipeline.result) =
+    describe
+      (label ^ " initial")
+      r.initial_tests r.cycles_initial
+      (Bv.count (Bv.inter r.final_detected run.prepared.targets));
+    describe (label ^ " compacted") r.final_tests r.cycles_final
+      (Bv.count r.final_detected);
+    Printf.printf "    tau_seq: T0 %d -> L(T_seq) %d, %d faults; +%d top-up tests\n"
+      r.t0_length
+      (Scan_test.length r.tau_seq)
+      (Bv.count r.f_seq) (Array.length r.added)
+  in
+  show "proposed (directed)" run.directed;
+  show "proposed (random)" run.random;
+
+  Printf.printf "\nproposed/directed vs [4] compacted: %+d cycles\n"
+    (run.directed.cycles_final - b.cycles_final)

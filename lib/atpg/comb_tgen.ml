@@ -1,0 +1,112 @@
+(* Combinational test-set generation: the compact test set C.
+
+   The paper takes C from [9] ("cost-effective generation of minimal test
+   sets"); any compact combinational test set with complete coverage of the
+   detectable faults plays the same role.  We produce one with the standard
+   flow: a random-pattern phase with fault dropping, a deterministic PODEM
+   phase for the remaining faults (random fill of unspecified positions),
+   and reverse-order fault-simulation compaction. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Fault = Asc_fault.Fault
+module Comb_fsim = Asc_fault.Comb_fsim
+module Pattern = Asc_sim.Pattern
+
+type result = {
+  tests : Pattern.t array; (* the compacted test set C *)
+  detected : Bitvec.t; (* fault indices covered by [tests] *)
+  redundant : Bitvec.t; (* proven combinationally untestable *)
+  aborted : Bitvec.t; (* PODEM gave up within the backtrack limit *)
+}
+
+type config = {
+  random_batches : int; (* max random-phase batches of 62 patterns *)
+  random_patience : int; (* stop after this many fruitless batches *)
+  backtrack_limit : int;
+  fill_tries : int; (* random fills simulated per PODEM cube *)
+}
+
+let default_config =
+  { random_batches = 24; random_patience = 3; backtrack_limit = 200; fill_tries = 1 }
+
+let generate ?(config = default_config) c ~faults ~rng =
+  let n_faults = Array.length faults in
+  let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
+  let detected = Bitvec.create n_faults in
+  let undetected () =
+    Bitvec.init n_faults (fun i -> not (Bitvec.get detected i))
+  in
+  let kept = ref [] in
+  (* Random phase: batches of 62 random patterns, keeping a batch's
+     patterns only when the batch detected something new. *)
+  let fruitless = ref 0 in
+  let batch_index = ref 0 in
+  while !batch_index < config.random_batches && !fruitless < config.random_patience do
+    incr batch_index;
+    let batch = Array.init Word.width (fun _ -> Pattern.random rng ~n_pis ~n_ffs) in
+    let only = undetected () in
+    if Bitvec.is_empty only then fruitless := config.random_patience
+    else begin
+      let mat = Comb_fsim.detect_matrix ~only c ~patterns:batch ~faults in
+      (* Keep, within the batch, only patterns that add coverage. *)
+      let added = ref false in
+      Array.iteri
+        (fun p _ ->
+          let row = Bitmat.row mat p in
+          let fresh = Bitvec.diff row detected in
+          if not (Bitvec.is_empty fresh) then begin
+            Bitvec.union_into ~into:detected row;
+            kept := batch.(p) :: !kept;
+            added := true
+          end)
+        batch;
+      if !added then fruitless := 0 else incr fruitless
+    end
+  done;
+  (* Deterministic phase: PODEM per remaining fault, immediate dropping. *)
+  let podem = Podem.create c in
+  let redundant = Bitvec.create n_faults in
+  let aborted = Bitvec.create n_faults in
+  for fi = 0 to n_faults - 1 do
+    if not (Bitvec.get detected fi || Bitvec.get redundant fi || Bitvec.get aborted fi)
+    then begin
+      match Podem.run ~backtrack_limit:config.backtrack_limit podem faults.(fi) with
+      | Podem.Redundant -> Bitvec.set redundant fi
+      | Podem.Aborted -> Bitvec.set aborted fi
+      | Podem.Test cube ->
+          let best = ref None in
+          for _try = 1 to max 1 config.fill_tries do
+            let pattern = Cube.fill rng cube in
+            let only = undetected () in
+            let det = Comb_fsim.detect_union ~only c ~patterns:[| pattern |] ~faults in
+            let gain = Bitvec.count det in
+            match !best with
+            | Some (g, _, _) when g >= gain -> ()
+            | _ -> best := Some (gain, pattern, det)
+          done;
+          (match !best with
+          | Some (_, pattern, det) ->
+              kept := pattern :: !kept;
+              Bitvec.union_into ~into:detected det;
+              (* The cube's own target must be covered by construction;
+                 random fill cannot undo the PODEM assignments. *)
+              Bitvec.set detected fi
+          | None -> ())
+    end
+  done;
+  (* Reverse-order compaction: walk the tests newest-first and keep only
+     those still contributing coverage. *)
+  let tests = Array.of_list (List.rev !kept) in
+  let mat = Comb_fsim.detect_matrix ~only:detected c ~patterns:tests ~faults in
+  let still_needed = Bitvec.copy detected in
+  let final = ref [] in
+  for p = Array.length tests - 1 downto 0 do
+    let row = Bitmat.row mat p in
+    let contribution = Bitvec.inter row still_needed in
+    if not (Bitvec.is_empty contribution) then begin
+      Bitvec.diff_into ~into:still_needed row;
+      final := tests.(p) :: !final
+    end
+  done;
+  { tests = Array.of_list !final; detected; redundant; aborted }

@@ -1,0 +1,29 @@
+(** Combinational test-set generation (the compact set C of the paper).
+
+    Random phase with fault dropping, PODEM for the remaining faults with
+    random fill, then reverse-order fault-simulation compaction.  Detection
+    is the full-scan combinational condition (PO or captured-state
+    difference). *)
+
+type result = {
+  tests : Asc_sim.Pattern.t array;  (** The compacted test set C. *)
+  detected : Asc_util.Bitvec.t;  (** Fault indices covered by [tests]. *)
+  redundant : Asc_util.Bitvec.t;  (** Proven combinationally untestable. *)
+  aborted : Asc_util.Bitvec.t;  (** PODEM hit its backtrack limit. *)
+}
+
+type config = {
+  random_batches : int;
+  random_patience : int;
+  backtrack_limit : int;
+  fill_tries : int;
+}
+
+val default_config : config
+
+val generate :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  faults:Asc_fault.Fault.t array ->
+  rng:Asc_util.Rng.t ->
+  result

@@ -1,0 +1,30 @@
+(** Genetic sequence generation in the spirit of STRATEGATE [10]:
+    population of candidate segments, temporal crossover, bit mutation;
+    fitness = new fault detections, tie-broken by newly visited fault-free
+    states (the state-traversal pressure).  Slower per committed vector
+    than {!Seq_tgen}, better at deep sequential detections. *)
+
+type config = {
+  budget : int;
+  seg_len : int;
+  max_seg_len : int;
+  population : int;
+  generations : int;
+  mutation : float;  (** Per-bit flip probability. *)
+  patience : int;
+}
+
+val default_config : config
+
+type result = {
+  seq : bool array array;
+  detected : Asc_util.Bitvec.t;
+      (** No-scan (unknown initial state) detections of the sequence. *)
+}
+
+val generate :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  faults:Asc_fault.Fault.t array ->
+  rng:Asc_util.Rng.t ->
+  result

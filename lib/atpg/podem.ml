@@ -1,0 +1,383 @@
+(* PODEM combinational ATPG over the full-scan combinational core.
+
+   Assignable inputs are the primary inputs and the flip-flop outputs
+   (directly controllable through the scan chain); observation points are
+   the primary outputs and the flip-flop next-state inputs (directly
+   observable through the scan chain).
+
+   Implication is a dual-rail 3-valued forward simulation: [gv] holds the
+   fault-free value of every gate, [fv] the faulty value with the target
+   fault forced; values are 0, 1 or X.  A fault effect is present at a gate
+   when both rails are binary and differ.  The decision loop is classic
+   PODEM: excitation/propagation objective, backtrace to an unassigned
+   input guided by SCOAP controllabilities, implication, and backtracking
+   with a backtrack limit.  An exhausted search space proves combinational
+   redundancy (untestability under full scan); exceeding the limit aborts. *)
+
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+module Fault = Asc_fault.Fault
+
+(* Scalar 3-valued values. *)
+let v0 = 0
+let v1 = 1
+let vx = 2
+
+type result = Test of Cube.t | Redundant | Aborted
+
+type t = {
+  c : Circuit.t;
+  scoap : Scoap.t;
+  asn : int array; (* per gate: assigned value of assignable sources *)
+  gv : int array;
+  fv : int array;
+  obs : int array; (* observation gates: PO drivers and DFF next-state inputs *)
+  feeds_obs : bool array; (* gate is an observation gate *)
+}
+
+let create c =
+  let n = Circuit.n_gates c in
+  let obs_list = ref [] in
+  let feeds_obs = Array.make n false in
+  Array.iter
+    (fun g ->
+      if not feeds_obs.(g) then begin
+        feeds_obs.(g) <- true;
+        obs_list := g :: !obs_list
+      end)
+    (Circuit.outputs c);
+  Array.iter
+    (fun d ->
+      let g = Circuit.dff_input c d in
+      if not feeds_obs.(g) then begin
+        feeds_obs.(g) <- true;
+        obs_list := g :: !obs_list
+      end)
+    (Circuit.dffs c);
+  {
+    c;
+    scoap = Scoap.compute c;
+    asn = Array.make n vx;
+    gv = Array.make n vx;
+    fv = Array.make n vx;
+    obs = Array.of_list !obs_list;
+    feeds_obs;
+  }
+
+(* 3-valued gate body over a fanin-value accessor. *)
+let eval3 kind get n =
+  match (kind : Gate.kind) with
+  | Gate.And | Gate.Nand ->
+      let any0 = ref false and all1 = ref true in
+      for i = 0 to n - 1 do
+        let v = get i in
+        if v = v0 then any0 := true;
+        if v <> v1 then all1 := false
+      done;
+      let body = if !any0 then v0 else if !all1 then v1 else vx in
+      if kind = Gate.And then body else if body = vx then vx else 1 - body
+  | Gate.Or | Gate.Nor ->
+      let any1 = ref false and all0 = ref true in
+      for i = 0 to n - 1 do
+        let v = get i in
+        if v = v1 then any1 := true;
+        if v <> v0 then all0 := false
+      done;
+      let body = if !any1 then v1 else if !all0 then v0 else vx in
+      if kind = Gate.Or then body else if body = vx then vx else 1 - body
+  | Gate.Xor | Gate.Xnor ->
+      let parity = ref 0 and known = ref true in
+      for i = 0 to n - 1 do
+        let v = get i in
+        if v = vx then known := false else parity := !parity lxor v
+      done;
+      if not !known then vx
+      else if kind = Gate.Xor then !parity
+      else 1 - !parity
+  | Gate.Not -> ( match get 0 with v when v = vx -> vx | v -> 1 - v)
+  | Gate.Buf -> get 0
+  | Gate.Const0 -> v0
+  | Gate.Const1 -> v1
+  | Gate.Input | Gate.Dff -> invalid_arg "Podem.eval3: source gate"
+
+(* Full dual-rail implication of the current input assignments under
+   [fault]. *)
+let imply t (fault : Fault.t) =
+  let c = t.c in
+  let stuck_v = if fault.stuck then v1 else v0 in
+  Array.iter
+    (fun g ->
+      t.gv.(g) <- t.asn.(g);
+      t.fv.(g) <- if fault.pin = -1 && fault.gate = g then stuck_v else t.asn.(g))
+    (Circuit.inputs c);
+  Array.iter
+    (fun g ->
+      t.gv.(g) <- t.asn.(g);
+      t.fv.(g) <- if fault.pin = -1 && fault.gate = g then stuck_v else t.asn.(g))
+    (Circuit.dffs c);
+  Array.iter
+    (fun g ->
+      let fi = Circuit.fanins c g in
+      let n = Array.length fi in
+      let kind = Circuit.kind c g in
+      t.gv.(g) <- eval3 kind (fun i -> t.gv.(fi.(i))) n;
+      let faulty_get =
+        if fault.gate = g && fault.pin >= 0 then fun i ->
+          if i = fault.pin then stuck_v else t.fv.(fi.(i))
+        else fun i -> t.fv.(fi.(i))
+      in
+      let fvv = eval3 kind faulty_get n in
+      t.fv.(g) <- (if fault.pin = -1 && fault.gate = g then stuck_v else fvv))
+    (Circuit.order c)
+
+(* Fault effect (D or D-bar) present at gate [g]. *)
+let has_d t g = t.gv.(g) <> vx && t.fv.(g) <> vx && t.gv.(g) <> t.fv.(g)
+
+(* A DFF's D-pin fault is injected at the capture step, which the
+   combinational implication never evaluates: it is detected exactly when
+   the fault-free D value is the complement of the stuck value (the faulty
+   capture is then wrong and the scan-out observes it). *)
+let detected t (fault : Fault.t) =
+  (match Circuit.kind t.c fault.gate with
+  | Gate.Dff when fault.pin = 0 ->
+      let din = Circuit.dff_input t.c fault.gate in
+      let stuck_v = if fault.stuck then v1 else v0 in
+      t.gv.(din) <> vx && t.gv.(din) <> stuck_v
+  | _ -> false)
+  || Array.exists (has_d t) t.obs
+
+(* The fault-site line's fault-free value: gate output for stem faults,
+   the driving gate's value for branch faults (same line). *)
+let site_good t (fault : Fault.t) =
+  if fault.pin = -1 then t.gv.(fault.gate)
+  else t.gv.((Circuit.fanins t.c fault.gate).(fault.pin))
+
+(* D-frontier: gates whose output still has an X on some rail while a
+   fault effect sits on an input.  The faulted gate of a branch fault
+   carries a virtual D input once the branch is excited. *)
+let d_frontier t (fault : Fault.t) =
+  let c = t.c in
+  let frontier = ref [] in
+  let stuck_v = if fault.stuck then v1 else v0 in
+  Array.iter
+    (fun g ->
+      if t.gv.(g) = vx || t.fv.(g) = vx then begin
+        let fi = Circuit.fanins c g in
+        let has_d_input = Array.exists (has_d t) fi in
+        let virtual_d =
+          fault.gate = g && fault.pin >= 0
+          && t.gv.(fi.(fault.pin)) <> vx
+          && t.gv.(fi.(fault.pin)) <> stuck_v
+        in
+        if has_d_input || virtual_d then frontier := g :: !frontier
+      end)
+    (Circuit.order c);
+  !frontier
+
+(* Is there a path of composite-X gates from some frontier gate to an
+   observation point? *)
+let x_path_exists t frontier =
+  let c = t.c in
+  let visited = Array.make (Circuit.n_gates c) false in
+  let rec go g =
+    (not visited.(g))
+    && begin
+         visited.(g) <- true;
+         (t.gv.(g) = vx || t.fv.(g) = vx)
+         && (t.feeds_obs.(g) || Array.exists go (Circuit.fanouts c g))
+       end
+  in
+  List.exists
+    (fun g ->
+      (* The frontier gate itself has an X output by construction. *)
+      visited.(g) <- true;
+      t.feeds_obs.(g) || Array.exists go (Circuit.fanouts c g))
+    frontier
+
+(* Backtrace an objective (gate, value) to an unassigned assignable input.
+   Returns [None] when the objective is unreachable (constant, or no X
+   input left). *)
+let rec backtrace t g v =
+  let c = t.c in
+  match Circuit.kind c g with
+  | Gate.Input | Gate.Dff -> if t.asn.(g) = vx then Some (g, v) else None
+  | Gate.Const0 | Gate.Const1 -> None
+  | kind ->
+      if t.gv.(g) <> vx then None
+      else begin
+        let fi = Circuit.fanins c g in
+        let u = if Gate.inverting kind then not v else v in
+        let x_fanins =
+          Array.to_list fi |> List.filter (fun f -> t.gv.(f) = vx)
+        in
+        match (kind, x_fanins) with
+        | _, [] -> None
+        | (Gate.Buf | Gate.Not), f :: _ -> backtrace t f u
+        | (Gate.And | Gate.Nand), _ ->
+            if u then
+              (* All inputs must be 1: attack the hardest X input first. *)
+              let f =
+                List.fold_left
+                  (fun best f ->
+                    if Scoap.cc t.scoap f true > Scoap.cc t.scoap best true then f else best)
+                  (List.hd x_fanins) x_fanins
+              in
+              backtrace t f true
+            else
+              let f =
+                List.fold_left
+                  (fun best f ->
+                    if Scoap.cc t.scoap f false < Scoap.cc t.scoap best false then f
+                    else best)
+                  (List.hd x_fanins) x_fanins
+              in
+              backtrace t f false
+        | (Gate.Or | Gate.Nor), _ ->
+            if u then
+              let f =
+                List.fold_left
+                  (fun best f ->
+                    if Scoap.cc t.scoap f true < Scoap.cc t.scoap best true then f else best)
+                  (List.hd x_fanins) x_fanins
+              in
+              backtrace t f true
+            else
+              let f =
+                List.fold_left
+                  (fun best f ->
+                    if Scoap.cc t.scoap f false > Scoap.cc t.scoap best false then f
+                    else best)
+                  (List.hd x_fanins) x_fanins
+              in
+              backtrace t f false
+        | (Gate.Xor | Gate.Xnor), f :: _ ->
+            (* Aim the parity assuming the remaining X inputs settle to 0. *)
+            let parity =
+              Array.fold_left
+                (fun acc fg -> if t.gv.(fg) = v1 then not acc else acc)
+                false fi
+            in
+            backtrace t f (u <> parity)
+        | (Gate.Input | Gate.Dff | Gate.Const0 | Gate.Const1), _ -> None
+      end
+
+(* The next objective: excite the fault if it is not excited, otherwise
+   drive a D-frontier gate (closest to an observation point first). *)
+let objective t (fault : Fault.t) =
+  let stuck_v = if fault.stuck then v1 else v0 in
+  let site = site_good t fault in
+  if site = vx then begin
+    let site_gate =
+      if fault.pin = -1 then fault.gate
+      else (Circuit.fanins t.c fault.gate).(fault.pin)
+    in
+    Some (site_gate, stuck_v = v0)
+  end
+  else if site = stuck_v then None (* cannot excite under current assignments *)
+  else begin
+    let frontier = d_frontier t fault in
+    match frontier with
+    | [] -> None
+    | _ ->
+        if not (x_path_exists t frontier) then None
+        else begin
+          let sorted =
+            List.sort
+              (fun a b -> compare (Scoap.obs_depth t.scoap a) (Scoap.obs_depth t.scoap b))
+              frontier
+          in
+          (* First frontier gate offering a controllable X input. *)
+          let rec try_gates = function
+            | [] -> None
+            | g :: rest -> (
+                let fi = Circuit.fanins t.c g in
+                let xs = Array.to_list fi |> List.filter (fun f -> t.gv.(f) = vx) in
+                match xs with
+                | [] -> try_gates rest
+                | f :: _ -> (
+                    match Gate.controlling_value (Circuit.kind t.c g) with
+                    | Some cv -> Some (f, not cv)
+                    | None -> Some (f, false)))
+          in
+          try_gates sorted
+        end
+  end
+
+let cube_of t =
+  let c = t.c in
+  let cube = Cube.create ~n_pis:(Circuit.n_inputs c) ~n_ffs:(Circuit.n_dffs c) in
+  Array.iteri
+    (fun i g ->
+      cube.pis.(i) <-
+        (if t.asn.(g) = v0 then Cube.Zero else if t.asn.(g) = v1 then Cube.One else Cube.X))
+    (Circuit.inputs c);
+  Array.iteri
+    (fun i g ->
+      cube.state.(i) <-
+        (if t.asn.(g) = v0 then Cube.Zero else if t.asn.(g) = v1 then Cube.One else Cube.X))
+    (Circuit.dffs c);
+  cube
+
+(* Generate a test for [fault].  [backtrack_limit] bounds the search; an
+   exhausted search space proves redundancy.  [fixed] pre-assigns input
+   gates (e.g. the present state reached by a previous vector in dynamic
+   compaction); the search never revisits them, so [Redundant] then only
+   means "untestable under the fixed assignment". *)
+let run ?(backtrack_limit = 200) ?(fixed = []) t (fault : Fault.t) =
+  Array.fill t.asn 0 (Array.length t.asn) vx;
+  List.iter
+    (fun (g, v) ->
+      if not (Gate.is_source (Circuit.kind t.c g)) then
+        invalid_arg "Podem.run: fixed assignment on a non-source gate";
+      t.asn.(g) <- (if v then v1 else v0))
+    fixed;
+  (* Decision stack: (input gate, current value, alternative tried?). *)
+  let stack = ref [] in
+  let backtracks = ref 0 in
+  let result = ref None in
+  imply t fault;
+  (* Backtrack: flip the deepest untried decision; [false] when the search
+     space is exhausted. *)
+  let backtrack () =
+    incr backtracks;
+    let rec pop () =
+      match !stack with
+      | [] -> false
+      | (g, v, tried) :: rest ->
+          if tried then begin
+            t.asn.(g) <- vx;
+            stack := rest;
+            pop ()
+          end
+          else begin
+            t.asn.(g) <- 1 - v;
+            stack := (g, 1 - v, true) :: rest;
+            true
+          end
+    in
+    let more = pop () in
+    if more then imply t fault;
+    more
+  in
+  (try
+     while !result = None do
+       if detected t fault then result := Some (Test (cube_of t))
+       else begin
+         match objective t fault with
+         | None ->
+             if !backtracks >= backtrack_limit then result := Some Aborted
+             else if not (backtrack ()) then result := Some Redundant
+         | Some (obj_gate, obj_value) -> (
+             match backtrace t obj_gate obj_value with
+             | None ->
+                 if !backtracks >= backtrack_limit then result := Some Aborted
+                 else if not (backtrack ()) then result := Some Redundant
+             | Some (pi, pv) ->
+                 let v = if pv then v1 else v0 in
+                 t.asn.(pi) <- v;
+                 stack := (pi, v, false) :: !stack;
+                 imply t fault)
+       end
+     done
+   with Stack_overflow -> result := Some Aborted);
+  match !result with Some r -> r | None -> Aborted

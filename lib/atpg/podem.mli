@@ -1,0 +1,22 @@
+(** PODEM combinational ATPG over the full-scan combinational core.
+
+    Assignable inputs: primary inputs and flip-flop outputs.  Observation
+    points: primary outputs and flip-flop next-state inputs.  Implication
+    is a dual-rail 3-valued forward simulation; the decision loop is
+    classic PODEM with SCOAP-guided backtrace and a backtrack limit. *)
+
+type result =
+  | Test of Cube.t  (** A (possibly partial) test cube detecting the fault. *)
+  | Redundant  (** Search space exhausted: combinationally untestable. *)
+  | Aborted  (** Backtrack limit exceeded. *)
+
+type t
+
+(** Reusable ATPG context for one circuit (computes SCOAP estimates). *)
+val create : Asc_netlist.Circuit.t -> t
+
+(** Generate a test for one stuck-at fault.  [fixed] pre-assigns source
+    gates (PIs / flip-flops); with it, [Redundant] only means "untestable
+    under the fixed assignment". *)
+val run :
+  ?backtrack_limit:int -> ?fixed:(int * bool) list -> t -> Asc_fault.Fault.t -> result

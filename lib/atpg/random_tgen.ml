@@ -1,0 +1,20 @@
+(* Random primary-input sequences.
+
+   The paper's "rand" columns use a random input sequence of length 1000
+   as the initial test sequence T0; this module produces those sequences
+   (and arbitrary-length ones for tests). *)
+
+let generate rng ~n_pis ~len =
+  Array.init len (fun _ -> Asc_util.Rng.bool_array rng n_pis)
+
+(* A correlated random walk: each vector flips each bit of its predecessor
+   with probability [flip].  Sequential circuits often need correlated
+   inputs to leave the reset-ish state region; the directed generator uses
+   these as one of its candidate segment sources. *)
+let walk rng ~n_pis ~len ~flip ~start =
+  let current = Array.copy start in
+  Array.init len (fun _ ->
+      for i = 0 to n_pis - 1 do
+        if Asc_util.Rng.float rng < flip then current.(i) <- not current.(i)
+      done;
+      Array.copy current)

@@ -1,0 +1,14 @@
+(** Random primary-input sequences (the paper's "rand" T0 source). *)
+
+(** [generate rng ~n_pis ~len] — uniform random vectors. *)
+val generate : Asc_util.Rng.t -> n_pis:int -> len:int -> bool array array
+
+(** Correlated random walk from [start], flipping each bit with
+    probability [flip] per cycle. *)
+val walk :
+  Asc_util.Rng.t ->
+  n_pis:int ->
+  len:int ->
+  flip:float ->
+  start:bool array ->
+  bool array array

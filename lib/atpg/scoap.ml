@@ -1,0 +1,85 @@
+(* SCOAP-style testability estimates for the combinational core.
+
+   [cc0]/[cc1] approximate the effort of setting a signal to 0/1 from the
+   assignable inputs (primary inputs and flip-flop outputs, which full scan
+   makes directly controllable).  [obs_depth] is the distance from a gate
+   to the nearest observation point (a primary output or a flip-flop
+   next-state input, both directly observable under full scan).  PODEM uses
+   the controllabilities to pick easiest/hardest inputs during backtrace
+   and the observation depth to pick D-frontier gates. *)
+
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+
+type t = { cc0 : int array; cc1 : int array; obs_depth : int array }
+
+let big = 1_000_000
+
+let saturating_add a b = min big (a + b)
+
+let compute c =
+  let n = Circuit.n_gates c in
+  let cc0 = Array.make n big and cc1 = Array.make n big in
+  Array.iter
+    (fun g ->
+      cc0.(g) <- 1;
+      cc1.(g) <- 1)
+    (Circuit.inputs c);
+  Array.iter
+    (fun g ->
+      cc0.(g) <- 1;
+      cc1.(g) <- 1)
+    (Circuit.dffs c);
+  let min_over fi cc = Array.fold_left (fun acc f -> min acc cc.(f)) big fi in
+  let sum_over fi cc =
+    Array.fold_left (fun acc f -> saturating_add acc cc.(f)) 0 fi
+  in
+  Array.iter
+    (fun g ->
+      let fi = Circuit.fanins c g in
+      let body0, body1 =
+        match Circuit.kind c g with
+        | Gate.And | Gate.Nand -> (min_over fi cc0, sum_over fi cc1)
+        | Gate.Or | Gate.Nor -> (sum_over fi cc0, min_over fi cc1)
+        | Gate.Xor | Gate.Xnor ->
+            (* Crude: parity needs all inputs set either way. *)
+            let all = saturating_add (sum_over fi cc0) (sum_over fi cc1) in
+            (all / 2, all / 2)
+        | Gate.Not | Gate.Buf -> (cc0.(fi.(0)), cc1.(fi.(0)))
+        | Gate.Const0 -> (0, big)
+        | Gate.Const1 -> (big, 0)
+        | Gate.Input | Gate.Dff -> assert false
+      in
+      let inv = Gate.inverting (Circuit.kind c g) in
+      let v0 = saturating_add body0 1 and v1 = saturating_add body1 1 in
+      if inv then begin
+        cc0.(g) <- v1;
+        cc1.(g) <- v0
+      end
+      else begin
+        cc0.(g) <- v0;
+        cc1.(g) <- v1
+      end)
+    (Circuit.order c);
+  (* Backward BFS from observation points over fanin edges. *)
+  let obs_depth = Array.make n big in
+  let queue = Queue.create () in
+  let enqueue g d =
+    if d < obs_depth.(g) then begin
+      obs_depth.(g) <- d;
+      Queue.add g queue
+    end
+  in
+  Array.iter (fun g -> enqueue g 0) (Circuit.outputs c);
+  Array.iter (fun d -> enqueue (Circuit.dff_input c d) 0) (Circuit.dffs c);
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    if not (Gate.is_source (Circuit.kind c g)) then
+      Array.iter (fun f -> enqueue f (obs_depth.(g) + 1)) (Circuit.fanins c g)
+  done;
+  { cc0; cc1; obs_depth }
+
+(* Controllability of setting gate [g] to [v]. *)
+let cc t g v = if v then t.cc1.(g) else t.cc0.(g)
+
+let obs_depth t g = t.obs_depth.(g)

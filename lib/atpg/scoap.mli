@@ -1,0 +1,13 @@
+(** SCOAP-style testability estimates for the combinational core (primary
+    inputs and flip-flop outputs are the assignable inputs; primary outputs
+    and flip-flop next-state inputs are the observation points). *)
+
+type t
+
+val compute : Asc_netlist.Circuit.t -> t
+
+(** Effort estimate for setting gate [g] to value [v]. *)
+val cc : t -> int -> bool -> int
+
+(** Distance from gate [g] to the nearest observation point. *)
+val obs_depth : t -> int -> int

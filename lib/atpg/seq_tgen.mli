@@ -1,0 +1,30 @@
+(** Directed sequential test-sequence generation — the PROPTEST-style
+    substitute for the paper's T0 sources ([10], [12]).
+
+    Grows the sequence by candidate segments evaluated with incremental
+    3-valued fault co-simulation from an unknown initial state, keeping
+    segments that detect new faults. *)
+
+type config = {
+  budget : int;
+  seg_len : int;
+  max_seg_len : int;
+  candidates : int;
+  patience : int;
+}
+
+val default_config : config
+
+type result = {
+  seq : bool array array;
+  detected : Asc_util.Bitvec.t;
+      (** Faults the full sequence detects without scan (unknown initial
+          state). *)
+}
+
+val generate :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  faults:Asc_fault.Fault.t array ->
+  rng:Asc_util.Rng.t ->
+  result

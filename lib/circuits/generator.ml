@@ -1,0 +1,277 @@
+(* Deterministic synthetic sequential circuit generator.
+
+   Builds a random gate-level circuit matching a {!Profile.t}: exact PI /
+   PO / flip-flop counts and exactly the profile's combinational gate
+   count.  The construction keeps the invariant that every combinational
+   fanin refers to an earlier-created signal, so the result is acyclic by
+   construction; DFF next-state fanins may point anywhere, giving
+   sequential feedback.
+
+   Two properties separate a useful stand-in from random junk logic:
+
+   - *Testability.*  Unconstrained random AND/OR networks drift toward
+     near-constant signals and are full of untestable faults.  The
+     generator tracks a signal-probability estimate for every signal and
+     biases each gate's body function toward outputs balanced around 0.5.
+
+   - *Initialisability.*  Random feedback through XOR-rich logic never
+     leaves the unknown state under 3-valued simulation, so no fault would
+     ever be detected "without scan".  Real circuits have resets and
+     synchronous control; the generator models this by gating the
+     next-state of a per-profile fraction of flip-flops with PI-only
+     control cones (AND with a control forces 0, OR forces 1).  A low
+     [init_frac] reproduces the paper's hard-to-initialise circuits.
+
+   After the random construction, a repair pass guarantees full structural
+   connectivity: every signal (including every PI and every flip-flop
+   output) lies on some path to an observation point — a primary output or
+   a flip-flop's next-state input (both observable under full scan). *)
+
+open Asc_util
+module Gate = Asc_netlist.Gate
+module Builder = Asc_netlist.Builder
+
+type body = BAnd | BOr | BXor
+
+(* Output probability of a gate body over independent inputs (an estimate —
+   reconvergent fanout correlates signals, but it steers well enough). *)
+let body_prob body probs =
+  match body with
+  | BAnd -> List.fold_left (fun acc p -> acc *. p) 1.0 probs
+  | BOr -> 1.0 -. List.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs
+  | BXor -> List.fold_left (fun acc p -> (acc *. (1.0 -. p)) +. ((1.0 -. acc) *. p)) 0.0 probs
+
+(* Preference for balanced outputs: 1 at p = 0.5 falling to 0.05 at the
+   extremes. *)
+let balance_score q = max 0.05 (1.0 -. (2.0 *. abs_float (q -. 0.5)))
+
+(* How far back the "local" fanin picks reach; locality keeps the circuit
+   from collapsing into a single shallow cone. *)
+let local_window = 48
+
+let pick_fanin rng pool_size =
+  if Rng.int rng 100 < 70 then begin
+    let window = min local_window pool_size in
+    pool_size - 1 - Rng.int rng window
+  end
+  else Rng.int rng pool_size
+
+let pick_distinct_fanins rng pool_size n =
+  let chosen = ref [] in
+  let tries = ref 0 in
+  while List.length !chosen < n && !tries < 20 * n do
+    incr tries;
+    let f = pick_fanin rng pool_size in
+    if not (List.mem f !chosen) then chosen := f :: !chosen
+  done;
+  while List.length !chosen < n do
+    chosen := pick_fanin rng pool_size :: !chosen
+  done;
+  List.rev !chosen
+
+let generate ?(seed = 1) (p : Profile.t) =
+  let rng = Rng.of_name ~seed p.name in
+  let b = Builder.create p.name in
+  (* Signal ids are dense and creation-ordered: PIs, DFFs, then gates. *)
+  let (_ : int array) =
+    Array.init p.n_pis (fun i -> Builder.add_input b (Printf.sprintf "pi%d" i))
+  in
+  let dffs = Array.init p.n_ffs (fun i -> Builder.add_dff b (Printf.sprintf "ff%d" i)) in
+  let n_sources = p.n_pis + p.n_ffs in
+  (* Generous bound: the reset structure may push the gate total slightly
+     past the profile target on tiny profiles. *)
+  let n_signals = n_sources + p.n_gates + (2 * p.n_ffs) + 12 in
+  let fanin_of = Array.make (max 1 n_signals) [] in
+  let prob = Array.make (max 1 n_signals) 0.5 in
+  let xor_gates = ref [] and n_ary_gates = ref [] in
+  let gate_count = ref 0 in
+  let next_name () =
+    let name = Printf.sprintf "g%d" !gate_count in
+    incr gate_count;
+    name
+  in
+  let new_gate kind fanin q =
+    let id = Builder.add_gate b kind (next_name ()) fanin in
+    fanin_of.(id) <- fanin;
+    prob.(id) <- q;
+    (match kind with
+    | Gate.Xor | Gate.Xnor ->
+        xor_gates := id :: !xor_gates;
+        n_ary_gates := id :: !n_ary_gates
+    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor -> n_ary_gates := id :: !n_ary_gates
+    | Gate.Buf | Gate.Not | Gate.Input | Gate.Dff | Gate.Const0 | Gate.Const1 -> ());
+    id
+  in
+  (* Synchronous-reset structure.  A PI condition held for [m_stages]
+     consecutive cycles arms a chain of reserved flip-flops; the chain's
+     last stage is a global reset R that forces every other flip-flop to a
+     fixed value.  Because the arming chain itself becomes binary within
+     [m_stages] cycles of any input, and R = 1 makes the whole state
+     binary at once, initialisation is *absorbing*: a binary state can
+     never become unknown again.  Hardness (the paper's
+     difficult-to-initialise circuits) comes from the rarity of the held
+     condition: [m_stages] grows as [init_frac] falls. *)
+  let m_stages =
+    let raw = 1 + int_of_float (Float.round ((1.0 -. p.init_frac) *. 8.0)) in
+    max 1 (min (min 8 (max 1 (p.n_ffs / 2))) raw)
+  in
+  let n_wrap = p.n_ffs - m_stages in
+  (* Budget: the shared condition gate + arming ANDs (m-1) + NOT R (1) +
+     wrappers (one per non-chain flip-flop) + main logic. *)
+  let n_fixed = 1 + (m_stages - 1) + 1 + n_wrap in
+  let n_main = max 1 (p.n_gates - n_fixed) in
+  let stage_literals = min 2 p.n_pis in
+  (* One shared condition over a couple of PIs: arming the reset requires
+     *holding* a satisfying input pattern for m consecutive cycles, so the
+     per-random-vector satisfaction probability is 2^-literals and the
+     chance a random sequence ever fires the reset falls geometrically
+     with m — the hard-to-initialise knob. *)
+  let cond =
+    let pis = pick_distinct_fanins rng p.n_pis stage_literals in
+    let kind = if Rng.bool rng then Gate.And else Gate.Nor in
+    let q = 0.5 ** float_of_int (List.length pis) in
+    if List.length pis = 1 then
+      let f = List.hd pis in
+      new_gate (if kind = Gate.And then Gate.Buf else Gate.Not) [ f ] q
+    else new_gate kind pis q
+  in
+  let chain_ffs = Array.sub dffs 0 m_stages in
+  let other_ffs = Array.sub dffs m_stages n_wrap in
+  Array.iteri
+    (fun k r ->
+      if k = 0 then begin
+        Builder.set_dff_input b r cond;
+        fanin_of.(r) <- [ cond ]
+      end
+      else begin
+        let arm = new_gate Gate.And [ chain_ffs.(k - 1); cond ] 0.1 in
+        Builder.set_dff_input b r arm;
+        fanin_of.(r) <- [ arm ]
+      end)
+    chain_ffs;
+  let reset = chain_ffs.(m_stages - 1) in
+  let not_reset = new_gate Gate.Not [ reset ] 0.9 in
+  (* Main logic. *)
+  let n_pre = !gate_count in
+  let main_gates = Array.make (max 1 n_main) (-1) in
+  for i = 0 to n_main - 1 do
+    let pool_size = n_sources + n_pre + i in
+    if Rng.int rng 100 < 8 then begin
+      let f = pick_fanin rng pool_size in
+      let inverting = Rng.int rng 100 < 75 in
+      let kind = if inverting then Gate.Not else Gate.Buf in
+      let q = if inverting then 1.0 -. prob.(f) else prob.(f) in
+      main_gates.(i) <- new_gate kind [ f ] q
+    end
+    else begin
+      let arity = if Rng.int rng 100 < 78 then 2 else 3 in
+      let fanin = pick_distinct_fanins rng pool_size arity in
+      let probs = List.map (fun f -> prob.(f)) fanin in
+      let weight body base =
+        int_of_float (100.0 *. base *. balance_score (body_prob body probs))
+      in
+      let w = [| weight BAnd 1.0; weight BOr 1.0; weight BXor 0.35 |] in
+      let w = if Array.for_all (( = ) 0) w then [| 1; 1; 1 |] else w in
+      let body = [| BAnd; BOr; BXor |].(Rng.weighted rng w) in
+      let invert = Rng.bool rng in
+      let kind =
+        match (body, invert) with
+        | BAnd, false -> Gate.And
+        | BAnd, true -> Gate.Nand
+        | BOr, false -> Gate.Or
+        | BOr, true -> Gate.Nor
+        | BXor, false -> Gate.Xor
+        | BXor, true -> Gate.Xnor
+      in
+      let q = body_prob body probs in
+      main_gates.(i) <- new_gate kind fanin (if invert then 1.0 -. q else q)
+    end
+  done;
+  (* Next-state functions of the non-chain flip-flops: a raw driver biased
+     toward late main gates, wrapped so that the global reset forces a
+     fixed value — AND with NOT R resets to 0, OR with R resets to 1. *)
+  let raw_driver () =
+    let lo = n_main / 3 in
+    main_gates.(lo + Rng.int rng (n_main - lo))
+  in
+  Array.iter
+    (fun d ->
+      let raw = raw_driver () in
+      let wrapper =
+        if Rng.bool rng then
+          new_gate Gate.And [ raw; not_reset ] (prob.(raw) *. prob.(not_reset))
+        else
+          new_gate Gate.Or [ raw; reset ]
+            (1.0 -. ((1.0 -. prob.(raw)) *. (1.0 -. prob.(reset))))
+      in
+      Builder.set_dff_input b d wrapper;
+      fanin_of.(d) <- [ wrapper ])
+    other_ffs;
+  let all_gates = Builder.size b - n_sources in
+  let gate_pool =
+    Array.init (max 1 all_gates) (fun i -> n_sources + i)
+  in
+  (* Primary outputs: distinct gates, biased toward late ones. *)
+  let po_drivers = Array.make p.n_pos (-1) in
+  let taken = Hashtbl.create 16 in
+  for i = 0 to p.n_pos - 1 do
+    let rec pick tries =
+      let g =
+        if all_gates = 0 then Rng.int rng n_sources
+        else if tries > 50 then gate_pool.(Rng.int rng all_gates)
+        else begin
+          let lo = all_gates / 2 in
+          gate_pool.(lo + Rng.int rng (all_gates - lo))
+        end
+      in
+      if Hashtbl.mem taken g && tries < 100 then pick (tries + 1) else g
+    in
+    let g = pick 0 in
+    Hashtbl.replace taken g ();
+    po_drivers.(i) <- g;
+    Builder.add_output b g
+  done;
+  (* Connectivity repair: mark everything on a path to an observation point
+     (a PO driver or a DFF next-state input), then splice each unmarked
+     signal into a marked gate created after it.  XOR targets are preferred:
+     an extra XOR input never blocks the observability of the others. *)
+  let xor_gates = Array.of_list (List.rev !xor_gates) in
+  let n_ary_gates = Array.of_list (List.rev !n_ary_gates) in
+  let total_signals = Builder.size b in
+  let marked = Array.make total_signals false in
+  let rec mark s =
+    if not marked.(s) then begin
+      marked.(s) <- true;
+      List.iter mark fanin_of.(s)
+    end
+  in
+  Array.iter mark po_drivers;
+  Array.iter (fun d -> List.iter mark fanin_of.(d)) dffs;
+  let splice s =
+    let min_id = if s < n_sources then -1 else s in
+    let candidates_from pool =
+      Array.to_list pool |> List.filter (fun h -> h > min_id && marked.(h))
+    in
+    let candidates =
+      match candidates_from xor_gates with [] -> candidates_from n_ary_gates | c -> c
+    in
+    match candidates with
+    | [] -> Builder.add_output b s (* rare: keep the signal observable *)
+    | _ ->
+        let arr = Array.of_list candidates in
+        let h = arr.(Rng.int rng (Array.length arr)) in
+        Builder.append_fanin b h s;
+        fanin_of.(h) <- s :: fanin_of.(h)
+  in
+  for s = total_signals - 1 downto 0 do
+    if not marked.(s) then begin
+      splice s;
+      mark s
+    end
+  done;
+  Builder.finalize b
+
+let of_profile ?seed name =
+  match Profile.find name with
+  | Some p -> generate ?seed p
+  | None -> invalid_arg (Printf.sprintf "Generator.of_profile: unknown circuit %S" name)

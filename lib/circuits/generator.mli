@@ -1,0 +1,12 @@
+(** Deterministic synthetic sequential circuit generator.
+
+    [generate ?seed profile] builds a random gate-level circuit with the
+    profile's exact PI / PO / flip-flop counts and its combinational gate
+    count.  The same [(seed, profile)] pair always yields the identical
+    circuit.  Every signal is guaranteed to lie on a path to an observation
+    point (a primary output or a flip-flop next-state input). *)
+
+val generate : ?seed:int -> Profile.t -> Asc_netlist.Circuit.t
+
+(** Generate the stand-in for a named benchmark from {!Profile.all}. *)
+val of_profile : ?seed:int -> string -> Asc_netlist.Circuit.t

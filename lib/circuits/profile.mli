@@ -1,0 +1,43 @@
+(** Interface profiles of the benchmark circuits evaluated in the paper.
+
+    The synthetic stand-ins generated from these profiles keep the published
+    PI / PO / flip-flop counts (flip-flop count sets [N_SV], which drives the
+    test-application-time model); gate counts are targets.  [scaled] marks
+    stand-ins whose counts were reduced for runtime (only s35932). *)
+
+type t = {
+  name : string;
+  n_pis : int;
+  n_pos : int;
+  n_ffs : int;
+  n_gates : int;
+  scaled : bool;
+  t0_budget : int;  (** Length budget for the directed sequence T0. *)
+  init_frac : float;
+      (** Fraction of flip-flops gated by PI-only control cones
+          (initialisable from the unknown state); low values model the
+          paper's hard-to-initialise circuits. *)
+}
+
+val make :
+  ?scaled:bool ->
+  ?init_frac:float ->
+  t0_budget:int ->
+  string ->
+  int ->
+  int ->
+  int ->
+  int ->
+  t
+
+(** The ISCAS-89 circuits of the paper's tables, in table order. *)
+val iscas89 : t list
+
+(** The ITC-99 circuits of the paper's tables, in table order. *)
+val itc99 : t list
+
+(** [iscas89 @ itc99], the paper's full circuit list. *)
+val all : t list
+
+val find : string -> t option
+val names : string list

@@ -1,0 +1,27 @@
+(* Name-based access to every circuit the experiments use: the synthetic
+   benchmark stand-ins plus the embedded s27.  Generated circuits are
+   memoised per (name, seed). *)
+
+let cache : (string * int, Asc_netlist.Circuit.t) Hashtbl.t = Hashtbl.create 32
+
+let names = "s27" :: Profile.names
+
+let mem name = List.mem name names
+
+let get ?(seed = 1) name =
+  match Hashtbl.find_opt cache (name, seed) with
+  | Some c -> c
+  | None ->
+      let c =
+        if name = "s27" then S27.circuit ()
+        else
+          match Profile.find name with
+          | Some p -> Generator.generate ~seed p
+          | None -> invalid_arg (Printf.sprintf "Registry.get: unknown circuit %S" name)
+      in
+      Hashtbl.replace cache (name, seed) c;
+      c
+
+(* The directed-T0 length budget for a circuit (s27 gets a small default). *)
+let t0_budget name =
+  match Profile.find name with Some p -> p.t0_budget | None -> 50

@@ -1,0 +1,28 @@
+(* The ISCAS-89 circuit s27, embedded verbatim.
+
+   s27 is tiny (10 logic gates, 3 flip-flops) and serves as the one *real*
+   netlist in the repository: a golden reference for the `.bench` reader
+   and a fast end-to-end circuit for tests and the quickstart example. *)
+
+let bench_text =
+  "# s27 (ISCAS-89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let circuit () = Asc_netlist.Bench_io.parse_string ~name:"s27" bench_text

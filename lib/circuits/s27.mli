@@ -1,0 +1,9 @@
+(** The ISCAS-89 circuit s27, embedded verbatim (4 PIs, 1 PO, 3 flip-flops,
+    10 logic gates).  Golden reference for the `.bench` reader and a fast
+    end-to-end circuit for tests and examples. *)
+
+(** The raw `.bench` source. *)
+val bench_text : string
+
+(** Parse the embedded netlist (fresh circuit each call). *)
+val circuit : unit -> Asc_netlist.Circuit.t

@@ -1,0 +1,24 @@
+(** Dynamic compaction baseline in the spirit of [2], [3]: after each
+    scan-in, keep applying functional vectors (constrained PODEM from the
+    captured state) while they detect new faults; scan out when extension
+    stops paying.  An approximation — see DESIGN.md — used for Table 3's
+    [2,3] column. *)
+
+type config = { extension_tries : int; backtrack_limit : int }
+
+val default_config : config
+
+type result = {
+  tests : Asc_scan.Scan_test.t array;
+  detected : Asc_util.Bitvec.t;
+  unresolved : Asc_util.Bitvec.t;
+      (** Targets PODEM could not classify or detect. *)
+}
+
+val run :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  faults:Asc_fault.Fault.t array ->
+  targets:Asc_util.Bitvec.t ->
+  rng:Asc_util.Rng.t ->
+  result

@@ -1,0 +1,123 @@
+(* Static compaction of *non-scan* test sequences, after [11] ("vector
+   restoration based static compaction").
+
+   The paper's experimental setup compacts its STRATEGATE sequences with
+   [11] before using them as T0.  The restoration idea: rather than trying
+   to omit vectors one by one, start from an empty selection and *restore*
+   the vectors each fault actually needs, working from the hardest faults
+   (latest detection time) backwards; vectors never restored are omitted.
+
+   Detection here is the "without scan" condition (unknown initial state,
+   3-valued, PO-only).  Dropping a vector shifts the suffix left, so
+   restoration decisions are verified by re-simulating the candidate
+   subsequence; the loop processes faults in decreasing detection-time
+   order and extends the restored *prefix-of-suffixes* until every target
+   fault stays detected:
+
+   - candidate = the restored vector set, as a subsequence in original order;
+   - a fault still detected by the candidate needs nothing;
+   - otherwise restore the omitted vectors up to its original detection
+     time (a coarse-grained restoration — one simulation per extension —
+     which keeps the pass count linear in the fault count rather than in
+     the sequence length).
+
+   A final greedy chunk-omission pass (the [8]-style sweep under no-scan
+   semantics) polishes the result. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Seq_fsim = Asc_fault.Seq_fsim
+
+type config = { polish_checks : int }
+
+let default_config = { polish_checks = 60 }
+
+type result = {
+  seq : bool array array;
+  omitted : int;
+  detected : Bitvec.t; (* no-scan detections of the compacted sequence *)
+}
+
+(* First no-scan detection time of every fault, via prefix bisection-free
+   single sweep: simulate once, recording detections per cycle.  The
+   incremental simulator gives exactly this by committing one vector at a
+   time. *)
+let detection_times c ~seq ~faults =
+  let inc = Seq_fsim.inc3_create c faults in
+  let times = Array.make (Array.length faults) max_int in
+  Array.iteri
+    (fun t vec ->
+      let before = Bitvec.copy (Seq_fsim.inc3_detected inc) in
+      let (_ : int) = Seq_fsim.inc3_commit inc [| vec |] in
+      let after = Seq_fsim.inc3_detected inc in
+      Bitvec.iter_set
+        (fun fi -> if not (Bitvec.get before fi) then times.(fi) <- t)
+        after)
+    seq;
+  (times, Bitvec.copy (Seq_fsim.inc3_detected inc))
+
+let subsequence seq keep =
+  let out = ref [] in
+  Array.iteri (fun i v -> if keep.(i) then out := v :: !out) seq;
+  Array.of_list (List.rev !out)
+
+let run ?(config = default_config) c ~seq ~faults =
+  let len = Array.length seq in
+  if len = 0 then
+    { seq; omitted = 0; detected = Bitvec.create (Array.length faults) }
+  else begin
+    let times, baseline = detection_times c ~seq ~faults in
+    let targets = Array.of_list (Bitvec.to_list baseline) in
+    (* Hardest first: decreasing original detection time. *)
+    Array.sort (fun a b -> compare times.(b) times.(a)) targets;
+    let keep = Array.make len false in
+    let covered = Bitvec.create (Array.length faults) in
+    let current () = subsequence seq keep in
+    Array.iter
+      (fun fi ->
+        if not (Bitvec.get covered fi) then begin
+          let det = Seq_fsim.detect_no_scan c ~seq:(current ()) ~faults in
+          Bitvec.union_into ~into:covered det;
+          if not (Bitvec.get det fi) then begin
+            (* Restore everything up to the fault's original detection
+               time; by construction the full prefix detects it. *)
+            for t = 0 to times.(fi) do
+              keep.(t) <- true
+            done;
+            let det' = Seq_fsim.detect_no_scan c ~seq:(current ()) ~faults in
+            Bitvec.union_into ~into:covered det'
+          end
+        end)
+      targets;
+    (* Polish: greedy chunk omission under the no-scan condition. *)
+    let current = ref (current ()) in
+    let checks = ref 0 in
+    let required = baseline in
+    let chunk = ref (max 1 (Array.length !current / 8)) in
+    while !chunk land (!chunk - 1) <> 0 do
+      chunk := !chunk land (!chunk - 1)
+    done;
+    let continue_ = ref true in
+    while !continue_ do
+      let cur_len = Array.length !current in
+      let p = ref (cur_len - !chunk) in
+      while !p >= 0 && !checks < config.polish_checks do
+        (if !chunk < Array.length !current then begin
+           incr checks;
+           let candidate =
+             Array.append (Array.sub !current 0 !p)
+               (Array.sub !current (!p + !chunk) (Array.length !current - !p - !chunk))
+           in
+           if Array.length candidate > 0 then begin
+             let det = Seq_fsim.detect_no_scan c ~seq:candidate ~faults in
+             if Bitvec.subset required det then current := candidate
+           end
+         end);
+        p := !p - !chunk
+      done;
+      if !chunk = 1 || !checks >= config.polish_checks then continue_ := false
+      else chunk := !chunk / 2
+    done;
+    let detected = Seq_fsim.detect_no_scan c ~seq:!current ~faults in
+    { seq = !current; omitted = len - Array.length !current; detected }
+  end

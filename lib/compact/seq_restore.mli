@@ -1,0 +1,25 @@
+(** Static compaction of non-scan test sequences, after [11] (vector
+    restoration): restore, hardest faults first, only the vectors each
+    fault needs; polish with a chunked omission sweep.  Detection is the
+    "without scan" condition (unknown initial state, PO-only).
+
+    The paper compacts its STRATEGATE T0 sequences with [11] before using
+    them; this module makes the same preprocessing available. *)
+
+type config = { polish_checks : int }
+
+val default_config : config
+
+type result = {
+  seq : bool array array;
+  omitted : int;
+  detected : Asc_util.Bitvec.t;
+      (** No-scan detections of the compacted sequence. *)
+}
+
+val run :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  seq:bool array array ->
+  faults:Asc_fault.Fault.t array ->
+  result

@@ -1,0 +1,43 @@
+(* Phase 3 test selection (Section 3.4 of the paper).
+
+   Given the detection matrix of the combinational test set C over the
+   faults left undetected by tau_seq: repeatedly take the fault f with the
+   minimum number n(f) of detecting tests, add the *last* test that detects
+   it (tau_last(f)), and drop every fault that test covers.  Faults with
+   n(f) = 1 are necessarily picked first, exactly as the paper notes.
+
+   n(f) and last(f) are computed once, up front, per the paper's text. *)
+
+open Asc_util
+
+type result = {
+  selected : int list; (* test indices, in selection order *)
+  uncovered : Bitvec.t; (* faults no test in C detects (n(f) = 0) *)
+}
+
+let select ~matrix ~undetected =
+  let n_faults = Bitmat.cols matrix in
+  let counts = Bitmat.column_counts matrix in
+  let remaining = Bitvec.copy undetected in
+  let uncovered = Bitvec.create n_faults in
+  Bitvec.iter_set
+    (fun f ->
+      if counts.(f) = 0 then begin
+        Bitvec.set uncovered f;
+        Bitvec.clear remaining f
+      end)
+    undetected;
+  let selected = ref [] in
+  while not (Bitvec.is_empty remaining) do
+    (* The fault detected by the fewest tests. *)
+    let best = ref (-1) in
+    Bitvec.iter_set
+      (fun f -> if !best = -1 || counts.(f) < counts.(!best) then best := f)
+      remaining;
+    let f = !best in
+    let test = Bitmat.last_row_with matrix f in
+    assert (test >= 0);
+    selected := test :: !selected;
+    Bitvec.diff_into ~into:remaining (Bitmat.row matrix test)
+  done;
+  { selected = List.rev !selected; uncovered }

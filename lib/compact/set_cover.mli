@@ -1,0 +1,12 @@
+(** Phase 3 test selection: greedy covering of the faults left undetected
+    by [tau_seq] using length-one tests from the combinational set C —
+    minimum-[n(f)] fault first, covered by [tau_last(f)], as in the paper. *)
+
+type result = {
+  selected : int list;  (** Row (test) indices of [matrix], selection order. *)
+  uncovered : Asc_util.Bitvec.t;  (** Faults no test detects ([n(f) = 0]). *)
+}
+
+(** [select ~matrix ~undetected] — [matrix] rows are the candidate tests,
+    columns the faults; [undetected] marks the faults to cover. *)
+val select : matrix:Asc_util.Bitmat.t -> undetected:Asc_util.Bitvec.t -> result

@@ -1,0 +1,30 @@
+(** Static compaction with transfer sequences, after [7]: when plain
+    combining fails on a pair, search for a short transfer sequence [T_x]
+    such that [(SI_i, T_i . T_x . T_j)] preserves coverage — trading
+    [L(T_x)] functional cycles for one scan operation ([N_SV] cycles). *)
+
+type config = {
+  combine : Combine.config;  (** The plain combining pass run first. *)
+  candidates : int;  (** Transfer candidates simulated per pair. *)
+  verify_best : int;  (** Candidates given a full coverage check. *)
+  max_length : int option;  (** Cap on [L(T_x)]; default [N_SV / 4]. *)
+  max_pairs : int;  (** Pairs attempted with transfers. *)
+}
+
+val default_config : config
+
+type result = {
+  tests : Asc_scan.Scan_test.t array;
+  combinations : int;  (** Plain combinations accepted. *)
+  transfers : int;  (** Transfer-enabled combinations accepted. *)
+  transfer_cycles : int;  (** Functional cycles spent on transfers. *)
+}
+
+val run :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  targets:Asc_util.Bitvec.t ->
+  rng:Asc_util.Rng.t ->
+  result

@@ -1,0 +1,28 @@
+(** Phase 2: vector omission, after [8] — shorten a test's PI sequence
+    without losing any fault in [required].
+
+    Omissions are tried in halving chunks from the tail under a check
+    budget; per-fault earliest-PO-detection times narrow each check to the
+    faults an omission could actually disturb. *)
+
+type config = {
+  max_checks : int;  (** Trial-count budget. *)
+  initial_chunk : int;  (** Starting chunk size (rounded to a power of 2). *)
+  max_work : int;  (** Simulation-work budget (group x cycle x gate units). *)
+}
+
+val default_config : config
+
+type result = {
+  test : Asc_scan.Scan_test.t;
+  omitted : int;  (** Vectors removed. *)
+  checks : int;  (** Simulations spent. *)
+}
+
+val run :
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t ->
+  faults:Asc_fault.Fault.t array ->
+  required:Asc_util.Bitvec.t ->
+  result

@@ -1,0 +1,12 @@
+(** The baseline of [4]: C as length-one scan tests, statically compacted
+    by combining (the paper's "[4] init" / "[4] comp" columns). *)
+
+type result = {
+  initial_tests : Asc_scan.Scan_test.t array;
+  final_tests : Asc_scan.Scan_test.t array;
+  cycles_initial : int;
+  cycles_final : int;
+  combinations : int;
+}
+
+val run : ?combine:Asc_compact.Combine.config -> Pipeline.prepared -> result

@@ -1,0 +1,45 @@
+(* Per-circuit experiment orchestration.
+
+   Runs, for one benchmark circuit, everything the paper's Tables 1-5
+   need: the shared preparation (fault list + combinational set C), the
+   proposed procedure with a directed T0 and with a random T0 of length
+   1000, the static baseline of [4], and (optionally — it is the slowest
+   and least faithful baseline) the dynamic baseline of [2,3]. *)
+
+module Circuit = Asc_netlist.Circuit
+
+type circuit_run = {
+  name : string;
+  prepared : Pipeline.prepared;
+  directed : Pipeline.result;
+  random : Pipeline.result;
+  static_baseline : Baseline_static.result;
+  dynamic_baseline : Asc_compact.Dynamic_baseline.result option;
+}
+
+let dynamic_cycles (d : Asc_compact.Dynamic_baseline.result) c =
+  Asc_scan.Time_model.cycles_of_tests c d.tests
+
+let config_for ~seed ~t0_source = { Pipeline.default_config with seed; t0_source }
+
+let run_circuit ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000) name =
+  let c = Asc_circuits.Registry.get ~seed name in
+  let budget = Asc_circuits.Registry.t0_budget name in
+  let base_config = config_for ~seed ~t0_source:(Pipeline.Directed budget) in
+  let prepared = Pipeline.prepare ~config:base_config c in
+  let directed = Pipeline.run ~config:base_config prepared in
+  let random =
+    Pipeline.run
+      ~config:(config_for ~seed ~t0_source:(Pipeline.Random_seq random_t0_len))
+      prepared
+  in
+  let static_baseline = Baseline_static.run prepared in
+  let dynamic_baseline =
+    if with_dynamic then
+      let rng = Asc_util.Rng.of_name ~seed (name ^ "/dynamic") in
+      Some
+        (Asc_compact.Dynamic_baseline.run c ~faults:prepared.faults
+           ~targets:prepared.targets ~rng)
+    else None
+  in
+  { name; prepared; directed; random; static_baseline; dynamic_baseline }

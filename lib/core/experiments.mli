@@ -1,0 +1,21 @@
+(** Per-circuit experiment orchestration: everything Tables 1–5 need for
+    one benchmark circuit. *)
+
+type circuit_run = {
+  name : string;
+  prepared : Pipeline.prepared;
+  directed : Pipeline.result;  (** Proposed, directed T0 ([10]–[12] columns). *)
+  random : Pipeline.result;  (** Proposed, random T0 ("rand" columns). *)
+  static_baseline : Baseline_static.result;  (** The [4] columns. *)
+  dynamic_baseline : Asc_compact.Dynamic_baseline.result option;
+      (** The [2,3] column (optional; slowest baseline). *)
+}
+
+(** Clock cycles of a dynamic-baseline test set. *)
+val dynamic_cycles :
+  Asc_compact.Dynamic_baseline.result -> Asc_netlist.Circuit.t -> int
+
+val config_for : seed:int -> t0_source:Pipeline.t0_source -> Pipeline.config
+
+val run_circuit :
+  ?seed:int -> ?with_dynamic:bool -> ?random_t0_len:int -> string -> circuit_run

@@ -1,0 +1,238 @@
+(* The proposed compaction procedure, end to end (Section 3 of the paper).
+
+   Phases:
+   1. build a scan-based test from a test sequence T0 (scan-in selection
+      from the combinational set C, scan-out time selection);
+   2. vector omission;
+   1+2 iterate with T0 := T_C until the selected scan-in state repeats
+      (or an iteration cap);
+   3. top up to complete coverage with length-one tests from C, greedy
+      minimum-n(f) first;
+   4. static compaction of the resulting set with the combining procedure
+      of [4].
+
+   [prepare] builds everything the procedure (and the baselines) share:
+   the collapsed fault list, the combinational test set C, and the target
+   fault set (collapsed faults minus proven-redundant ones). *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Pattern = Asc_sim.Pattern
+module Scan_test = Asc_scan.Scan_test
+module Seq_fsim = Asc_fault.Seq_fsim
+
+let log = Logs.Src.create "asc.pipeline" ~doc:"Proposed compaction procedure"
+
+module Log = (val Logs.src_log log)
+
+type t0_source = Directed of int | Random_seq of int | Genetic of int
+(* [Directed budget] — the PROPTEST-style generator; [Random_seq len] — a
+   uniform random sequence (the paper's "rand" columns); [Genetic budget] —
+   the STRATEGATE-style genetic generator. *)
+
+type config = {
+  seed : int;
+  t0_source : t0_source;
+  max_iterations : int;
+  scan_out_policy : Phase1.scan_out_policy;
+  omission : Asc_compact.Vector_omission.config;
+  combine : Asc_compact.Combine.config;
+  comb_tgen : Asc_atpg.Comb_tgen.config;
+}
+
+let default_config =
+  {
+    seed = 1;
+    t0_source = Directed 1000;
+    max_iterations = 8;
+    scan_out_policy = Phase1.Earliest;
+    omission = Asc_compact.Vector_omission.default_config;
+    combine = Asc_compact.Combine.default_config;
+    comb_tgen = Asc_atpg.Comb_tgen.default_config;
+  }
+
+type prepared = {
+  circuit : Circuit.t;
+  faults : Asc_fault.Fault.t array; (* collapsed representatives *)
+  targets : Bitvec.t; (* collapsed minus proven-redundant *)
+  comb_tests : Pattern.t array; (* the compact combinational set C *)
+  comb_detected : Bitvec.t; (* coverage of C *)
+  redundant : Bitvec.t;
+  aborted : Bitvec.t;
+}
+
+let prepare ?(config = default_config) c =
+  let collapse = Asc_fault.Collapse.run c in
+  let faults = Asc_fault.Collapse.reps collapse in
+  let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/comb") in
+  let gen = Asc_atpg.Comb_tgen.generate ~config:config.comb_tgen c ~faults ~rng in
+  let n = Array.length faults in
+  let targets = Bitvec.init n (fun i -> not (Bitvec.get gen.redundant i)) in
+  {
+    circuit = c;
+    faults;
+    targets;
+    comb_tests = gen.tests;
+    comb_detected = gen.detected;
+    redundant = gen.redundant;
+    aborted = gen.aborted;
+  }
+
+type iteration = {
+  si_index : int;
+  u_so : int; (* chosen scan-out time *)
+  len_after_omission : int;
+  detected_count : int;
+}
+
+type result = {
+  config : config;
+  t0_length : int;
+  f0_count : int; (* faults T0 detects without scan (Table 1 "T0") *)
+  tau_seq : Scan_test.t;
+  f_seq : Bitvec.t; (* faults tau_seq detects (Table 1 "scan") *)
+  iterations : iteration list;
+  added : Scan_test.t array; (* Phase 3 tests (Table 2 "added") *)
+  uncovered : Bitvec.t; (* target faults not even C detects *)
+  initial_tests : Scan_test.t array; (* end of Phase 3 *)
+  final_tests : Scan_test.t array; (* end of Phase 4 *)
+  final_detected : Bitvec.t;
+  cycles_initial : int;
+  cycles_final : int;
+}
+
+let make_t0 config (p : prepared) =
+  let c = p.circuit in
+  let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/t0") in
+  match config.t0_source with
+  | Random_seq len ->
+      Asc_atpg.Random_tgen.generate rng ~n_pis:(Circuit.n_inputs c) ~len
+  | Directed budget ->
+      let cfg = { Asc_atpg.Seq_tgen.default_config with budget } in
+      (Asc_atpg.Seq_tgen.generate ~config:cfg c ~faults:p.faults ~rng).seq
+  | Genetic budget ->
+      let cfg = { Asc_atpg.Ga_tgen.default_config with budget } in
+      (Asc_atpg.Ga_tgen.generate ~config:cfg c ~faults:p.faults ~rng).seq
+
+let run ?(config = default_config) (p : prepared) =
+  let c = p.circuit in
+  if Array.length p.comb_tests = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.run: circuit %s has an empty combinational test set (no \
+          detectable faults?)"
+         (Circuit.name c));
+  let faults = p.faults in
+  let t0 = make_t0 config p in
+  let f0_orig =
+    Bitvec.inter (Seq_fsim.detect_no_scan c ~seq:t0 ~faults) p.targets
+  in
+  (* --- Phases 1 + 2, iterated ------------------------------------- *)
+  let selected = Bitvec.create (Array.length p.comb_tests) in
+  let iterations = ref [] in
+  let current_seq = ref t0 in
+  let current_f0 = ref f0_orig in
+  let tau = ref None in
+  let stop = ref false in
+  let iter = ref 0 in
+  let timed label f =
+    let t0 = Sys.time () in
+    let r = f () in
+    Log.debug (fun m -> m "%s %s: %.2fs" (Circuit.name c) label (Sys.time () -. t0));
+    r
+  in
+  while not !stop do
+    incr iter;
+    let choice =
+      timed "select_scan_in" (fun () ->
+          Phase1.select_scan_in c ~faults ~candidates:p.comb_tests ~t0:!current_seq
+            ~f0:!current_f0 ~targets:p.targets ~selected)
+    in
+    let so =
+      timed "select_scan_out" (fun () ->
+          Phase1.select_scan_out ~policy:config.scan_out_policy c ~faults
+            ~si:p.comb_tests.(choice.index).state
+            ~t0:!current_seq ~f_si:choice.f_si ~targets:p.targets)
+    in
+    let om =
+      timed "vector_omission" (fun () ->
+          Asc_compact.Vector_omission.run ~config:config.omission c so.test ~faults
+            ~required:so.f_so)
+    in
+    let f_c = Bitvec.inter (Scan_test.detect ~only:p.targets c om.test ~faults) p.targets in
+    Log.debug (fun m ->
+        m "%s iter %d: SI=%d%s u_SO=%d len %d->%d detected %d" (Circuit.name c) !iter
+          choice.index
+          (if choice.already_selected then " (repeat)" else "")
+          so.u
+          (Scan_test.length so.test) (Scan_test.length om.test) (Bitvec.count f_c));
+    iterations :=
+      {
+        si_index = choice.index;
+        u_so = so.u;
+        len_after_omission = Scan_test.length om.test;
+        detected_count = Bitvec.count f_c;
+      }
+      :: !iterations;
+    (* Keep the best iterate: changing the scan-in state between rounds
+       can lose detections, and the best round dominates the last one.
+       Because round 1 already detects F_SI(1) >= F0, this also keeps the
+       Table-1 invariant |F0| <= |F_seq|. *)
+    let better =
+      match !tau with
+      | None -> true
+      | Some (t, f) ->
+          let cmp = compare (Bitvec.count f_c) (Bitvec.count f) in
+          cmp > 0 || (cmp = 0 && Scan_test.length om.test < Scan_test.length t)
+    in
+    if better then tau := Some (om.test, f_c);
+    (* Stop on the paper's condition (a repeated scan-in state), on the
+       iteration cap, or when the round brought no improvement — further
+       rounds only re-shuffle equivalent scan-in states. *)
+    if choice.already_selected || !iter >= config.max_iterations || not better then
+      stop := true
+    else begin
+      Bitvec.set selected choice.index;
+      current_seq := om.test.seq;
+      current_f0 :=
+        Bitvec.inter (Seq_fsim.detect_no_scan c ~seq:!current_seq ~faults) p.targets
+    end
+  done;
+  let tau_seq, f_seq =
+    match !tau with Some x -> x | None -> assert false
+  in
+  (* --- Phase 3: complete the coverage ------------------------------ *)
+  let undetected = Bitvec.diff p.targets f_seq in
+  let matrix =
+    Asc_fault.Comb_fsim.detect_matrix ~only:undetected c ~patterns:p.comb_tests ~faults
+  in
+  let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
+  let added =
+    Array.of_list
+      (List.map (fun j -> Scan_test.of_pattern p.comb_tests.(j)) cover.selected)
+  in
+  let initial_tests = Array.append [| tau_seq |] added in
+  let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
+  (* --- Phase 4: static compaction of the result -------------------- *)
+  let combined =
+    Asc_compact.Combine.run ~config:config.combine c initial_tests ~faults
+      ~targets:p.targets
+  in
+  let final_tests = combined.tests in
+  let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
+  let final_detected = Asc_scan.Tset.coverage ~only:p.targets c final_tests ~faults in
+  {
+    config;
+    t0_length = Array.length t0;
+    f0_count = Bitvec.count f0_orig;
+    tau_seq;
+    f_seq;
+    iterations = List.rev !iterations;
+    added;
+    uncovered = cover.uncovered;
+    initial_tests;
+    final_tests;
+    final_detected;
+    cycles_initial;
+    cycles_final;
+  }

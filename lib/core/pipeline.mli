@@ -1,0 +1,69 @@
+(** The proposed compaction procedure, end to end (Section 3).
+
+    {!prepare} builds what the procedure and every baseline share — the
+    collapsed fault list, the target set, and the combinational test set C.
+    {!run} executes Phases 1–4 for a chosen T0 source and returns
+    everything the paper's Tables 1–5 report. *)
+
+type t0_source =
+  | Directed of int
+      (** PROPTEST-style directed sequence with the given length budget
+          (the paper's [10]–[12] columns). *)
+  | Random_seq of int
+      (** Uniform random sequence of the given length (the paper's "rand"
+          columns use 1000). *)
+  | Genetic of int
+      (** STRATEGATE-style genetic sequence with the given length budget
+          (the T0-quality ablation's strongest source). *)
+
+type config = {
+  seed : int;
+  t0_source : t0_source;
+  max_iterations : int;  (** Cap on Phase 1+2 rounds. *)
+  scan_out_policy : Phase1.scan_out_policy;  (** [i_0] (paper) or [i_1]. *)
+  omission : Asc_compact.Vector_omission.config;
+  combine : Asc_compact.Combine.config;
+  comb_tgen : Asc_atpg.Comb_tgen.config;
+}
+
+val default_config : config
+
+type prepared = {
+  circuit : Asc_netlist.Circuit.t;
+  faults : Asc_fault.Fault.t array;  (** Collapsed representatives. *)
+  targets : Asc_util.Bitvec.t;  (** Collapsed minus proven-redundant. *)
+  comb_tests : Asc_sim.Pattern.t array;  (** The compact set C. *)
+  comb_detected : Asc_util.Bitvec.t;
+  redundant : Asc_util.Bitvec.t;
+  aborted : Asc_util.Bitvec.t;
+}
+
+val prepare : ?config:config -> Asc_netlist.Circuit.t -> prepared
+
+(** Generate the configured T0 sequence (exposed for pipeline variants). *)
+val make_t0 : config -> prepared -> bool array array
+
+type iteration = {
+  si_index : int;
+  u_so : int;
+  len_after_omission : int;
+  detected_count : int;
+}
+
+type result = {
+  config : config;
+  t0_length : int;  (** Table 2, "T0". *)
+  f0_count : int;  (** Table 1, "T0". *)
+  tau_seq : Asc_scan.Scan_test.t;
+  f_seq : Asc_util.Bitvec.t;  (** Table 1, "scan". *)
+  iterations : iteration list;
+  added : Asc_scan.Scan_test.t array;  (** Table 2, "added c.tst". *)
+  uncovered : Asc_util.Bitvec.t;
+  initial_tests : Asc_scan.Scan_test.t array;  (** End of Phase 3. *)
+  final_tests : Asc_scan.Scan_test.t array;  (** End of Phase 4. *)
+  final_detected : Asc_util.Bitvec.t;  (** Table 1, "final". *)
+  cycles_initial : int;  (** Table 3, "init". *)
+  cycles_final : int;  (** Table 3, "comp". *)
+}
+
+val run : ?config:config -> prepared -> result

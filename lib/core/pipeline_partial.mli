@@ -1,0 +1,33 @@
+(** The proposed procedure extended to partial scan — the paper's stated
+    extension, realised.
+
+    Same four phases with partial-scan semantics: unscanned flip-flops are
+    X at test start, the scan-out observes scanned flip-flops only, and a
+    scan operation costs [N_scanned] cycles.  Complete full-scan coverage
+    is generally unreachable; the result reports the partial-scan
+    detectable coverage. *)
+
+type config = {
+  seed : int;
+  t0_source : Pipeline.t0_source;
+  max_iterations : int;
+  omission_chunk : int;
+  omission_checks : int;
+  combine_attempts : int;
+}
+
+val default_config : config
+
+type result = {
+  chain : Asc_scan.Partial.chain;
+  tau_seq : Asc_scan.Scan_test.t;
+  f_seq : Asc_util.Bitvec.t;
+  added : Asc_scan.Scan_test.t array;
+  final_tests : Asc_scan.Scan_test.t array;
+  final_detected : Asc_util.Bitvec.t;
+  cycles_initial : int;
+  cycles_final : int;
+}
+
+val run :
+  ?config:config -> Pipeline.prepared -> chain:Asc_scan.Partial.chain -> result

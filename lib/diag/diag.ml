@@ -1,0 +1,106 @@
+(* Dictionary-based fault diagnosis.
+
+   The natural downstream consumer of a compacted test set: once a part
+   fails on the tester, which fault explains the behaviour?  The classic
+   pass/fail fault dictionary answers it:
+
+   - the dictionary stores, per modelled fault, its *signature* — the set
+     of tests the fault makes fail (a column of the detection matrix);
+   - the tester reports the observed pass/fail vector over the same tests;
+   - candidates are ranked by Hamming distance between signature and
+     observation; distance 0 means the fault explains the behaviour
+     exactly (equivalence classes of identical signatures tie, as they
+     must — no test set distinguishes them).
+
+   Interesting consequence for the paper's test sets: a compact set with
+   few, long tests has *coarser* pass/fail signatures than the many
+   length-one tests of [4]'s initial set, so compaction trades diagnostic
+   resolution for application time.  [resolution_histogram] measures that
+   trade — see the diagnosis example. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Scan_test = Asc_scan.Scan_test
+
+type t = {
+  faults : Asc_fault.Fault.t array;
+  matrix : Bitmat.t; (* tests x faults *)
+  n_tests : int;
+}
+
+let build c (tests : Scan_test.t array) ~faults =
+  {
+    faults;
+    matrix = Asc_scan.Tset.detection_matrix c tests ~faults;
+    n_tests = Array.length tests;
+  }
+
+(* The signature of fault [fi]: which tests fail. *)
+let signature t fi =
+  Bitvec.init t.n_tests (fun ti -> Bitmat.get t.matrix ti fi)
+
+(* Simulate a defective part: the pass/fail vector a tester would observe
+   on a part carrying [fault]. *)
+let observe c (tests : Scan_test.t array) ~fault =
+  Bitvec.init (Array.length tests) (fun ti ->
+      let det = Scan_test.detect c tests.(ti) ~faults:[| fault |] in
+      Bitvec.get det 0)
+
+type candidate = { fault_index : int; distance : int }
+
+(* Rank every modelled fault by signature distance to the observation;
+   ties broken by fault index for determinism. *)
+let diagnose t ~observed =
+  if Bitvec.length observed <> t.n_tests then invalid_arg "Diag.diagnose: arity";
+  let scored =
+    Array.init (Array.length t.faults) (fun fi ->
+        let s = signature t fi in
+        let diff = Bitvec.count (Bitvec.diff s observed) + Bitvec.count (Bitvec.diff observed s) in
+        { fault_index = fi; distance = diff })
+  in
+  Array.sort (fun a b -> compare (a.distance, a.fault_index) (b.distance, b.fault_index)) scored;
+  scored
+
+(* The exact-match candidates (distance 0). *)
+let perfect_matches t ~observed =
+  diagnose t ~observed
+  |> Array.to_list
+  |> List.filter (fun c -> c.distance = 0)
+  |> List.map (fun c -> c.fault_index)
+
+(* Diagnostic resolution: group faults by identical signature; the
+   histogram maps class size -> number of classes.  Undetected faults
+   (empty signature) form one big indistinguishable class. *)
+let resolution_histogram t =
+  let classes = Hashtbl.create 256 in
+  Array.iteri
+    (fun fi _ ->
+      let key = Bitvec.to_string (signature t fi) in
+      Hashtbl.replace classes key (fi :: Option.value ~default:[] (Hashtbl.find_opt classes key)))
+    t.faults;
+  let histogram = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ members ->
+      let size = List.length members in
+      Hashtbl.replace histogram size
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram size)))
+    classes;
+  List.sort compare (Hashtbl.fold (fun size count acc -> (size, count) :: acc) histogram [])
+
+(* Share of faults uniquely diagnosable (singleton signature classes,
+   counting only detected faults). *)
+let unique_resolution t =
+  let detected = ref 0 and unique = ref 0 in
+  let classes = Hashtbl.create 256 in
+  Array.iteri
+    (fun fi _ ->
+      let s = signature t fi in
+      if not (Bitvec.is_empty s) then begin
+        incr detected;
+        let key = Bitvec.to_string s in
+        Hashtbl.replace classes key
+          (fi :: Option.value ~default:[] (Hashtbl.find_opt classes key))
+      end)
+    t.faults;
+  Hashtbl.iter (fun _ members -> if List.length members = 1 then incr unique) classes;
+  if !detected = 0 then 0.0 else float_of_int !unique /. float_of_int !detected

@@ -1,0 +1,39 @@
+(** Dictionary-based fault diagnosis over a scan test set.
+
+    Builds pass/fail signatures for every modelled fault, ranks candidates
+    against an observed pass/fail vector, and measures the diagnostic
+    resolution of a test set (compact sets with few long tests resolve
+    less than many short ones — the flip side of compaction). *)
+
+type t
+
+val build :
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  t
+
+(** The pass/fail signature of fault [fi] (bit per test). *)
+val signature : t -> int -> Asc_util.Bitvec.t
+
+(** Simulate a defective part: the pass/fail vector observed on a part
+    carrying [fault]. *)
+val observe :
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t array ->
+  fault:Asc_fault.Fault.t ->
+  Asc_util.Bitvec.t
+
+type candidate = { fault_index : int; distance : int }
+
+(** All faults ranked by signature distance to the observation. *)
+val diagnose : t -> observed:Asc_util.Bitvec.t -> candidate array
+
+(** Fault indices whose signature matches exactly. *)
+val perfect_matches : t -> observed:Asc_util.Bitvec.t -> int list
+
+(** Map from signature-class size to number of classes. *)
+val resolution_histogram : t -> (int * int) list
+
+(** Share of detected faults with a unique signature. *)
+val unique_resolution : t -> float

@@ -1,0 +1,104 @@
+(* Structural equivalence collapsing of stuck-at faults.
+
+   Classic local equivalences, applied with a union-find over the fault
+   universe:
+
+   - controlling-value gates: for AND, every input sa0 is equivalent to the
+     output sa0; NAND: input sa0 ~ output sa1; OR: input sa1 ~ output sa1;
+     NOR: input sa1 ~ output sa0;
+   - BUF: input sa-v ~ output sa-v; NOT: input sa-v ~ output sa-(not v);
+   - single-fanout stems: if gate s drives exactly one pin (h, k), the
+     branch faults at (h, k) are the same physical line as s's output
+     faults (this includes a DFF's D pin when s feeds only that DFF).
+
+   DFFs are never collapsed *through* (a D-line fault is not equivalent to
+   the corresponding Q output fault: Q is also directly controlled by the
+   scan chain and observed a cycle earlier). *)
+
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+
+type t = {
+  universe : Fault.t array;
+  class_of : int array; (* universe index -> representative universe index *)
+  reps : Fault.t array; (* one fault per class, in universe order *)
+  rep_index : int array; (* universe index -> index into [reps] *)
+}
+
+let universe t = t.universe
+let reps t = t.reps
+
+let n_classes t = Array.length t.reps
+
+(* Representative (universe index) of an arbitrary universe fault. *)
+let class_of t i = t.class_of.(i)
+
+(* Index into [reps] for an arbitrary universe fault index. *)
+let rep_of t i = t.rep_index.(t.class_of.(i))
+
+(* Union-find with path compression; roots are the smallest index so the
+   representative order is deterministic. *)
+let rec find parent i = if parent.(i) = i then i else (parent.(i) <- find parent parent.(i); parent.(i))
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+
+let run c =
+  let universe = Fault.universe c in
+  let n = Array.length universe in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (f : Fault.t) -> Hashtbl.replace index f i) universe;
+  let idx f =
+    match Hashtbl.find_opt index f with
+    | Some i -> i
+    | None -> invalid_arg "Collapse.run: fault outside universe"
+  in
+  let parent = Array.init n (fun i -> i) in
+  for g = 0 to Circuit.n_gates c - 1 do
+    let kind = Circuit.kind c g in
+    let arity = Array.length (Circuit.fanins c g) in
+    (match Gate.controlling_value kind with
+    | Some cv ->
+        let out_value = if Gate.inverting kind then not cv else cv in
+        for pin = 0 to arity - 1 do
+          union parent (idx (Fault.input g pin cv)) (idx (Fault.output g out_value))
+        done
+    | None -> ());
+    (match kind with
+    | Gate.Buf ->
+        union parent (idx (Fault.input g 0 false)) (idx (Fault.output g false));
+        union parent (idx (Fault.input g 0 true)) (idx (Fault.output g true))
+    | Gate.Not ->
+        union parent (idx (Fault.input g 0 false)) (idx (Fault.output g true));
+        union parent (idx (Fault.input g 0 true)) (idx (Fault.output g false))
+    | _ -> ());
+    (* Single-fanout stem: the output line and its only branch are one
+       line.  Not applied when the stem also drives a primary output
+       (the PO observation keeps the stem distinct from the branch). *)
+    let fanouts = Circuit.fanouts c g in
+    let drives_po = Array.exists (( = ) g) (Circuit.outputs c) in
+    if Array.length fanouts = 1 && not drives_po then begin
+      let h = fanouts.(0) in
+      let fi = Circuit.fanins c h in
+      (* Find the unique pin of h driven by g (single fanout entry). *)
+      let pin = ref (-1) in
+      Array.iteri (fun k f -> if f = g && !pin = -1 then pin := k) fi;
+      if !pin >= 0 then begin
+        union parent (idx (Fault.input h !pin false)) (idx (Fault.output g false));
+        union parent (idx (Fault.input h !pin true)) (idx (Fault.output g true))
+      end
+    end
+  done;
+  let class_of = Array.init n (find parent) in
+  let rep_index = Array.make n (-1) in
+  let reps = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if class_of.(i) = i then begin
+      rep_index.(i) <- !count;
+      incr count;
+      reps := universe.(i) :: !reps
+    end
+  done;
+  { universe; class_of; reps = Array.of_list (List.rev !reps); rep_index }

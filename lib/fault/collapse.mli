@@ -1,0 +1,25 @@
+(** Structural equivalence collapsing of the stuck-at universe.
+
+    Applies the classic local equivalences (controlling-value inputs vs.
+    output, BUF/NOT pass-through, single-fanout stem/branch identity) with
+    a union-find.  The collapsed representatives are the target fault list
+    of every experiment. *)
+
+type t
+
+(** Build the collapsed fault structure for a circuit. *)
+val run : Asc_netlist.Circuit.t -> t
+
+(** The full uncollapsed universe (same order as {!Fault.universe}). *)
+val universe : t -> Fault.t array
+
+(** One representative fault per equivalence class, in universe order. *)
+val reps : t -> Fault.t array
+
+val n_classes : t -> int
+
+(** Representative universe index of universe fault [i]. *)
+val class_of : t -> int -> int
+
+(** Index into {!reps} of universe fault [i]'s class. *)
+val rep_of : t -> int -> int

@@ -1,0 +1,130 @@
+(* Combinational fault simulation, parallel-pattern single-fault (PPSFP).
+
+   Patterns (PI + present-state assignments) are packed 62 to a word; each
+   fault is injected in all lanes and the faulty outputs and next-state
+   values are compared against the fault-free ones.  Under full scan this
+   is exactly the detection condition of a scan test with a length-one
+   primary input sequence: a difference at a PO or in the captured state
+   (observed by the scan-out) detects the fault. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Engine2 = Asc_sim.Engine2
+module Pattern = Asc_sim.Pattern
+
+type group = {
+  pi_words : int array; (* per PI *)
+  state_words : int array; (* per DFF *)
+  lanes : int; (* mask of lanes carrying a real pattern *)
+  base : int; (* index of the first pattern of this group *)
+  count : int;
+}
+
+let pack c (patterns : Pattern.t array) =
+  let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
+  let total = Array.length patterns in
+  let n_groups = (total + Word.width - 1) / Word.width in
+  Array.init n_groups (fun gi ->
+      let base = gi * Word.width in
+      let count = min Word.width (total - base) in
+      let pi_words = Array.make n_pis 0 in
+      let state_words = Array.make n_ffs 0 in
+      for lane = 0 to count - 1 do
+        let p = patterns.(base + lane) in
+        if Array.length p.pis <> n_pis || Array.length p.state <> n_ffs then
+          invalid_arg "Comb_fsim.pack: pattern arity mismatch";
+        for i = 0 to n_pis - 1 do
+          if p.pis.(i) then pi_words.(i) <- Word.set pi_words.(i) lane
+        done;
+        for i = 0 to n_ffs - 1 do
+          if p.state.(i) then state_words.(i) <- Word.set state_words.(i) lane
+        done
+      done;
+      let lanes = if count = Word.width then Word.mask else (1 lsl count) - 1 in
+      { pi_words; state_words; lanes; base; count })
+
+(* Fault-free responses of one packed group. *)
+type good = { po : int array; next_state : int array }
+
+let good_of_group engine group =
+  Engine2.set_overrides engine [];
+  Engine2.set_state_words engine group.state_words;
+  Engine2.eval engine ~pi_words:group.pi_words;
+  let c = Engine2.circuit engine in
+  {
+    po = Array.init (Circuit.n_outputs c) (Engine2.po_word engine);
+    next_state = Array.init (Circuit.n_dffs c) (Engine2.next_state_word engine);
+  }
+
+(* Lanes of [group] on which [fault] is detected. *)
+let detect_word engine group (good : good) fault =
+  Engine2.set_overrides engine [ Fault.to_override fault ~lanes:Word.mask ];
+  Engine2.set_state_words engine group.state_words;
+  Engine2.eval engine ~pi_words:group.pi_words;
+  let c = Engine2.circuit engine in
+  let det = ref 0 in
+  for i = 0 to Circuit.n_outputs c - 1 do
+    det := !det lor (Engine2.po_word engine i lxor good.po.(i))
+  done;
+  for i = 0 to Circuit.n_dffs c - 1 do
+    det := !det lor (Engine2.next_state_word engine i lxor good.next_state.(i))
+  done;
+  !det land group.lanes
+
+(* Detection matrix: rows are patterns, columns are faults.  [only]
+   restricts the simulated fault indices (default: all). *)
+let detect_matrix ?only c ~patterns ~faults =
+  let n_faults = Array.length faults in
+  let mat = Bitmat.create (Array.length patterns) n_faults in
+  let engine = Engine2.create c [] in
+  let groups = pack c patterns in
+  Array.iter
+    (fun group ->
+      let good = good_of_group engine group in
+      let simulate fi =
+        let det = detect_word engine group good faults.(fi) in
+        Word.iter_set (fun lane -> Bitmat.set mat (group.base + lane) fi) det
+      in
+      match only with
+      | None ->
+          for fi = 0 to n_faults - 1 do
+            simulate fi
+          done
+      | Some mask -> Bitvec.iter_set simulate mask)
+    groups;
+  mat
+
+(* Union detection: the set of fault indices detected by at least one
+   pattern.  [only] restricts the simulated faults. *)
+let detect_union ?only c ~patterns ~faults =
+  let n_faults = Array.length faults in
+  let det = Bitvec.create n_faults in
+  let engine = Engine2.create c [] in
+  let groups = pack c patterns in
+  Array.iter
+    (fun group ->
+      let good = good_of_group engine group in
+      let simulate fi =
+        if (not (Bitvec.get det fi)) && detect_word engine group good faults.(fi) <> 0 then
+          Bitvec.set det fi
+      in
+      match only with
+      | None ->
+          for fi = 0 to n_faults - 1 do
+            simulate fi
+          done
+      | Some mask -> Bitvec.iter_set simulate mask)
+    groups;
+  det
+
+(* Per-pattern detection of a *single* fault: which patterns detect it. *)
+let patterns_detecting c ~patterns ~fault =
+  let result = Bitvec.create (Array.length patterns) in
+  let engine = Engine2.create c [] in
+  Array.iter
+    (fun group ->
+      let good = good_of_group engine group in
+      let det = detect_word engine group good fault in
+      Word.iter_set (fun lane -> Bitvec.set result (group.base + lane)) det)
+    (pack c patterns);
+  result

@@ -1,0 +1,30 @@
+(** Combinational fault simulation (parallel-pattern single-fault).
+
+    A pattern is a PI + present-state assignment; detection means a
+    difference at a primary output or in the captured next state — exactly
+    the detection condition of a length-one scan test under full scan. *)
+
+(** [detect_matrix ?only c ~patterns ~faults] — rows are patterns, columns
+    are fault indices; [only] restricts which fault indices are simulated
+    (others are left undetected). *)
+val detect_matrix :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  patterns:Asc_sim.Pattern.t array ->
+  faults:Fault.t array ->
+  Asc_util.Bitmat.t
+
+(** Fault indices detected by at least one pattern. *)
+val detect_union :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  patterns:Asc_sim.Pattern.t array ->
+  faults:Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** Which patterns detect one given fault. *)
+val patterns_detecting :
+  Asc_netlist.Circuit.t ->
+  patterns:Asc_sim.Pattern.t array ->
+  fault:Fault.t ->
+  Asc_util.Bitvec.t

@@ -1,0 +1,507 @@
+(* Sequential fault simulation of scan tests.
+
+   A scan test (SI, T) loads state SI, applies the PI vectors of T with the
+   functional clock, and scans out the final state.  A fault is detected if
+   the faulty machine differs from the fault-free machine at a primary
+   output at any time unit, or in the final state (observed by scan-out).
+   Faults live in the functional logic only; the scan operation itself is
+   assumed fault-free (standard full-scan stuck-at assumption).
+
+   Simulation is parallel-fault: up to 62 faulty machines run per word, one
+   lane each.  Phase 1's scan-in selection instead runs one fault across 62
+   *candidate initial states* per word; both modes share the same engine.
+
+   [profile] additionally records, per fault, the earliest PO detection
+   time and the set of time units at which the faulty state differs — the
+   single-pass data from which Phase 1 picks its scan-out time and the
+   vector-omission procedure re-verifies suffixes. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Engine2 = Asc_sim.Engine2
+module Engine3 = Asc_sim.Engine3
+
+type seq = bool array array (* L vectors, each of n_pis bools *)
+
+(* Splat PI words, one array per time unit. *)
+let seq_words c (seq : seq) =
+  let n_pis = Circuit.n_inputs c in
+  Array.map
+    (fun vec ->
+      if Array.length vec <> n_pis then invalid_arg "Seq_fsim: vector arity mismatch";
+      Array.map Word.splat vec)
+    seq
+
+(* Fault-free trace: PO words per time unit and state words per boundary.
+   [states.(t)] is the state *entering* time unit [t]; [states.(L)] is the
+   final (scan-out) state. *)
+type good = { po : int array array; states : int array array }
+
+let good_run c ~si ~seq =
+  let sw = seq_words c seq in
+  let len = Array.length seq in
+  let engine = Engine2.create c [] in
+  Engine2.set_state_bools engine si;
+  let n_po = Circuit.n_outputs c and n_ff = Circuit.n_dffs c in
+  let po = Array.make len [||] in
+  let states = Array.make (len + 1) [||] in
+  states.(0) <- Engine2.state_words engine;
+  for t = 0 to len - 1 do
+    Engine2.eval engine ~pi_words:sw.(t);
+    po.(t) <- Array.init n_po (Engine2.po_word engine);
+    Engine2.capture engine;
+    states.(t + 1) <- Array.init n_ff (Engine2.state_word engine)
+  done;
+  { po; states }
+
+let good_final_state c (good : good) =
+  let words = good.states.(Array.length good.states - 1) in
+  Array.init (Circuit.n_dffs c) (fun i -> words.(i) land 1 = 1)
+
+(* Group faults 62 to a word. *)
+type group = { members : int array; lanes : int; overrides : Asc_sim.Override.t list }
+
+let make_groups faults subset =
+  let total = Array.length subset in
+  let n_groups = (total + Word.width - 1) / Word.width in
+  Array.init n_groups (fun gi ->
+      let base = gi * Word.width in
+      let count = min Word.width (total - base) in
+      let members = Array.sub subset base count in
+      let overrides =
+        List.init count (fun lane ->
+            Fault.to_override faults.(members.(lane)) ~lanes:(1 lsl lane))
+      in
+      let lanes = if count = Word.width then Word.mask else (1 lsl count) - 1 in
+      { members; lanes; overrides })
+
+let all_indices n = Array.init n (fun i -> i)
+
+let subset_of_only n = function
+  | None -> all_indices n
+  | Some mask -> Array.of_list (Bitvec.to_list mask)
+
+(* Accumulate PO differences of one evaluated cycle. *)
+let po_diff engine (good : good) t =
+  let diff = ref 0 in
+  let gpo = good.po.(t) in
+  for i = 0 to Array.length gpo - 1 do
+    diff := !diff lor (Engine2.po_word engine i lxor gpo.(i))
+  done;
+  !diff
+
+let state_diff engine (good : good) boundary =
+  let diff = ref 0 in
+  let gst = good.states.(boundary) in
+  for i = 0 to Array.length gst - 1 do
+    diff := !diff lor (Engine2.state_word engine i lxor gst.(i))
+  done;
+  !diff
+
+(* Which of [faults] does the scan test (si, seq) detect?  [only] restricts
+   the simulated fault indices.  Detection lanes are accumulated with an
+   early exit once a whole group is detected. *)
+let detect ?only c ~si ~seq ~faults =
+  let n = Array.length faults in
+  let result = Bitvec.create n in
+  let subset = subset_of_only n only in
+  if Array.length subset = 0 then result
+  else begin
+    let sw = seq_words c seq in
+    let len = Array.length seq in
+    let good = good_run c ~si ~seq in
+    let engine = Engine2.create c [] in
+    Array.iter
+      (fun group ->
+        Engine2.set_overrides engine group.overrides;
+        Engine2.set_state_bools engine si;
+        let det = ref 0 in
+        let t = ref 0 in
+        while !det <> group.lanes && !t < len do
+          Engine2.eval engine ~pi_words:sw.(!t);
+          det := !det lor po_diff engine good !t;
+          Engine2.capture engine;
+          incr t
+        done;
+        if !t = len && !det <> group.lanes then
+          det := !det lor state_diff engine good len;
+        let d = !det land group.lanes in
+        Word.iter_set (fun lane -> Bitvec.set result group.members.(lane)) d)
+      (make_groups faults subset);
+    result
+  end
+
+(* Detection-time profile over a fault subset.
+
+   [po_time.(k)] is the earliest time unit at which subset fault [k]
+   differs at a PO ([max_int] if never); [state_diff_at.(k)] has bit [t]
+   set when the faulty state differs from the fault-free state after the
+   vector of time unit [t] — i.e. scanning out at time [t] would detect
+   the fault. *)
+type profile = {
+  subset : int array;
+  po_time : int array;
+  state_diff_at : Bitvec.t array;
+}
+
+let profile c ~si ~seq ~faults ~subset =
+  let len = Array.length seq in
+  let sw = seq_words c seq in
+  let good = good_run c ~si ~seq in
+  let engine = Engine2.create c [] in
+  let po_time = Array.make (Array.length subset) max_int in
+  let state_diff_at = Array.init (Array.length subset) (fun _ -> Bitvec.create len) in
+  let groups = make_groups faults subset in
+  Array.iteri
+    (fun gi group ->
+      let base = gi * Word.width in
+      Engine2.set_overrides engine group.overrides;
+      Engine2.set_state_bools engine si;
+      let po_seen = ref 0 in
+      for t = 0 to len - 1 do
+        Engine2.eval engine ~pi_words:sw.(t);
+        let fresh = po_diff engine good t land group.lanes land lnot !po_seen in
+        Word.iter_set (fun lane -> po_time.(base + lane) <- t) fresh;
+        po_seen := !po_seen lor fresh;
+        Engine2.capture engine;
+        let sdiff = state_diff engine good (t + 1) land group.lanes in
+        Word.iter_set (fun lane -> Bitvec.set state_diff_at.(base + lane) t) sdiff
+      done)
+    groups;
+  { subset; po_time; state_diff_at }
+
+(* Faults detected by the test truncated to end (and scan out) at time
+   [u]: PO detection at a time <= u, or state difference at u. *)
+let profile_detected_at p ~u =
+  let det = Bitvec.create (Array.length p.subset) in
+  Array.iteri
+    (fun k _ ->
+      if p.po_time.(k) <= u || Bitvec.get p.state_diff_at.(k) u then Bitvec.set det k)
+    p.subset;
+  det
+
+(* Candidate scan-in evaluation (Phase 1, Step 2): rows are candidate
+   scan-in states, columns are fault indices; entry set when the test
+   (candidate, seq) detects the fault.  One fault is simulated at a time
+   across up to 62 candidate initial states per word. *)
+let candidate_detections c ~sis ~seq ~faults ~subset =
+  let n_candidates = Array.length sis in
+  let n_ff = Circuit.n_dffs c in
+  let len = Array.length seq in
+  let sw = seq_words c seq in
+  let result = Bitmat.create n_candidates (Array.length faults) in
+  let engine = Engine2.create c [] in
+  let n_cgroups = (n_candidates + Word.width - 1) / Word.width in
+  for cg = 0 to n_cgroups - 1 do
+    let base = cg * Word.width in
+    let count = min Word.width (n_candidates - base) in
+    let full = if count = Word.width then Word.mask else (1 lsl count) - 1 in
+    (* Pack the candidate states: lane = candidate (base + lane). *)
+    let init_words = Array.make n_ff 0 in
+    for lane = 0 to count - 1 do
+      let si = sis.(base + lane) in
+      if Array.length si <> n_ff then invalid_arg "Seq_fsim.candidate_detections: state arity";
+      for i = 0 to n_ff - 1 do
+        if si.(i) then init_words.(i) <- Word.set init_words.(i) lane
+      done
+    done;
+    (* Fault-free machines for all candidates at once. *)
+    Engine2.set_overrides engine [];
+    Engine2.set_state_words engine init_words;
+    let good_po = Array.make len [||] in
+    let n_po = Circuit.n_outputs c in
+    for t = 0 to len - 1 do
+      Engine2.eval engine ~pi_words:sw.(t);
+      good_po.(t) <- Array.init n_po (Engine2.po_word engine);
+      Engine2.capture engine
+    done;
+    let good_final = Array.init n_ff (Engine2.state_word engine) in
+    (* One fault at a time, injected in every candidate lane. *)
+    Array.iter
+      (fun fi ->
+        Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
+        Engine2.set_state_words engine init_words;
+        let det = ref 0 in
+        let t = ref 0 in
+        while !det <> full && !t < len do
+          Engine2.eval engine ~pi_words:sw.(!t);
+          let gpo = good_po.(!t) in
+          for i = 0 to n_po - 1 do
+            det := !det lor (Engine2.po_word engine i lxor gpo.(i))
+          done;
+          Engine2.capture engine;
+          incr t
+        done;
+        if !t = len && !det <> full then
+          for i = 0 to n_ff - 1 do
+            det := !det lor (Engine2.state_word engine i lxor good_final.(i))
+          done;
+        Word.iter_set (fun lane -> Bitmat.set result (base + lane) fi) (!det land full))
+      subset
+  done;
+  result
+
+(* Verification: does (si, seq) detect *every* fault index in [subset]?
+   Groups are checked in subset order and the first failing group stops the
+   run, so callers should put the most fragile faults first. *)
+let verify_required c ~si ~seq ~faults ~subset =
+  if Array.length subset = 0 then true
+  else begin
+    let sw = seq_words c seq in
+    let len = Array.length seq in
+    let good = good_run c ~si ~seq in
+    let engine = Engine2.create c [] in
+    let groups = make_groups faults subset in
+    let ok = ref true in
+    let gi = ref 0 in
+    while !ok && !gi < Array.length groups do
+      let group = groups.(!gi) in
+      Engine2.set_overrides engine group.overrides;
+      Engine2.set_state_bools engine si;
+      let det = ref 0 in
+      let t = ref 0 in
+      while !det <> group.lanes && !t < len do
+        Engine2.eval engine ~pi_words:sw.(!t);
+        det := !det lor po_diff engine good !t;
+        Engine2.capture engine;
+        incr t
+      done;
+      if !t = len && !det <> group.lanes then det := !det lor state_diff engine good len;
+      if !det land group.lanes <> group.lanes then ok := false;
+      incr gi
+    done;
+    !ok
+  end
+
+(* --- 3-valued, unknown initial state ("without scan") ------------------ *)
+
+(* A fault counts as detected only when the fault-free value at a PO is a
+   binary value and the faulty value is the complementary binary value. *)
+let detect_no_scan ?only c ~seq ~faults =
+  let n = Array.length faults in
+  let result = Bitvec.create n in
+  let subset = subset_of_only n only in
+  if Array.length subset = 0 then result
+  else begin
+    let len = Array.length seq in
+    let sw = seq_words c seq in
+    let n_po = Circuit.n_outputs c in
+    (* Fault-free 3-valued run from the all-X state. *)
+    let good = Engine3.create c [] in
+    Engine3.set_state_x good;
+    let good_po = Array.make len [||] in
+    for t = 0 to len - 1 do
+      Engine3.eval_binary good ~pi_words:sw.(t);
+      good_po.(t) <- Array.init n_po (Engine3.po_word good);
+      Engine3.capture good
+    done;
+    let engine = Engine3.create c [] in
+    Array.iter
+      (fun group ->
+        Engine3.set_overrides engine group.overrides;
+        Engine3.set_state_x engine;
+        let det = ref 0 in
+        let t = ref 0 in
+        while !det <> group.lanes && !t < len do
+          Engine3.eval_binary engine ~pi_words:sw.(!t);
+          for i = 0 to n_po - 1 do
+            let gz, go = good_po.(!t).(i) in
+            let fz, fo = Engine3.po_word engine i in
+            det := !det lor ((gz land fo) lor (go land fz))
+          done;
+          Engine3.capture engine;
+          incr t
+        done;
+        Word.iter_set
+          (fun lane -> Bitvec.set result group.members.(lane))
+          (!det land group.lanes))
+      (make_groups faults subset);
+    result
+  end
+
+(* --- Incremental 3-valued co-simulation (for sequence generation) ------ *)
+
+(* Keeps, per fault group, the 3-valued faulty states at the end of the
+   sequence built so far, plus the fault-free state; candidate extension
+   segments can be evaluated ([peek]) or appended ([commit]) without
+   re-simulating the prefix. *)
+type inc3 = {
+  c3 : Circuit.t;
+  faults3 : Fault.t array;
+  mutable groups3 : group array;
+  mutable engines : Engine3.t array; (* per group, end-of-prefix states *)
+  good3 : Engine3.t;
+  detected3 : Bitvec.t;
+  mutable length : int;
+  mutable commits_since_compact : int;
+}
+
+let inc3_make_engines c groups =
+  Array.map
+    (fun g ->
+      let e = Engine3.create c g.overrides in
+      Engine3.set_state_x e;
+      e)
+    groups
+
+let inc3_create c faults =
+  let subset = all_indices (Array.length faults) in
+  let groups3 = make_groups faults subset in
+  {
+    c3 = c;
+    faults3 = faults;
+    groups3;
+    engines = inc3_make_engines c groups3;
+    good3 = (let e = Engine3.create c [] in Engine3.set_state_x e; e);
+    detected3 = Bitvec.create (Array.length faults);
+    length = 0;
+    commits_since_compact = 0;
+  }
+
+let inc3_detected t = t.detected3
+
+let inc3_length t = t.length
+
+(* Repack the still-undetected faults into as few groups as possible,
+   carrying each faulty machine's 3-valued state into its new lane.  Group
+   count tracks the undetected population, which collapses after the first
+   mass detection wave — without this, every candidate evaluation would
+   keep paying for the full fault list. *)
+let inc3_compact t =
+  let undetected =
+    Array.of_list
+      (Bitvec.to_list
+         (Bitvec.init (Array.length t.faults3) (fun i -> not (Bitvec.get t.detected3 i))))
+  in
+  let n_ff = Circuit.n_dffs t.c3 in
+  (* Old lane coordinates of every fault index. *)
+  let coord = Hashtbl.create 256 in
+  Array.iteri
+    (fun gi (g : group) ->
+      Array.iteri (fun lane fi -> Hashtbl.replace coord fi (gi, lane)) g.members)
+    t.groups3;
+  let old_states = Array.map Engine3.state_words t.engines in
+  let groups = make_groups t.faults3 undetected in
+  let engines = inc3_make_engines t.c3 groups in
+  Array.iteri
+    (fun gi (g : group) ->
+      let z = Array.make n_ff 0 and o = Array.make n_ff 0 in
+      Array.iteri
+        (fun lane fi ->
+          let ogi, olane = Hashtbl.find coord fi in
+          let oz, oo = old_states.(ogi) in
+          for i = 0 to n_ff - 1 do
+            if Word.get oz.(i) olane then z.(i) <- Word.set z.(i) lane;
+            if Word.get oo.(i) olane then o.(i) <- Word.set o.(i) lane
+          done)
+        g.members;
+      Engine3.set_state_words engines.(gi) ~z ~o)
+    groups;
+  t.groups3 <- groups;
+  t.engines <- engines;
+  t.commits_since_compact <- 0
+
+(* Lanes of group [gi] not yet detected. *)
+let undetected_lanes t gi =
+  let group = t.groups3.(gi) in
+  let lanes = ref 0 in
+  Array.iteri
+    (fun lane fi -> if not (Bitvec.get t.detected3 fi) then lanes := !lanes lor (1 lsl lane))
+    group.members;
+  !lanes land group.lanes
+
+(* Run [segment] on group [gi] from its current state; returns the mask of
+   newly detected lanes.  Mutates the engine's state. *)
+let run_segment t gi ~sw ~good_po =
+  let n_po = Circuit.n_outputs t.c3 in
+  let engine = t.engines.(gi) in
+  let want = undetected_lanes t gi in
+  let det = ref 0 in
+  let len = Array.length sw in
+  let t' = ref 0 in
+  while !t' < len do
+    Engine3.eval_binary engine ~pi_words:sw.(!t');
+    if !det land want <> want then
+      for i = 0 to n_po - 1 do
+        let gz, go = good_po.(!t').(i) in
+        let fz, fo = Engine3.po_word engine i in
+        det := !det lor ((gz land fo) lor (go land fz))
+      done;
+    Engine3.capture engine;
+    incr t'
+  done;
+  !det land want
+
+(* Fault-free 3-valued PO trace over a segment from the good machine's
+   current state.  Also reports whether any PO is ever binary: while the
+   fault-free machine is still fully unknown at the outputs, no fault can
+   be detected and the faulty machines need not be simulated at all. *)
+let good_segment t sw =
+  let n_po = Circuit.n_outputs t.c3 in
+  let good_po = Array.make (Array.length sw) [||] in
+  let any_known = ref false in
+  for u = 0 to Array.length sw - 1 do
+    Engine3.eval_binary t.good3 ~pi_words:sw.(u);
+    good_po.(u) <-
+      Array.init n_po (fun i ->
+          let z, o = Engine3.po_word t.good3 i in
+          if z lor o <> 0 then any_known := true;
+          (z, o));
+    Engine3.capture t.good3
+  done;
+  (good_po, !any_known)
+
+(* Evaluate a candidate segment without committing: number of newly
+   detected faults.  Engine states are saved and restored. *)
+let inc3_peek t (segment : seq) =
+  let sw = seq_words t.c3 segment in
+  let saved_good = Engine3.state_words t.good3 in
+  let good_po, any_known = good_segment t sw in
+  let z, o = saved_good in
+  Engine3.set_state_words t.good3 ~z ~o;
+  if not any_known then 0
+  else begin
+    let newly = ref 0 in
+    Array.iteri
+      (fun gi _ ->
+        if undetected_lanes t gi <> 0 then begin
+          let saved = Engine3.state_words t.engines.(gi) in
+          let d = run_segment t gi ~sw ~good_po in
+          newly := !newly + Word.popcount d;
+          let z, o = saved in
+          Engine3.set_state_words t.engines.(gi) ~z ~o
+        end)
+      t.groups3;
+    !newly
+  end
+
+(* Append a segment: update every machine, mark newly detected faults,
+   return how many were newly detected. *)
+let inc3_commit t (segment : seq) =
+  let sw = seq_words t.c3 segment in
+  let good_po, _ = good_segment t sw in
+  let newly = ref 0 in
+  Array.iteri
+    (fun gi group ->
+      (* Even fully-detected groups must advance their state. *)
+      let d = run_segment t gi ~sw ~good_po in
+      Word.iter_set
+        (fun lane ->
+          let fi = group.members.(lane) in
+          if not (Bitvec.get t.detected3 fi) then begin
+            Bitvec.set t.detected3 fi;
+            incr newly
+          end)
+        d)
+    t.groups3;
+  t.length <- t.length + Array.length segment;
+  t.commits_since_compact <- t.commits_since_compact + 1;
+  (* Repack once detections have shrunk the undetected set appreciably. *)
+  let undetected_count = Array.length t.faults3 - Bitvec.count t.detected3 in
+  let capacity = Array.length t.groups3 * Word.width in
+  if
+    t.commits_since_compact >= 8
+    && capacity > 2 * Word.width
+    && undetected_count * 2 < capacity
+  then inc3_compact t;
+  !newly

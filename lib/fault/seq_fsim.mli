@@ -1,0 +1,103 @@
+(** Sequential fault simulation of scan tests.
+
+    A scan test [(SI, T)] loads state [SI], applies the vectors of [T] with
+    the functional clock, and scans out the final state.  Detection: a
+    difference at a primary output at any time unit, or in the final
+    (scanned-out) state.  Faults live in the functional logic; the scan
+    operation itself is fault-free (standard full-scan assumption).
+
+    Bit-parallel: up to 62 faulty machines per word — or, in
+    {!candidate_detections}, one fault across up to 62 candidate scan-in
+    states per word. *)
+
+type seq = bool array array
+(** A primary-input sequence: [L] vectors of [n_pis] values. *)
+
+(** Fault-free trace.  [po.(t)] are splat PO words at time [t];
+    [states.(t)] is the state entering time [t] ([states.(L)] is final). *)
+type good = { po : int array array; states : int array array }
+
+val good_run : Asc_netlist.Circuit.t -> si:bool array -> seq:seq -> good
+
+(** The fault-free scan-out state of a run. *)
+val good_final_state : Asc_netlist.Circuit.t -> good -> bool array
+
+(** Fault indices detected by the scan test; [only] restricts simulation. *)
+val detect :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  si:bool array ->
+  seq:seq ->
+  faults:Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** Detection-time profile over [subset] (fault indices).  [po_time.(k)]:
+    earliest PO-difference time of subset fault [k] ([max_int] if none);
+    [state_diff_at.(k)]: time units after whose vector the faulty state
+    differs (scanning out there would detect the fault). *)
+type profile = {
+  subset : int array;
+  po_time : int array;
+  state_diff_at : Asc_util.Bitvec.t array;
+}
+
+val profile :
+  Asc_netlist.Circuit.t ->
+  si:bool array ->
+  seq:seq ->
+  faults:Fault.t array ->
+  subset:int array ->
+  profile
+
+(** Subset faults detected when the test is truncated to scan out at time
+    [u] (bit [k] refers to [subset.(k)]). *)
+val profile_detected_at : profile -> u:int -> Asc_util.Bitvec.t
+
+(** Phase-1 scan-in selection: rows are candidate scan-in states, columns
+    fault indices; set when [(candidate, seq)] detects the fault.  Only
+    [subset] columns are simulated. *)
+val candidate_detections :
+  Asc_netlist.Circuit.t ->
+  sis:bool array array ->
+  seq:seq ->
+  faults:Fault.t array ->
+  subset:int array ->
+  Asc_util.Bitmat.t
+
+(** Does the test detect every fault index in [subset]?  Checked in subset
+    order with early failure exit — put fragile faults first. *)
+val verify_required :
+  Asc_netlist.Circuit.t ->
+  si:bool array ->
+  seq:seq ->
+  faults:Fault.t array ->
+  subset:int array ->
+  bool
+
+(** Faults detected by [seq] from an unknown initial state, no scan-out
+    (3-valued; detection requires complementary binary values at a PO). *)
+val detect_no_scan :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  seq:seq ->
+  faults:Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** Incremental 3-valued co-simulation for sequence generation: keeps every
+    faulty machine's state at the end of the sequence built so far, so
+    candidate extensions are evaluated without re-simulating the prefix. *)
+type inc3
+
+val inc3_create : Asc_netlist.Circuit.t -> Fault.t array -> inc3
+
+(** Faults detected by the committed sequence so far. *)
+val inc3_detected : inc3 -> Asc_util.Bitvec.t
+
+(** Length of the committed sequence. *)
+val inc3_length : inc3 -> int
+
+(** Number of new detections a candidate segment would add (no commit). *)
+val inc3_peek : inc3 -> seq -> int
+
+(** Append a segment; returns the number of newly detected faults. *)
+val inc3_commit : inc3 -> seq -> int

@@ -1,0 +1,20 @@
+(** Reader and writer for the ISCAS-89 `.bench` netlist format.
+
+    This lets users run the toolchain on real ISCAS-89 / ITC-99 netlists;
+    the repository's experiments use synthetic stand-ins (see
+    [Asc_circuits]) plus the embedded s27 golden circuit. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Parse `.bench` text.  Raises {!Parse_error} on syntax errors and
+    {!Circuit.Structural_error} on structural ones. *)
+val parse_string : name:string -> string -> Circuit.t
+
+(** Parse a `.bench` file; the circuit is named after the file basename. *)
+val parse_file : string -> Circuit.t
+
+(** Render a circuit back to `.bench` text ([CONST0]/[CONST1] gates are
+    emitted with those non-standard kind names). *)
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

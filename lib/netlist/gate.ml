@@ -1,0 +1,79 @@
+(* Gate-level primitives for the sequential netlist model.
+
+   [Input] and [Dff] are sources for combinational evaluation: an [Input] is
+   a primary input, a [Dff] outputs the current state and has exactly one
+   fanin — its next-state signal — that is sampled at the clock edge. *)
+
+type kind =
+  | Input
+  | Dff
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Const0
+  | Const1
+
+let to_string = function
+  | Input -> "INPUT"
+  | Dff -> "DFF"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "DFF" -> Some Dff
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | _ -> None
+
+let arity_ok kind n =
+  match kind with
+  | Input | Const0 | Const1 -> n = 0
+  | Dff | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+
+(* Whether the gate complements its natural body function (used by fault
+   collapsing and PODEM backtrace parity). *)
+let inverting = function
+  | Nand | Nor | Not | Xnor -> true
+  | Input | Dff | Buf | And | Or | Xor | Const0 | Const1 -> false
+
+(* Controlling input value: a single input at this value fixes the output
+   regardless of the others.  [None] for gates without one. *)
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Dff | Buf | Not | Xor | Xnor | Const0 | Const1 -> None
+
+(* [is_source k] — evaluated as a free variable by combinational passes. *)
+let is_source = function
+  | Input | Dff -> true
+  | Buf | Not | And | Nand | Or | Nor | Xor | Xnor | Const0 | Const1 -> false
+
+(* Kinds that accept an arbitrary number (>= 2) of fanins; the synthetic
+   circuit generator may append extra fanins to these. *)
+let n_ary = function
+  | And | Nand | Or | Nor | Xor | Xnor -> true
+  | Input | Dff | Buf | Not | Const0 | Const1 -> false

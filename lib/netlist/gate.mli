@@ -1,0 +1,37 @@
+(** Gate-level primitives for the sequential netlist model. *)
+
+type kind =
+  | Input  (** Primary input; combinational source. *)
+  | Dff
+      (** D flip-flop: outputs the current state; its single fanin is the
+          next-state signal sampled at the clock edge. *)
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Const0
+  | Const1
+
+val to_string : kind -> string
+
+(** Parse an ISCAS `.bench` gate name ([BUFF] is accepted for [Buf]). *)
+val of_string : string -> kind option
+
+(** Whether [n] fanins is a legal arity for the kind. *)
+val arity_ok : kind -> int -> bool
+
+(** Whether the gate complements its body function (NAND/NOR/NOT/XNOR). *)
+val inverting : kind -> bool
+
+(** The input value that fixes the output on its own, if any. *)
+val controlling_value : kind -> bool option
+
+(** True for [Input] and [Dff] — sources of combinational evaluation. *)
+val is_source : kind -> bool
+
+(** Kinds accepting arbitrarily many (>= 2) fanins. *)
+val n_ary : kind -> bool

@@ -1,0 +1,65 @@
+(* Test-set audits: the sanity checks a user runs before signing off on a
+   compacted test set.
+
+   - duplicate tests (identical scan-in and sequence);
+   - useless tests (no incremental coverage in set order — everything they
+     detect is detected by earlier tests);
+   - per-test incremental coverage and the cumulative coverage curve;
+   - expected scan-out vectors (what the tester must compare against). *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+
+type report = {
+  n_tests : int;
+  cycles : int;
+  coverage : int; (* detected target faults *)
+  n_targets : int;
+  duplicates : (int * int) list; (* (earlier, later) index pairs *)
+  useless : int list; (* indices with no incremental coverage *)
+  incremental : int array; (* new detections per test, in set order *)
+  scan_outs : bool array array; (* expected scan-out per test *)
+}
+
+let run c (tests : Scan_test.t array) ~faults ~targets =
+  let mat = Tset.detection_matrix ~only:targets c tests ~faults in
+  let n = Array.length tests in
+  (* Duplicates: group by (si, seq). *)
+  let seen = Hashtbl.create 16 in
+  let duplicates = ref [] in
+  Array.iteri
+    (fun i t ->
+      let key = (t.Scan_test.si, t.Scan_test.seq) in
+      match Hashtbl.find_opt seen key with
+      | Some j -> duplicates := (j, i) :: !duplicates
+      | None -> Hashtbl.replace seen key i)
+    tests;
+  (* Incremental coverage in set order. *)
+  let covered = Bitvec.create (Array.length faults) in
+  let incremental = Array.make n 0 in
+  let useless = ref [] in
+  for i = 0 to n - 1 do
+    let row = Bitvec.inter (Bitmat.row mat i) targets in
+    let fresh = Bitvec.diff row covered in
+    incremental.(i) <- Bitvec.count fresh;
+    if incremental.(i) = 0 then useless := i :: !useless;
+    Bitvec.union_into ~into:covered fresh
+  done;
+  {
+    n_tests = n;
+    cycles = Time_model.cycles_of_tests c tests;
+    coverage = Bitvec.count covered;
+    n_targets = Bitvec.count targets;
+    duplicates = List.rev !duplicates;
+    useless = List.rev !useless;
+    incremental;
+    scan_outs = Array.map (Scan_test.scan_out c) tests;
+  }
+
+let pp fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>%d tests, %d cycles, coverage %d/%d;@ %d duplicate(s), %d test(s) without \
+     incremental coverage@]"
+    r.n_tests r.cycles r.coverage r.n_targets
+    (List.length r.duplicates)
+    (List.length r.useless)

@@ -1,0 +1,22 @@
+(** Test-set audits: duplicates, useless tests, incremental coverage, and
+    the expected scan-out vectors a tester compares against. *)
+
+type report = {
+  n_tests : int;
+  cycles : int;
+  coverage : int;
+  n_targets : int;
+  duplicates : (int * int) list;  (** (earlier, later) identical pairs. *)
+  useless : int list;  (** Indices with no incremental coverage. *)
+  incremental : int array;  (** New detections per test, in set order. *)
+  scan_outs : bool array array;  (** Expected scan-out per test. *)
+}
+
+val run :
+  Asc_netlist.Circuit.t ->
+  Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  targets:Asc_util.Bitvec.t ->
+  report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,65 @@
+(** Partial scan: only a subset of the flip-flops is on the scan chain.
+
+    Unscanned flip-flops start each test at X (conservative 3-valued
+    evaluation) and are not observed by the scan-out; scan operations cost
+    [N_scanned] cycles instead of [N_SV].  Substrate for the paper's
+    "can be extended to partial scan" remark. *)
+
+type chain = { scanned : bool array }
+
+val full_chain : Asc_netlist.Circuit.t -> chain
+
+(** Keep the [ratio] highest-fanout flip-flops on the chain. *)
+val by_fanout : Asc_netlist.Circuit.t -> ratio:float -> chain
+
+val n_scanned : chain -> int
+
+(** Test application time under the shorter chain. *)
+val cycles : Asc_netlist.Circuit.t -> chain -> Scan_test.t array -> int
+
+(** Faults detected by one test under the partial chain (3-valued,
+    pessimistic). *)
+val detect :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  chain ->
+  Scan_test.t ->
+  faults:Asc_fault.Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** Coverage of a test set, with fault dropping. *)
+val coverage :
+  Asc_netlist.Circuit.t ->
+  chain ->
+  Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** Partial-scan analogue of [Seq_fsim.candidate_detections]: rows are
+    candidate scan-in states (projected onto the scanned flip-flops),
+    columns fault indices; only [subset] columns are simulated. *)
+val candidate_detections :
+  Asc_netlist.Circuit.t ->
+  chain ->
+  sis:bool array array ->
+  seq:bool array array ->
+  faults:Asc_fault.Fault.t array ->
+  subset:int array ->
+  Asc_util.Bitmat.t
+
+(** Partial-scan analogue of [Seq_fsim.profile]: earliest PO detection
+    time per subset fault and the time units at which the *scanned* state
+    observably differs. *)
+type profile = {
+  subset : int array;
+  po_time : int array;
+  state_diff_at : Asc_util.Bitvec.t array;
+}
+
+val profile :
+  Asc_netlist.Circuit.t ->
+  chain ->
+  Scan_test.t ->
+  faults:Asc_fault.Fault.t array ->
+  subset:int array ->
+  profile

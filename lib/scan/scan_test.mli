@@ -1,0 +1,39 @@
+(** Scan tests for full-scan circuits: [tau = (SI, T)] — scan-in vector
+    plus an at-speed primary-input sequence (the expected scan-out is the
+    derived fault-free final state). *)
+
+type t = { si : bool array; seq : bool array array }
+
+val create : si:bool array -> seq:bool array array -> t
+
+(** A combinational pattern as a length-one scan test. *)
+val of_pattern : Asc_sim.Pattern.t -> t
+
+(** Length of the PI sequence, [L(T)]. *)
+val length : t -> int
+
+(** The paper's combining operation: [(SI_i, T_i . T_j)]. *)
+val combine : t -> t -> t
+
+(** Truncate to scan out at time unit [u] (inclusive, from 0). *)
+val truncate : t -> u:int -> t
+
+(** Remove the vector at position [p] (the test must keep >= 1 vector). *)
+val omit : t -> p:int -> t
+
+(** Remove [count] vectors starting at [p]. *)
+val omit_span : t -> p:int -> count:int -> t
+
+(** Fault indices detected by this test. *)
+val detect :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  t ->
+  faults:Asc_fault.Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** The expected fault-free scan-out vector. *)
+val scan_out : Asc_netlist.Circuit.t -> t -> bool array
+
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,37 @@
+(* Test application time.
+
+   The paper's model (Section 2): applying k tests to a circuit with N_SV
+   scanned state variables costs
+
+     N_cyc = (k + 1) * N_SV + sum_j L(T_j)
+
+   — k+1 scan operations (consecutive scan-out/scan-in pairs overlap) plus
+   one functional clock cycle per primary input vector.  The scan clock and
+   functional clock are assumed to share the cycle time. *)
+
+let cycles ~n_sv lengths =
+  let k = List.length lengths in
+  if k = 0 then 0 else ((k + 1) * n_sv) + List.fold_left ( + ) 0 lengths
+
+(* With [chains] balanced scan chains, a scan operation shifts only the
+   longest chain's length: ceil(N_SV / chains) cycles.  [chains = 1] is
+   the paper's model. *)
+let cycles_multi_chain ~n_sv ~chains lengths =
+  if chains < 1 then invalid_arg "Time_model.cycles_multi_chain";
+  let shift = (n_sv + chains - 1) / chains in
+  let k = List.length lengths in
+  if k = 0 then 0 else ((k + 1) * shift) + List.fold_left ( + ) 0 lengths
+
+let cycles_of_tests c (tests : Scan_test.t array) =
+  cycles
+    ~n_sv:(Asc_netlist.Circuit.n_dffs c)
+    (Array.to_list (Array.map Scan_test.length tests))
+
+(* At-speed sequence-length statistics for the paper's Table 4. *)
+type length_stats = { average : float; lo : int; hi : int }
+
+let length_stats (tests : Scan_test.t array) =
+  if Array.length tests = 0 then invalid_arg "Time_model.length_stats: empty test set";
+  let lengths = Array.to_list (Array.map Scan_test.length tests) in
+  let lo, hi = Asc_util.Stats.min_max lengths in
+  { average = Asc_util.Stats.mean lengths; lo; hi }

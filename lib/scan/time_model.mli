@@ -1,0 +1,17 @@
+(** The paper's test-application-time model:
+    [N_cyc = (k+1) * N_SV + sum_j L(T_j)]. *)
+
+(** [cycles ~n_sv lengths] for a test set with the given PI sequence
+    lengths; 0 for an empty set. *)
+val cycles : n_sv:int -> int list -> int
+
+(** With [chains] balanced scan chains a scan operation costs
+    [ceil (n_sv / chains)] cycles; [chains = 1] is the paper's model. *)
+val cycles_multi_chain : n_sv:int -> chains:int -> int list -> int
+
+val cycles_of_tests : Asc_netlist.Circuit.t -> Scan_test.t array -> int
+
+(** At-speed PI sequence length statistics (Table 4's "ave" and range). *)
+type length_stats = { average : float; lo : int; hi : int }
+
+val length_stats : Scan_test.t array -> length_stats

@@ -1,0 +1,53 @@
+(* Test-set level coverage accounting.
+
+   The static compaction procedure of [4] and Phase 3's covering both need
+   the tests x faults detection matrix and per-fault detection counts.
+   Length-one tests take the fast combinational path (62 tests per word);
+   longer tests go through the sequential simulator. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Comb_fsim = Asc_fault.Comb_fsim
+module Pattern = Asc_sim.Pattern
+
+let pattern_of_test (t : Scan_test.t) : Pattern.t = { pis = t.seq.(0); state = t.si }
+
+(* Detection matrix: rows are tests, columns are fault indices.  [only]
+   restricts the simulated faults. *)
+let detection_matrix ?only c (tests : Scan_test.t array) ~faults =
+  let n_tests = Array.length tests in
+  let mat = Bitmat.create n_tests (Array.length faults) in
+  (* Batch every length-one test through the combinational path. *)
+  let short = ref [] in
+  Array.iteri
+    (fun i t -> if Scan_test.length t = 1 then short := (i, pattern_of_test t) :: !short)
+    tests;
+  let short = Array.of_list (List.rev !short) in
+  if Array.length short > 0 then begin
+    let patterns = Array.map snd short in
+    let short_mat = Comb_fsim.detect_matrix ?only c ~patterns ~faults in
+    Array.iteri
+      (fun row (test_index, _) -> Bitmat.set_row mat test_index (Bitmat.row short_mat row))
+      short
+  end;
+  Array.iteri
+    (fun i t ->
+      if Scan_test.length t > 1 then
+        Bitmat.set_row mat i (Scan_test.detect ?only c t ~faults))
+    tests;
+  mat
+
+(* Union coverage of a test set. *)
+let coverage ?only c tests ~faults =
+  Bitmat.column_union (detection_matrix ?only c tests ~faults)
+
+(* N-detect profile: how many tests of the set detect each fault.  A
+   standard quality metric for unmodelled/delay defects — faults detected
+   by several different tests are likelier to be caught when the actual
+   defect behaves unlike the model. *)
+let detection_counts ?only c tests ~faults =
+  Bitmat.column_counts (detection_matrix ?only c tests ~faults)
+
+(* Number of faults detected by at least [n] tests. *)
+let n_detect_count counts ~n =
+  Array.fold_left (fun acc k -> if k >= n then acc + 1 else acc) 0 counts

@@ -1,0 +1,27 @@
+(** Test-set coverage accounting: detection matrices (tests x faults) with
+    a fast combinational path for length-one tests. *)
+
+val detection_matrix :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  Asc_util.Bitmat.t
+
+val coverage :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  Asc_util.Bitvec.t
+
+(** N-detect profile: tests detecting each fault. *)
+val detection_counts :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  Scan_test.t array ->
+  faults:Asc_fault.Fault.t array ->
+  int array
+
+(** Faults detected by at least [n] tests. *)
+val n_detect_count : int array -> n:int -> int

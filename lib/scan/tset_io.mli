@@ -1,0 +1,16 @@
+(** Plain-text serialization of scan test sets (save a compacted set, load
+    it back, validate against a circuit). *)
+
+exception Format_error of { line : int; message : string }
+
+val to_string : Asc_netlist.Circuit.t -> Scan_test.t array -> string
+
+(** Parse; returns the recorded circuit name and the tests. *)
+val of_string : string -> string * Scan_test.t array
+
+(** Validate a loaded set against a circuit (name and arities). *)
+val check_compatible :
+  Asc_netlist.Circuit.t -> string * Scan_test.t array -> Scan_test.t array
+
+val write_file : string -> Asc_netlist.Circuit.t -> Scan_test.t array -> unit
+val read_file : string -> string * Scan_test.t array

@@ -1,0 +1,247 @@
+(* Bit-parallel 2-valued simulation engine.
+
+   Every signal holds one word of [Asc_util.Word.width] independent lanes.
+   Depending on the caller, lanes are parallel input patterns (PPSFP-style
+   combinational fault simulation), parallel faulty machines (sequential
+   fault simulation of one scan test), or parallel candidate scan-in states
+   (Phase 1 of the compaction procedure).  Fault injection is expressed with
+   lane-masked {!Override}s, so the same engine serves all three uses.
+
+   One cycle is: [eval] (load sources, sweep the combinational order), read
+   PO/next-state words, [capture] (clock edge). *)
+
+open Asc_util
+
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+
+type t = {
+  c : Circuit.t;
+  kinds : Gate.kind array;
+  fanins : int array array;
+  (* Flattened fanins: gate [g]'s fanins are
+     [flat.(off.(g)) .. flat.(off.(g+1) - 1)] — one contiguous array keeps
+     the evaluation sweep cache-friendly. *)
+  flat : int array;
+  off : int array;
+  mutable ovr : Override.table;
+  mutable source_ovr : Override.t list; (* output overrides on Input/Dff gates *)
+  v : int array;
+  state : int array; (* per DFF index *)
+}
+
+let split_overrides c overrides =
+  let table = Override.table (Circuit.n_gates c) overrides in
+  let source_ovr =
+    List.filter
+      (fun (o : Override.t) -> o.pin = -1 && Gate.is_source (Circuit.kind c o.gate))
+      overrides
+  in
+  (table, source_ovr)
+
+let create c overrides =
+  let n = Circuit.n_gates c in
+  let ovr, source_ovr = split_overrides c overrides in
+  let fanins = Array.init n (Circuit.fanins c) in
+  let off = Array.make (n + 1) 0 in
+  for g = 0 to n - 1 do
+    off.(g + 1) <- off.(g) + Array.length fanins.(g)
+  done;
+  let flat = Array.make (max 1 off.(n)) 0 in
+  for g = 0 to n - 1 do
+    Array.iteri (fun i f -> flat.(off.(g) + i) <- f) fanins.(g)
+  done;
+  {
+    c;
+    kinds = Array.init n (Circuit.kind c);
+    fanins;
+    flat;
+    off;
+    ovr;
+    source_ovr;
+    v = Array.make n 0;
+    state = Array.make (Circuit.n_dffs c) 0;
+  }
+
+(* Swap the injected fault set without reallocating the value arrays; lets
+   fault simulators reuse one machine across fault groups. *)
+let set_overrides t overrides =
+  let ovr, source_ovr = split_overrides t.c overrides in
+  t.ovr <- ovr;
+  t.source_ovr <- source_ovr
+
+let circuit t = t.c
+
+let set_state_bools t bits =
+  if Array.length bits <> Array.length t.state then invalid_arg "Engine2.set_state_bools";
+  Array.iteri (fun i b -> t.state.(i) <- Word.splat b) bits
+
+let set_state_words t words =
+  if Array.length words <> Array.length t.state then invalid_arg "Engine2.set_state_words";
+  Array.blit words 0 t.state 0 (Array.length words)
+
+let state_word t i = t.state.(i)
+
+let state_words t = Array.copy t.state
+
+(* Evaluate the body function of gate [g] with fanin words supplied by
+   [get]; the result is masked to the lane width. *)
+let eval_body kind get n =
+  match (kind : Gate.kind) with
+  | Gate.And ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc land get i
+      done;
+      !acc
+  | Gate.Nand ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc land get i
+      done;
+      lnot !acc land Word.mask
+  | Gate.Or ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc lor get i
+      done;
+      !acc
+  | Gate.Nor ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc lor get i
+      done;
+      lnot !acc land Word.mask
+  | Gate.Xor ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc lxor get i
+      done;
+      !acc
+  | Gate.Xnor ->
+      let acc = ref (get 0) in
+      for i = 1 to n - 1 do
+        acc := !acc lxor get i
+      done;
+      lnot !acc land Word.mask
+  | Gate.Not -> lnot (get 0) land Word.mask
+  | Gate.Buf -> get 0
+  | Gate.Const0 -> 0
+  | Gate.Const1 -> Word.mask
+  | Gate.Input | Gate.Dff -> invalid_arg "Engine2: source gate in evaluation order"
+
+let eval_overridden t g =
+  let fi = t.fanins.(g) in
+  let overrides = Override.at t.ovr g in
+  let get i =
+    let w = ref t.v.(fi.(i)) in
+    List.iter (fun (o : Override.t) -> if o.pin = i then w := Override.apply o !w) overrides;
+    !w
+  in
+  let body = eval_body t.kinds.(g) get (Array.length fi) in
+  List.fold_left
+    (fun w (o : Override.t) -> if o.pin = -1 then Override.apply o w else w)
+    body overrides
+
+let eval t ~pi_words =
+  let c = t.c and v = t.v in
+  let inputs = Circuit.inputs c in
+  if Array.length pi_words <> Array.length inputs then invalid_arg "Engine2.eval: PI arity";
+  Array.iteri (fun i g -> v.(g) <- pi_words.(i)) inputs;
+  Array.iteri (fun i g -> v.(g) <- t.state.(i)) (Circuit.dffs c);
+  List.iter (fun (o : Override.t) -> v.(o.gate) <- Override.apply o v.(o.gate)) t.source_ovr;
+  let order = Circuit.order c in
+  let kinds = t.kinds and flat = t.flat and off = t.off in
+  for idx = 0 to Array.length order - 1 do
+    let g = Array.unsafe_get order idx in
+    if Override.has t.ovr g then v.(g) <- eval_overridden t g
+    else begin
+      (* Hot path: inline the common gate bodies over the flattened fanin
+         slice, with a dedicated 2-input fast path. *)
+      let lo = Array.unsafe_get off g in
+      let hi = Array.unsafe_get off (g + 1) in
+      let w =
+        if hi - lo = 2 then begin
+          let a = Array.unsafe_get v (Array.unsafe_get flat lo) in
+          let b = Array.unsafe_get v (Array.unsafe_get flat (lo + 1)) in
+          match Array.unsafe_get kinds g with
+          | Gate.And -> a land b
+          | Gate.Nand -> lnot (a land b) land Word.mask
+          | Gate.Or -> a lor b
+          | Gate.Nor -> lnot (a lor b) land Word.mask
+          | Gate.Xor -> a lxor b
+          | Gate.Xnor -> lnot (a lxor b) land Word.mask
+          | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 | Gate.Input | Gate.Dff ->
+              assert false
+        end
+        else
+          match Array.unsafe_get kinds g with
+          | Gate.And ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc land Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              !acc
+          | Gate.Nand ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc land Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              lnot !acc land Word.mask
+          | Gate.Or ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc lor Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              !acc
+          | Gate.Nor ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc lor Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              lnot !acc land Word.mask
+          | Gate.Xor ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc lxor Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              !acc
+          | Gate.Xnor ->
+              let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+              for i = lo + 1 to hi - 1 do
+                acc := !acc lxor Array.unsafe_get v (Array.unsafe_get flat i)
+              done;
+              lnot !acc land Word.mask
+          | Gate.Not -> lnot (Array.unsafe_get v (Array.unsafe_get flat lo)) land Word.mask
+          | Gate.Buf -> Array.unsafe_get v (Array.unsafe_get flat lo)
+          | Gate.Const0 -> 0
+          | Gate.Const1 -> Word.mask
+          | Gate.Input | Gate.Dff -> assert false
+      in
+      Array.unsafe_set v g w
+    end
+  done
+
+let value t g = t.v.(g)
+
+let po_word t i = t.v.((Circuit.outputs t.c).(i))
+
+(* The D value flip-flop [i] would capture at the next clock edge, with any
+   DFF input-pin overrides applied. *)
+let next_state_word t i =
+  let d = (Circuit.dffs t.c).(i) in
+  let w = ref t.v.(Circuit.dff_input t.c d) in
+  if Override.has t.ovr d then
+    List.iter
+      (fun (o : Override.t) -> if o.pin = 0 then w := Override.apply o !w)
+      (Override.at t.ovr d);
+  !w
+
+let capture t =
+  for i = 0 to Array.length t.state - 1 do
+    t.state.(i) <- next_state_word t i
+  done
+
+let step t ~pi_words =
+  eval t ~pi_words;
+  capture t

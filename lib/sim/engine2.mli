@@ -1,0 +1,55 @@
+(** Bit-parallel 2-valued simulation engine.
+
+    Each signal carries one {!Asc_util.Word.width}-lane word.  Lanes are,
+    depending on the caller: parallel patterns, parallel faulty machines, or
+    parallel candidate scan-in states.  Faults are injected with lane-masked
+    {!Override}s.
+
+    A clock cycle is {!eval} (combinational sweep), reads of {!po_word} /
+    {!next_state_word}, then {!capture}. *)
+
+type t
+
+(** [create c overrides] — a machine for circuit [c] with the given
+    injected overrides (empty list for a fault-free machine). *)
+val create : Asc_netlist.Circuit.t -> Override.t list -> t
+
+val circuit : t -> Asc_netlist.Circuit.t
+
+(** Swap the injected override set, reusing the machine's arrays. *)
+val set_overrides : t -> Override.t list -> unit
+
+(** Load a scalar state, replicated across all lanes. *)
+val set_state_bools : t -> bool array -> unit
+
+(** Load per-lane state words (one word per flip-flop, copied). *)
+val set_state_words : t -> int array -> unit
+
+val state_word : t -> int -> int
+
+(** Copy of the current state words. *)
+val state_words : t -> int array
+
+(** Evaluate the combinational logic from the given PI words and the
+    current state. *)
+val eval : t -> pi_words:int array -> unit
+
+(** Value of an arbitrary gate after {!eval}. *)
+val value : t -> int -> int
+
+(** Value at primary output [i] after {!eval}. *)
+val po_word : t -> int -> int
+
+(** The D value flip-flop [i] would capture (with DFF-pin overrides). *)
+val next_state_word : t -> int -> int
+
+(** Clock edge: latch all next-state values. *)
+val capture : t -> unit
+
+(** [eval] followed by [capture]. *)
+val step : t -> pi_words:int array -> unit
+
+(** [eval_body kind get n] — the raw word-parallel gate function over [n]
+    fanin words supplied by [get]; exposed for engines built on top (e.g.
+    the transition-fault simulator). *)
+val eval_body : Asc_netlist.Gate.kind -> (int -> int) -> int -> int

@@ -1,0 +1,216 @@
+(* Bit-parallel 3-valued (0/1/X) simulation engine.
+
+   Each signal holds two words: [z] marks lanes known to be 0, [o] marks
+   lanes known to be 1; a lane set in neither is X.  Used wherever the
+   circuit state is unknown — simulation "without scan" from an
+   unknown initial state (Step 1 of Phase 1, sequential test generation).
+
+   The gate functions are the standard pessimistic 3-valued extensions:
+   an AND output is 0 when any input is 0, 1 when all inputs are 1, X
+   otherwise; XOR is known only when every input is known. *)
+
+open Asc_util
+
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+
+type t = {
+  c : Circuit.t;
+  kinds : Gate.kind array;
+  fanins : int array array;
+  mutable ovr : Override.table;
+  mutable source_ovr : Override.t list;
+  z : int array;
+  o : int array;
+  state_z : int array;
+  state_o : int array;
+}
+
+let split_overrides c overrides =
+  let table = Override.table (Circuit.n_gates c) overrides in
+  let source_ovr =
+    List.filter
+      (fun (onode : Override.t) ->
+        onode.pin = -1 && Gate.is_source (Circuit.kind c onode.gate))
+      overrides
+  in
+  (table, source_ovr)
+
+let create c overrides =
+  let n = Circuit.n_gates c in
+  let ovr, source_ovr = split_overrides c overrides in
+  {
+    c;
+    kinds = Array.init n (Circuit.kind c);
+    fanins = Array.init n (Circuit.fanins c);
+    ovr;
+    source_ovr;
+    z = Array.make n 0;
+    o = Array.make n 0;
+    state_z = Array.make (Circuit.n_dffs c) 0;
+    state_o = Array.make (Circuit.n_dffs c) 0;
+  }
+
+(* Swap the injected fault set without reallocating the value arrays. *)
+let set_overrides t overrides =
+  let ovr, source_ovr = split_overrides t.c overrides in
+  t.ovr <- ovr;
+  t.source_ovr <- source_ovr
+
+let circuit t = t.c
+
+(* Force the override's lanes to its stuck value on a (z, o) pair. *)
+let apply_ovr (ov : Override.t) z o =
+  if ov.stuck then (z land lnot ov.lanes, o lor ov.lanes)
+  else (z lor ov.lanes, o land lnot ov.lanes)
+
+let set_state_x t =
+  Array.fill t.state_z 0 (Array.length t.state_z) 0;
+  Array.fill t.state_o 0 (Array.length t.state_o) 0
+
+let set_state_bools t bits =
+  if Array.length bits <> Array.length t.state_z then invalid_arg "Engine3.set_state_bools";
+  Array.iteri
+    (fun i b ->
+      t.state_z.(i) <- Word.splat (not b);
+      t.state_o.(i) <- Word.splat b)
+    bits
+
+let set_state_words t ~z ~o =
+  if Array.length z <> Array.length t.state_z || Array.length o <> Array.length t.state_o
+  then invalid_arg "Engine3.set_state_words";
+  Array.blit z 0 t.state_z 0 (Array.length z);
+  Array.blit o 0 t.state_o 0 (Array.length o)
+
+let state_word t i = (t.state_z.(i), t.state_o.(i))
+
+let state_words t = (Array.copy t.state_z, Array.copy t.state_o)
+
+let eval_body kind getz geto n =
+  match (kind : Gate.kind) with
+  | Gate.And | Gate.Nand ->
+      let zero = ref (getz 0) and one = ref (geto 0) in
+      for i = 1 to n - 1 do
+        zero := !zero lor getz i;
+        one := !one land geto i
+      done;
+      if kind = Gate.And then (!zero, !one) else (!one, !zero)
+  | Gate.Or | Gate.Nor ->
+      let zero = ref (getz 0) and one = ref (geto 0) in
+      for i = 1 to n - 1 do
+        zero := !zero land getz i;
+        one := !one lor geto i
+      done;
+      if kind = Gate.Or then (!zero, !one) else (!one, !zero)
+  | Gate.Xor | Gate.Xnor ->
+      let known = ref (getz 0 lor geto 0) and parity = ref (geto 0) in
+      for i = 1 to n - 1 do
+        known := !known land (getz i lor geto i);
+        parity := !parity lxor geto i
+      done;
+      let one = !parity land !known and zero = lnot !parity land !known in
+      if kind = Gate.Xor then (zero, one) else (one, zero)
+  | Gate.Not -> (geto 0, getz 0)
+  | Gate.Buf -> (getz 0, geto 0)
+  | Gate.Const0 -> (Word.mask, 0)
+  | Gate.Const1 -> (0, Word.mask)
+  | Gate.Input | Gate.Dff -> invalid_arg "Engine3: source gate in evaluation order"
+
+let eval_overridden t g =
+  let fi = t.fanins.(g) in
+  let overrides = Override.at t.ovr g in
+  let get i =
+    let z = ref t.z.(fi.(i)) and o = ref t.o.(fi.(i)) in
+    List.iter
+      (fun (ov : Override.t) ->
+        if ov.pin = i then begin
+          let z', o' = apply_ovr ov !z !o in
+          z := z';
+          o := o'
+        end)
+      overrides;
+    (!z, !o)
+  in
+  let getz i = fst (get i) and geto i = snd (get i) in
+  let z, o = eval_body t.kinds.(g) getz geto (Array.length fi) in
+  List.fold_left
+    (fun (z, o) (ov : Override.t) -> if ov.pin = -1 then apply_ovr ov z o else (z, o))
+    (z, o) overrides
+
+(* [pi_z]/[pi_o] give the 3-valued PI words; for fully binary inputs use
+   [eval_binary]. *)
+let eval t ~pi_z ~pi_o =
+  let c = t.c and z = t.z and o = t.o in
+  let inputs = Circuit.inputs c in
+  if Array.length pi_z <> Array.length inputs || Array.length pi_o <> Array.length inputs
+  then invalid_arg "Engine3.eval: PI arity";
+  Array.iteri
+    (fun i g ->
+      z.(g) <- pi_z.(i);
+      o.(g) <- pi_o.(i))
+    inputs;
+  Array.iteri
+    (fun i g ->
+      z.(g) <- t.state_z.(i);
+      o.(g) <- t.state_o.(i))
+    (Circuit.dffs c);
+  List.iter
+    (fun (ov : Override.t) ->
+      let z', o' = apply_ovr ov z.(ov.gate) o.(ov.gate) in
+      z.(ov.gate) <- z';
+      o.(ov.gate) <- o')
+    t.source_ovr;
+  let order = Circuit.order c in
+  for idx = 0 to Array.length order - 1 do
+    let g = Array.unsafe_get order idx in
+    if Override.has t.ovr g then begin
+      let zg, og = eval_overridden t g in
+      z.(g) <- zg;
+      o.(g) <- og
+    end
+    else begin
+      let fi = t.fanins.(g) in
+      let getz i = Array.unsafe_get z (Array.unsafe_get fi i)
+      and geto i = Array.unsafe_get o (Array.unsafe_get fi i) in
+      let zg, og = eval_body t.kinds.(g) getz geto (Array.length fi) in
+      z.(g) <- zg;
+      o.(g) <- og
+    end
+  done
+
+let eval_binary t ~pi_words =
+  let pi_o = pi_words in
+  let pi_z = Array.map (fun w -> lnot w land Word.mask) pi_words in
+  eval t ~pi_z ~pi_o
+
+let value t g = (t.z.(g), t.o.(g))
+
+let po_word t i =
+  let g = (Circuit.outputs t.c).(i) in
+  (t.z.(g), t.o.(g))
+
+let next_state_word t i =
+  let d = (Circuit.dffs t.c).(i) in
+  let din = Circuit.dff_input t.c d in
+  let z = ref t.z.(din) and o = ref t.o.(din) in
+  if Override.has t.ovr d then
+    List.iter
+      (fun (ov : Override.t) ->
+        if ov.pin = 0 then begin
+          let z', o' = apply_ovr ov !z !o in
+          z := z';
+          o := o'
+        end)
+      (Override.at t.ovr d);
+  (!z, !o)
+
+let capture t =
+  for i = 0 to Array.length t.state_z - 1 do
+    let z, o = next_state_word t i in
+    t.state_z.(i) <- z;
+    t.state_o.(i) <- o
+  done
+
+let step_binary t ~pi_words =
+  eval_binary t ~pi_words;
+  capture t

@@ -1,0 +1,37 @@
+(** Bit-parallel 3-valued (0/1/X) simulation engine.
+
+    Each signal is a pair of words [(z, o)]: lane set in [z] means known-0,
+    in [o] means known-1, in neither means X.  Used for simulation from an
+    unknown initial state ("without scan"). *)
+
+type t
+
+val create : Asc_netlist.Circuit.t -> Override.t list -> t
+val circuit : t -> Asc_netlist.Circuit.t
+
+(** Swap the injected override set, reusing the machine's arrays. *)
+val set_overrides : t -> Override.t list -> unit
+
+(** All flip-flops to X (unknown initial state). *)
+val set_state_x : t -> unit
+
+(** Scalar binary state replicated across lanes. *)
+val set_state_bools : t -> bool array -> unit
+
+val set_state_words : t -> z:int array -> o:int array -> unit
+val state_word : t -> int -> int * int
+val state_words : t -> int array * int array
+
+(** Evaluate with 3-valued PI words. *)
+val eval : t -> pi_z:int array -> pi_o:int array -> unit
+
+(** Evaluate with binary PI words (each lane fully specified). *)
+val eval_binary : t -> pi_words:int array -> unit
+
+val value : t -> int -> int * int
+val po_word : t -> int -> int * int
+val next_state_word : t -> int -> int * int
+val capture : t -> unit
+
+(** [eval_binary] followed by [capture]. *)
+val step_binary : t -> pi_words:int array -> unit

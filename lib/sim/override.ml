@@ -1,0 +1,45 @@
+(* Lane-masked value overrides: the generic fault-injection mechanism.
+
+   An override forces a signal to [stuck] in the lanes selected by [lanes]:
+   - [pin = -1]: the gate's output (after evaluation);
+   - [pin = k >= 0]: the gate's [k]-th fanin as seen by this gate only
+     (a fanout-branch fault); for a DFF, pin 0 is the captured D value.
+
+   [table] indexes overrides by the gate they attach to, so the simulation
+   sweep pays nothing for gates without overrides. *)
+
+type t = { gate : int; pin : int; stuck : bool; lanes : int }
+
+let output ~gate ~stuck ~lanes = { gate; pin = -1; stuck; lanes }
+let input ~gate ~pin ~stuck ~lanes =
+  if pin < 0 then invalid_arg "Override.input: negative pin";
+  { gate; pin; stuck; lanes }
+
+(* [apply o w] forces the override's lanes of word [w] to the stuck value. *)
+let apply o w =
+  if o.stuck then w lor o.lanes else w land lnot o.lanes
+
+type table = {
+  (* For each gate: the overrides attached to it (usually none). *)
+  by_gate : t list array;
+  touched : int list; (* gates with at least one override *)
+}
+
+let table n_gates overrides =
+  let by_gate = Array.make n_gates [] in
+  let touched = ref [] in
+  List.iter
+    (fun o ->
+      if o.gate < 0 || o.gate >= n_gates then invalid_arg "Override.table: bad gate";
+      if by_gate.(o.gate) = [] then touched := o.gate :: !touched;
+      by_gate.(o.gate) <- o :: by_gate.(o.gate))
+    overrides;
+  { by_gate; touched = !touched }
+
+let empty n_gates = { by_gate = Array.make n_gates []; touched = [] }
+
+let at tbl g = tbl.by_gate.(g)
+
+let has tbl g = tbl.by_gate.(g) <> []
+
+let touched tbl = tbl.touched

@@ -1,0 +1,22 @@
+(* A combinational test pattern: values for the primary inputs and for the
+   present-state variables (the scan-in vector).
+
+   This is both a combinational ATPG test (PI + pseudo-PI assignment) and,
+   viewed as a scan test, a test with a length-one primary input sequence. *)
+
+type t = { pis : bool array; state : bool array }
+
+let create ~pis ~state = { pis; state }
+
+let random rng ~n_pis ~n_ffs =
+  { pis = Asc_util.Rng.bool_array rng n_pis; state = Asc_util.Rng.bool_array rng n_ffs }
+
+let n_pis t = Array.length t.pis
+let n_ffs t = Array.length t.state
+
+let equal a b = a.pis = b.pis && a.state = b.state
+
+let bits_to_string bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let to_string t = bits_to_string t.state ^ "/" ^ bits_to_string t.pis

@@ -1,0 +1,14 @@
+(** A combinational test pattern: primary-input values plus present-state
+    (scan-in) values.  Equivalent to a scan test with a length-one PI
+    sequence. *)
+
+type t = { pis : bool array; state : bool array }
+
+val create : pis:bool array -> state:bool array -> t
+val random : Asc_util.Rng.t -> n_pis:int -> n_ffs:int -> t
+val n_pis : t -> int
+val n_ffs : t -> int
+val equal : t -> t -> bool
+
+(** ["state/pis"] bit-string rendering. *)
+val to_string : t -> string

@@ -1,0 +1,9 @@
+(** VCD (Value Change Dump) writer: the fault-free trajectory of a scan
+    test over every circuit signal, viewable in GTKWave. *)
+
+(** The VCD text of the fault-free run of [(si, seq)]. *)
+val of_scan_test :
+  Asc_netlist.Circuit.t -> si:bool array -> seq:bool array array -> string
+
+val write_file :
+  string -> Asc_netlist.Circuit.t -> si:bool array -> seq:bool array array -> unit

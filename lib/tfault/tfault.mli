@@ -1,0 +1,32 @@
+(** Transition (gate-delay) faults — quantifying the paper's at-speed
+    claim.
+
+    A slow-to-rise / slow-to-fall fault delays every such transition of its
+    line past the capture edge; effects propagate through the state.  A
+    length-one scan test can never detect one (no at-speed predecessor to
+    launch a transition), so transition coverage directly measures the
+    value of the long at-speed sequences the proposed procedure produces. *)
+
+type t = { gate : int; rising : bool }
+
+val to_string : Asc_netlist.Circuit.t -> t -> string
+
+(** Both polarities on every gate output (PIs and flip-flop outputs
+    included). *)
+val universe : Asc_netlist.Circuit.t -> t array
+
+(** Transition faults detected by one scan test. *)
+val detect :
+  ?only:Asc_util.Bitvec.t ->
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t ->
+  faults:t array ->
+  Asc_util.Bitvec.t
+
+(** Coverage of a test set (with fault dropping; length-one tests are
+    skipped — they cannot detect transition faults). *)
+val coverage :
+  Asc_netlist.Circuit.t ->
+  Asc_scan.Scan_test.t array ->
+  faults:t array ->
+  Asc_util.Bitvec.t

@@ -1,0 +1,89 @@
+(* Deterministic SplitMix64 pseudo-random number generator.
+
+   All stochastic choices in the library (synthetic circuit generation,
+   random fill of unspecified ATPG inputs, random test sequences) go through
+   this module so that every experiment is reproducible bit-for-bit from a
+   seed.  The 64-bit arithmetic uses [Int64]; derived values are folded into
+   OCaml's native 63-bit [int] range. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* FNV-1a over the bytes of [s], used to derive per-name streams. *)
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let of_name ~seed name =
+  let t = { state = Int64.logxor (Int64.of_int seed) (hash_string name) } in
+  (* Warm up so that nearby seeds diverge immediately. *)
+  ignore (next_int64 t);
+  t
+
+let split t = { state = next_int64 t }
+
+let copy t = { state = t.state }
+
+(* A non-negative 62-bit value. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = (max_int / bound) * bound in
+  let rec go () =
+    let v = bits t in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v /. 9007199254740992.0
+
+(* Pick an index in [0, n) with weights [w]; [w] must be non-empty with a
+   positive total. *)
+let weighted t w =
+  let total = Array.fold_left ( + ) 0 w in
+  if total <= 0 then invalid_arg "Rng.weighted: non-positive total weight";
+  let x = int t total in
+  let rec go i acc =
+    let acc = acc + w.(i) in
+    if x < acc then i else go (i + 1) acc
+  in
+  go 0 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let word t ~width =
+  if width < 0 || width > 62 then invalid_arg "Rng.word: width out of range";
+  if width = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - width))
+
+let bool_array t n = Array.init n (fun _ -> bool t)

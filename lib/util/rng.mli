@@ -1,0 +1,45 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every stochastic step in the library draws from this generator, so all
+    experiments are reproducible from an integer seed. *)
+
+type t
+
+(** [create seed] is a fresh generator seeded with [seed]. *)
+val create : int -> t
+
+(** [of_name ~seed name] derives an independent stream for [name]; used to
+    give each circuit / experiment its own reproducible stream. *)
+val of_name : seed:int -> string -> t
+
+(** [split t] is a statistically independent child generator; [t] advances. *)
+val split : t -> t
+
+(** [copy t] is a generator with the same future output as [t]. *)
+val copy : t -> t
+
+(** Raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** A uniform non-negative value of 62 bits. *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** [weighted t w] picks index [i] with probability [w.(i) / sum w]. *)
+val weighted : t -> int array -> int
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [word t ~width] is a uniform [width]-bit pattern word, [0 <= width <= 62]. *)
+val word : t -> width:int -> int
+
+(** [bool_array t n] is an array of [n] fair coin flips. *)
+val bool_array : t -> int -> bool array

@@ -1,0 +1,32 @@
+(* Small numeric helpers for experiment reporting. *)
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 (List.map float_of_int l) /. float_of_int (List.length l)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+(* Render "lo-hi" as in the paper's range columns. *)
+let range_string l =
+  let lo, hi = min_max l in
+  Printf.sprintf "%d-%d" lo hi
+
+(* Render a mean with two decimals as in the paper's "ave" columns. *)
+let mean_string l = Printf.sprintf "%.2f" (mean l)
+
+let median l =
+  match List.sort compare l with
+  | [] -> invalid_arg "Stats.median: empty list"
+  | sorted ->
+      let n = List.length sorted in
+      let a = Array.of_list sorted in
+      if n mod 2 = 1 then float_of_int a.(n / 2)
+      else (float_of_int a.((n / 2) - 1) +. float_of_int a.(n / 2)) /. 2.0
+
+let sum = List.fold_left ( + ) 0
+
+(* Percentage with one decimal, guarding the empty denominator. *)
+let percent ~num ~den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den

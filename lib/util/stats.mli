@@ -1,0 +1,18 @@
+(** Numeric helpers for experiment reporting. *)
+
+val mean : int list -> float
+
+(** Raises [Invalid_argument] on the empty list. *)
+val min_max : int list -> int * int
+
+(** ["lo-hi"], as in the paper's range columns. *)
+val range_string : int list -> string
+
+(** Mean with two decimals, as in the paper's "ave" columns. *)
+val mean_string : int list -> string
+
+val median : int list -> float
+val sum : int list -> int
+
+(** [percent ~num ~den] is [100 * num / den], or [0.] when [den = 0]. *)
+val percent : num:int -> den:int -> float

@@ -1,0 +1,113 @@
+(* Plain-text table rendering in the visual style of the paper's tables:
+   a caption, an optional two-level header, and aligned columns. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+let column ?(align = Right) title = { title; align }
+
+let left title = { title; align = Left }
+let right title = { title; align = Right }
+
+type t = {
+  caption : string;
+  (* Optional group header: (label, span) pairs covering all columns. *)
+  groups : (string * int) list option;
+  columns : column array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?groups ~caption columns =
+  (match groups with
+  | Some g ->
+      let span = List.fold_left (fun acc (_, n) -> acc + n) 0 g in
+      if span <> List.length columns then invalid_arg "Table.create: group span mismatch"
+  | None -> ());
+  { caption; groups; columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.map (fun c -> String.length c.title) t.columns in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  (* Widen group spans that are narrower than their label (extra width
+     goes to the group's last column). *)
+  (match t.groups with
+  | None -> ()
+  | Some groups ->
+      let col = ref 0 in
+      List.iter
+        (fun (label, span) ->
+          let w = ref 0 in
+          for i = !col to !col + span - 1 do
+            w := !w + widths.(i);
+            if i > !col then w := !w + 2
+          done;
+          if String.length label > !w then
+            widths.(!col + span - 1) <-
+              widths.(!col + span - 1) + (String.length label - !w);
+          col := !col + span)
+        groups);
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad t.columns.(i).align widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf t.caption;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make total_width '=');
+  Buffer.add_char buf '\n';
+  (match t.groups with
+  | None -> ()
+  | Some groups ->
+      (* Render group labels centred over their spanned columns. *)
+      let col = ref 0 in
+      List.iter
+        (fun (label, span) ->
+          if !col > 0 then Buffer.add_string buf "  ";
+          let w = ref 0 in
+          for i = !col to !col + span - 1 do
+            w := !w + widths.(i);
+            if i > !col then w := !w + 2
+          done;
+          let label = if String.length label > !w then String.sub label 0 !w else label in
+          let pad_total = !w - String.length label in
+          let lpad = pad_total / 2 in
+          Buffer.add_string buf (String.make lpad ' ');
+          Buffer.add_string buf label;
+          Buffer.add_string buf (String.make (pad_total - lpad) ' ');
+          col := !col + span)
+        groups;
+      Buffer.add_char buf '\n');
+  emit_row (Array.map (fun c -> c.title) t.columns);
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.add_string buf (String.make total_width '=');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment reports.
+
+    Tables mirror the layout of the paper: a caption, an optional group
+    header spanning several columns (e.g. "detected" over three columns),
+    column titles, and aligned rows. *)
+
+type align = Left | Right
+
+type column
+
+val column : ?align:align -> string -> column
+
+(** Left-aligned column (circuit names). *)
+val left : string -> column
+
+(** Right-aligned column (numbers). *)
+val right : string -> column
+
+type t
+
+(** [create ?groups ~caption columns] — if [groups] is given, its spans must
+    add up to the number of columns. *)
+val create : ?groups:(string * int) list -> caption:string -> column list -> t
+
+(** Append a row; the number of cells must match the number of columns. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,53 @@
+(* Simulation words: 62 parallel binary lanes packed in one native [int].
+
+   62 (rather than 63) lanes keep every word non-negative, which makes
+   comparisons, popcounts and debug printing straightforward. *)
+
+let width = 62
+
+let mask = (1 lsl width) - 1
+
+let zero = 0
+
+let ones = mask
+
+(* Number of set bits; words are guaranteed non-negative (<= 62 bits, so
+   the masks below are the standard 64-bit ones truncated to OCaml's native
+   int width). *)
+let popcount w =
+  let w = w - ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
+
+let get w i = (w lsr i) land 1 = 1
+
+let set w i = w lor (1 lsl i)
+
+let clear w i = w land lnot (1 lsl i)
+
+(* Replicate a scalar bit across all lanes. *)
+let splat b = if b then mask else 0
+
+(* Index of the single set bit of a power of two. *)
+let rec log2 b acc = if b <= 1 then acc else log2 (b lsr 1) (acc + 1)
+
+let lowest_set w = if w = 0 then -1 else log2 (w land -w) 0
+
+let iter_set f w =
+  let rec go w =
+    if w <> 0 then begin
+      f (log2 (w land -w) 0);
+      go (w land (w - 1))
+    end
+  in
+  go w
+
+let fold_set f acc w =
+  let rec go acc w =
+    if w = 0 then acc else go (f acc (log2 (w land -w) 0)) (w land (w - 1))
+  in
+  go acc w
+
+let to_string w =
+  String.init width (fun i -> if get w (width - 1 - i) then '1' else '0')

@@ -1,0 +1,34 @@
+(** Simulation words: 62 parallel binary lanes packed in one native [int].
+
+    The whole simulation stack is bit-parallel: one word carries 62
+    independent patterns (or 62 independent faulty machines). *)
+
+(** Number of lanes per word (62). *)
+val width : int
+
+(** All-lanes mask, [2^width - 1]. *)
+val mask : int
+
+val zero : int
+val ones : int
+
+(** Number of set lanes. *)
+val popcount : int -> int
+
+val get : int -> int -> bool
+val set : int -> int -> int
+val clear : int -> int -> int
+
+(** [splat b] replicates the scalar bit [b] into every lane. *)
+val splat : bool -> int
+
+(** Iterate over indices of set lanes, lowest first. *)
+val iter_set : (int -> unit) -> int -> unit
+
+val fold_set : ('a -> int -> 'a) -> 'a -> int -> 'a
+
+(** Index of the lowest set lane, or [-1] if none. *)
+val lowest_set : int -> int
+
+(** MSB-first binary rendering (debugging). *)
+val to_string : int -> string

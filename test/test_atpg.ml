@@ -1,0 +1,206 @@
+(* Tests for Asc_atpg: SCOAP, cubes, PODEM soundness and completeness on
+   exhaustively-checkable circuits, combinational test-set generation, the
+   sequence generators. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+module Fault = Asc_fault.Fault
+module Collapse = Asc_fault.Collapse
+module Podem = Asc_atpg.Podem
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_circuit ?(pis = 4) ?(ffs = 4) ?(gates = 40) seed =
+  Asc_circuits.Profile.make "atpg" pis 3 ffs gates ~t0_budget:10
+  |> Asc_circuits.Generator.generate ~seed
+
+(* Ground-truth detectability by exhaustive enumeration of all PI+state
+   assignments (combinational, full-scan semantics). *)
+let exhaustively_detectable c fault =
+  let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
+  let total = n_pis + n_ffs in
+  assert (total <= 16);
+  let patterns =
+    Array.init (1 lsl total) (fun k ->
+        let bit i = (k lsr i) land 1 = 1 in
+        {
+          Asc_sim.Pattern.pis = Array.init n_pis bit;
+          state = Array.init n_ffs (fun i -> bit (n_pis + i));
+        })
+  in
+  not
+    (Bitvec.is_empty (Asc_fault.Comb_fsim.patterns_detecting c ~patterns ~fault))
+
+(* --- Scoap ------------------------------------------------------------ *)
+
+let test_scoap_basic () =
+  let b = Asc_netlist.Builder.create "scoap" in
+  let a = Asc_netlist.Builder.add_input b "a" in
+  let c_in = Asc_netlist.Builder.add_input b "c" in
+  let g1 = Asc_netlist.Builder.add_gate b Gate.And "g1" [ a; c_in ] in
+  let g2 = Asc_netlist.Builder.add_gate b Gate.And "g2" [ g1; a ] in
+  Asc_netlist.Builder.add_output b g2;
+  let c = Asc_netlist.Builder.finalize b in
+  let s = Asc_atpg.Scoap.compute c in
+  (* Setting an AND output to 1 is harder than to 0. *)
+  Alcotest.(check bool) "cc1 > cc0 for and" true
+    (Asc_atpg.Scoap.cc s g2 true > Asc_atpg.Scoap.cc s g2 false);
+  (* Deeper gate has larger cc1. *)
+  Alcotest.(check bool) "depth grows cc1" true
+    (Asc_atpg.Scoap.cc s g2 true > Asc_atpg.Scoap.cc s g1 true);
+  Alcotest.(check int) "po obs depth" 0 (Asc_atpg.Scoap.obs_depth s g2)
+
+(* --- Cube -------------------------------------------------------------- *)
+
+let test_cube_fill () =
+  let cube = Asc_atpg.Cube.create ~n_pis:3 ~n_ffs:2 in
+  cube.pis.(0) <- Asc_atpg.Cube.One;
+  cube.state.(1) <- Asc_atpg.Cube.Zero;
+  Alcotest.(check int) "specified count" 2 (Asc_atpg.Cube.specified_count cube);
+  let rng = Rng.create 1 in
+  let p = Asc_atpg.Cube.fill rng cube in
+  Alcotest.(check bool) "specified pi preserved" true p.pis.(0);
+  Alcotest.(check bool) "specified state preserved" false p.state.(1)
+
+(* --- PODEM ------------------------------------------------------------- *)
+
+(* Soundness: every Test is verified by fault simulation.  Completeness:
+   every Redundant claim is confirmed by exhaustive enumeration. *)
+let prop_podem_sound_and_complete =
+  QCheck.Test.make ~name:"PODEM sound (tests) and complete (redundancy)" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit ~pis:4 ~ffs:4 ~gates:30 seed in
+      let faults = Collapse.reps (Collapse.run c) in
+      let podem = Podem.create c in
+      let rng = Rng.create (seed + 1) in
+      let ok = ref true in
+      Array.iteri
+        (fun fi f ->
+          match Podem.run ~backtrack_limit:1000 podem f with
+          | Podem.Test cube ->
+              let p = Asc_atpg.Cube.fill rng cube in
+              let det =
+                Asc_fault.Comb_fsim.detect_union c ~patterns:[| p |] ~faults
+              in
+              if not (Bitvec.get det fi) then ok := false
+          | Podem.Redundant -> if exhaustively_detectable c f then ok := false
+          | Podem.Aborted -> ())
+        faults;
+      !ok)
+
+let test_podem_fixed_assignment () =
+  (* With the state fixed adversarially, a state-dependent fault becomes
+     untestable; PODEM must respect the fixed pins. *)
+  let b = Asc_netlist.Builder.create "fixed" in
+  let a = Asc_netlist.Builder.add_input b "a" in
+  let q = Asc_netlist.Builder.add_dff b "q" in
+  let g = Asc_netlist.Builder.add_gate b Gate.And "g" [ a; q ] in
+  Asc_netlist.Builder.set_dff_input b q g;
+  Asc_netlist.Builder.add_output b g;
+  let c = Asc_netlist.Builder.finalize b in
+  let podem = Podem.create c in
+  (* a stuck-at-0: needs a = 1 and q = 1 to excite-and-propagate. *)
+  let f = Fault.output a false in
+  (match Podem.run podem f with
+  | Podem.Test cube ->
+      Alcotest.(check bool) "state assigned 1" true (cube.state.(0) = Asc_atpg.Cube.One)
+  | _ -> Alcotest.fail "expected a test");
+  match Podem.run ~fixed:[ (q, false) ] podem f with
+  | Podem.Redundant -> ()
+  | Podem.Test _ -> Alcotest.fail "test should be impossible with q fixed to 0"
+  | Podem.Aborted -> Alcotest.fail "tiny search should not abort"
+
+let test_podem_dff_pin_fault () =
+  (* D-pin faults are detected via the captured value. *)
+  let b = Asc_netlist.Builder.create "dpin" in
+  let a = Asc_netlist.Builder.add_input b "a" in
+  let q = Asc_netlist.Builder.add_dff b "q" in
+  Asc_netlist.Builder.set_dff_input b q a;
+  let g = Asc_netlist.Builder.add_gate b Gate.Buf "g" [ q ] in
+  Asc_netlist.Builder.add_output b g;
+  let c = Asc_netlist.Builder.finalize b in
+  let podem = Podem.create c in
+  match Podem.run podem (Fault.input q 0 true) with
+  | Podem.Test cube ->
+      (* Excitation requires a = 0. *)
+      Alcotest.(check bool) "a=0" true (cube.pis.(0) = Asc_atpg.Cube.Zero)
+  | _ -> Alcotest.fail "expected a test"
+
+(* --- Combinational test-set generation --------------------------------- *)
+
+let prop_comb_tgen_complete =
+  QCheck.Test.make ~name:"Comb_tgen covers every detectable fault" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit ~pis:4 ~ffs:4 ~gates:35 seed in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 2) in
+      let r = Asc_atpg.Comb_tgen.generate c ~faults ~rng in
+      (* Classification is a partition modulo aborts. *)
+      let classified =
+        Bitvec.count (Bitvec.union r.detected (Bitvec.union r.redundant r.aborted))
+      in
+      if classified <> Array.length faults then false
+      else begin
+        (* detected/redundant must be disjoint, and the kept tests must
+           reproduce the recorded coverage. *)
+        Bitvec.is_empty (Bitvec.inter r.detected r.redundant)
+        &&
+        let cov = Asc_fault.Comb_fsim.detect_union c ~patterns:r.tests ~faults in
+        Bitvec.equal cov r.detected
+      end)
+
+let test_comb_tgen_s27_full_coverage () =
+  let c = Asc_circuits.S27.circuit () in
+  let faults = Collapse.reps (Collapse.run c) in
+  let rng = Rng.create 11 in
+  let r = Asc_atpg.Comb_tgen.generate c ~faults ~rng in
+  Alcotest.(check int) "full coverage" 32 (Bitvec.count r.detected);
+  Alcotest.(check int) "no redundant" 0 (Bitvec.count r.redundant);
+  Alcotest.(check int) "no aborted" 0 (Bitvec.count r.aborted);
+  (* Compaction keeps the set small. *)
+  Alcotest.(check bool) "compact" true (Array.length r.tests <= 12)
+
+(* --- Sequence generators ------------------------------------------------ *)
+
+let test_random_tgen () =
+  let rng = Rng.create 3 in
+  let seq = Asc_atpg.Random_tgen.generate rng ~n_pis:5 ~len:100 in
+  Alcotest.(check int) "length" 100 (Array.length seq);
+  Array.iter (fun v -> Alcotest.(check int) "arity" 5 (Array.length v)) seq;
+  let start = Array.make 5 false in
+  let walk = Asc_atpg.Random_tgen.walk rng ~n_pis:5 ~len:50 ~flip:0.0 ~start in
+  Alcotest.(check bool) "flip 0 holds the vector" true
+    (Array.for_all (fun v -> v = start) walk)
+
+let test_seq_tgen_consistency () =
+  let c = Asc_circuits.Registry.get "s298" in
+  let faults = Collapse.reps (Collapse.run c) in
+  let rng = Rng.create 4 in
+  let cfg = { Asc_atpg.Seq_tgen.default_config with budget = 120 } in
+  let r = Asc_atpg.Seq_tgen.generate ~config:cfg c ~faults ~rng in
+  Alcotest.(check bool) "non-empty" true (Array.length r.seq > 0);
+  Alcotest.(check bool) "within budget" true (Array.length r.seq <= 120);
+  (* The recorded coverage matches a one-shot no-scan simulation. *)
+  let batch = Asc_fault.Seq_fsim.detect_no_scan c ~seq:r.seq ~faults in
+  Alcotest.(check bool) "coverage consistent" true (Bitvec.equal r.detected batch);
+  Alcotest.(check bool) "detects a majority" true
+    (Bitvec.count r.detected * 2 > Array.length faults)
+
+let suite =
+  [
+    ( "atpg",
+      [
+        Alcotest.test_case "scoap basics" `Quick test_scoap_basic;
+        Alcotest.test_case "cube fill" `Quick test_cube_fill;
+        qtest prop_podem_sound_and_complete;
+        Alcotest.test_case "podem fixed pins" `Quick test_podem_fixed_assignment;
+        Alcotest.test_case "podem dff pin fault" `Quick test_podem_dff_pin_fault;
+        qtest prop_comb_tgen_complete;
+        Alcotest.test_case "comb_tgen s27" `Quick test_comb_tgen_s27_full_coverage;
+        Alcotest.test_case "random_tgen" `Quick test_random_tgen;
+        Alcotest.test_case "seq_tgen consistency" `Quick test_seq_tgen_consistency;
+      ] );
+  ]

@@ -1,0 +1,137 @@
+(* Deterministic unit tests for each local equivalence rule of the
+   stuck-at collapsing, on hand-built gates, plus the rules that must NOT
+   fire (PO-driving stems, multi-fanout stems, DFFs). *)
+
+module Gate = Asc_netlist.Gate
+module Builder = Asc_netlist.Builder
+module Circuit = Asc_netlist.Circuit
+module Fault = Asc_fault.Fault
+module Collapse = Asc_fault.Collapse
+
+(* Build: two PIs feeding one gate of [kind], gate drives one PO through a
+   buffer (so the gate's output is not itself a PO driver). *)
+let one_gate kind =
+  let b = Builder.create ("rule_" ^ Gate.to_string kind) in
+  let a = Builder.add_input b "a" in
+  let c = Builder.add_input b "c" in
+  let g = Builder.add_gate b kind "g" [ a; c ] in
+  let buf = Builder.add_gate b Gate.Buf "out" [ g ] in
+  Builder.add_output b buf;
+  (Builder.finalize b, g)
+
+let equivalent col circuit fa fb =
+  let index f =
+    let u = Collapse.universe col in
+    let rec go i = if Fault.equal u.(i) f then i else go (i + 1) in
+    go 0
+  in
+  ignore circuit;
+  Collapse.class_of col (index fa) = Collapse.class_of col (index fb)
+
+let check_rule kind ~input_value ~output_value () =
+  let c, g = one_gate kind in
+  let col = Collapse.run c in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: in-sa%d ~ out-sa%d" (Gate.to_string kind)
+       (Bool.to_int input_value) (Bool.to_int output_value))
+    true
+    (equivalent col c (Fault.input g 0 input_value) (Fault.output g output_value));
+  (* The opposite polarities must stay distinct classes. *)
+  Alcotest.(check bool) "opposite input fault not merged with the gate output" true
+    (not
+       (equivalent col c
+          (Fault.input g 0 (not input_value))
+          (Fault.output g output_value)))
+
+let test_xor_no_collapse () =
+  let c, g = one_gate Gate.Xor in
+  let col = Collapse.run c in
+  List.iter
+    (fun (iv, ov) ->
+      Alcotest.(check bool) "xor inputs never merge with output" true
+        (not (equivalent col c (Fault.input g 0 iv) (Fault.output g ov))))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_not_buf_rules () =
+  let b = Builder.create "invchain" in
+  let a = Builder.add_input b "a" in
+  let n = Builder.add_gate b Gate.Not "n" [ a ] in
+  let bf = Builder.add_gate b Gate.Buf "b" [ n ] in
+  Builder.add_output b bf;
+  let c = Builder.finalize b in
+  let col = Collapse.run c in
+  Alcotest.(check bool) "not: in-sa0 ~ out-sa1" true
+    (equivalent col c (Fault.input n 0 false) (Fault.output n true));
+  Alcotest.(check bool) "not: in-sa1 ~ out-sa0" true
+    (equivalent col c (Fault.input n 0 true) (Fault.output n false));
+  Alcotest.(check bool) "buf: in-sa0 ~ out-sa0" true
+    (equivalent col c (Fault.input bf 0 false) (Fault.output bf false));
+  (* Single-fanout stems chain through: a's output faults merge with the
+     inverter's input faults. *)
+  Alcotest.(check bool) "stem ~ branch on single fanout" true
+    (equivalent col c (Fault.output a false) (Fault.input n 0 false))
+
+let test_multi_fanout_stem_not_merged () =
+  let b = Builder.create "fanout2" in
+  let a = Builder.add_input b "a" in
+  let g1 = Builder.add_gate b Gate.Buf "g1" [ a ] in
+  let g2 = Builder.add_gate b Gate.Buf "g2" [ a ] in
+  Builder.add_output b g1;
+  Builder.add_output b g2;
+  let c = Builder.finalize b in
+  let col = Collapse.run c in
+  Alcotest.(check bool) "branch g1 distinct from stem" true
+    (not (equivalent col c (Fault.input g1 0 false) (Fault.output a false)));
+  Alcotest.(check bool) "branches distinct from each other" true
+    (not (equivalent col c (Fault.input g1 0 false) (Fault.input g2 0 false)))
+
+let test_po_stem_not_merged () =
+  (* A stem that drives a PO directly keeps its output faults separate
+     from the single branch's. *)
+  let b = Builder.create "postem" in
+  let a = Builder.add_input b "a" in
+  let g = Builder.add_gate b Gate.Buf "g" [ a ] in
+  Builder.add_output b a;
+  Builder.add_output b g;
+  let c = Builder.finalize b in
+  let col = Collapse.run c in
+  Alcotest.(check bool) "PO stem not merged into branch" true
+    (not (equivalent col c (Fault.input g 0 true) (Fault.output a true)))
+
+let test_dff_not_collapsed_through () =
+  let b = Builder.create "dffkeep" in
+  let a = Builder.add_input b "a" in
+  let q = Builder.add_dff b "q" in
+  Builder.set_dff_input b q a;
+  let g = Builder.add_gate b Gate.Buf "g" [ q ] in
+  Builder.add_output b g;
+  let c = Builder.finalize b in
+  let col = Collapse.run c in
+  (* The D-pin fault and the Q output fault are different faults. *)
+  Alcotest.(check bool) "D-pin distinct from Q" true
+    (not (equivalent col c (Fault.input q 0 false) (Fault.output q false)));
+  (* But the D line is the same line as its single-fanout driver. *)
+  Alcotest.(check bool) "D-pin ~ driver output" true
+    (equivalent col c (Fault.input q 0 false) (Fault.output a false))
+
+let suite =
+  [
+    ( "collapse-rules",
+      [
+        Alcotest.test_case "and: in-sa0 ~ out-sa0" `Quick
+          (check_rule Gate.And ~input_value:false ~output_value:false);
+        Alcotest.test_case "nand: in-sa0 ~ out-sa1" `Quick
+          (check_rule Gate.Nand ~input_value:false ~output_value:true);
+        Alcotest.test_case "or: in-sa1 ~ out-sa1" `Quick
+          (check_rule Gate.Or ~input_value:true ~output_value:true);
+        Alcotest.test_case "nor: in-sa1 ~ out-sa0" `Quick
+          (check_rule Gate.Nor ~input_value:true ~output_value:false);
+        Alcotest.test_case "xor never collapses" `Quick test_xor_no_collapse;
+        Alcotest.test_case "not/buf and stem chaining" `Quick test_not_buf_rules;
+        Alcotest.test_case "multi-fanout stems kept" `Quick
+          test_multi_fanout_stem_not_merged;
+        Alcotest.test_case "PO stems kept" `Quick test_po_stem_not_merged;
+        Alcotest.test_case "DFFs not collapsed through" `Quick
+          test_dff_not_collapsed_through;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* N-detect metrics, parser robustness fuzzing, and a few time-model
+   identities from the paper's Section 2. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Scan_test = Asc_scan.Scan_test
+module Collapse = Asc_fault.Collapse
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- N-detect ---------------------------------------------------------- *)
+
+let test_n_detect () =
+  let c = Asc_circuits.S27.circuit () in
+  let faults = Collapse.reps (Collapse.run c) in
+  let rng = Rng.create 5 in
+  let tests =
+    Array.init 6 (fun _ ->
+        Scan_test.create ~si:(Rng.bool_array rng 3)
+          ~seq:(Array.init 3 (fun _ -> Rng.bool_array rng 4)))
+  in
+  let counts = Asc_scan.Tset.detection_counts c tests ~faults in
+  (* n=1 equals plain coverage. *)
+  Alcotest.(check int) "n=1 is coverage"
+    (Bitvec.count (Asc_scan.Tset.coverage c tests ~faults))
+    (Asc_scan.Tset.n_detect_count counts ~n:1);
+  (* Monotone in n, bounded by the test count. *)
+  let prev = ref max_int in
+  for n = 1 to Array.length tests do
+    let k = Asc_scan.Tset.n_detect_count counts ~n in
+    Alcotest.(check bool) "monotone" true (k <= !prev);
+    prev := k
+  done;
+  Alcotest.(check int) "nobody exceeds the test count" 0
+    (Asc_scan.Tset.n_detect_count counts ~n:(Array.length tests + 1))
+
+(* Duplicating a test set doubles every detection count. *)
+let prop_n_detect_doubles =
+  QCheck.Test.make ~name:"duplicated set doubles detection counts" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Asc_circuits.Profile.make "nd" 4 3 5 40 ~t0_budget:10
+        |> Asc_circuits.Generator.generate ~seed
+      in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 91) in
+      let tests =
+        Array.init 4 (fun _ ->
+            Scan_test.create
+              ~si:(Rng.bool_array rng (Circuit.n_dffs c))
+              ~seq:[| Rng.bool_array rng (Circuit.n_inputs c) |])
+      in
+      let once = Asc_scan.Tset.detection_counts c tests ~faults in
+      let twice =
+        Asc_scan.Tset.detection_counts c (Array.append tests tests) ~faults
+      in
+      Array.for_all2 (fun a b -> b = 2 * a) once twice)
+
+(* --- Parser fuzzing ------------------------------------------------------ *)
+
+(* Random garbage must fail with Parse_error or Structural_error — never
+   with an unexpected exception, and never hang. *)
+let prop_bench_parser_robust =
+  let gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'G'; '('; ')'; '='; ','; '\n'; ' '; '#'; '0' ])
+        (int_range 0 200))
+  in
+  QCheck.Test.make ~name:"bench parser never crashes on garbage" ~count:300
+    (QCheck.make gen) (fun text ->
+      match Asc_netlist.Bench_io.parse_string ~name:"fuzz" text with
+      | (_ : Circuit.t) -> true
+      | exception Asc_netlist.Bench_io.Parse_error _ -> true
+      | exception Asc_netlist.Circuit.Structural_error _ -> true
+      | exception Invalid_argument _ -> true (* duplicate-name path *)
+      | exception _ -> false)
+
+let prop_tset_parser_robust =
+  let gen =
+    QCheck.Gen.(
+      string_size
+        ~gen:(oneofl [ 't'; 'e'; 's'; 'i'; 'v'; '0'; '1'; ' '; '\n'; 'c' ])
+        (int_range 0 200))
+  in
+  QCheck.Test.make ~name:"test-set parser never crashes on garbage" ~count:300
+    (QCheck.make gen) (fun text ->
+      match Asc_scan.Tset_io.of_string text with
+      | _ -> true
+      | exception Asc_scan.Tset_io.Format_error _ -> true
+      | exception _ -> false)
+
+(* --- Section 2 arithmetic ------------------------------------------------- *)
+
+(* After combining i pairs out of N length-one tests, the cycle count is
+   (N - i + 1) * N_SV + N — decreasing in i, as the paper's motivation
+   computes. *)
+let prop_section2_formula =
+  QCheck.Test.make ~name:"Section 2: combining monotonically lowers cycles" ~count:100
+    QCheck.(pair (int_range 2 60) (int_range 1 100))
+    (fun (n, n_sv) ->
+      let cycles_after i =
+        (* i combinations leave n - i tests whose lengths sum to n. *)
+        let lengths = List.init (n - i) (fun k -> if k = 0 then i + 1 else 1) in
+        Asc_scan.Time_model.cycles ~n_sv lengths
+      in
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if cycles_after (i + 1) >= cycles_after i then ok := false;
+        if cycles_after i <> ((n - i + 1) * n_sv) + n then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "n-detect basics" `Quick test_n_detect;
+        qtest prop_n_detect_doubles;
+        qtest prop_bench_parser_robust;
+        qtest prop_tset_parser_robust;
+        qtest prop_section2_formula;
+      ] );
+  ]

@@ -1,0 +1,200 @@
+(* Tests for Asc_netlist: gates, builder, circuit derivation, bench I/O. *)
+
+open Asc_netlist
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Gate ----------------------------------------------------------- *)
+
+let test_gate_strings () =
+  List.iter
+    (fun k ->
+      match Gate.of_string (Gate.to_string k) with
+      | Some k' -> Alcotest.(check bool) (Gate.to_string k) true (k = k')
+      | None -> Alcotest.fail "round trip failed")
+    [
+      Gate.Input; Gate.Dff; Gate.Buf; Gate.Not; Gate.And; Gate.Nand; Gate.Or;
+      Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Const0; Gate.Const1;
+    ];
+  Alcotest.(check bool) "BUFF accepted" true (Gate.of_string "buff" = Some Gate.Buf);
+  Alcotest.(check bool) "unknown rejected" true (Gate.of_string "FOO" = None)
+
+let test_gate_arity () =
+  Alcotest.(check bool) "and arity 2 ok" true (Gate.arity_ok Gate.And 2);
+  Alcotest.(check bool) "and arity 1 bad" false (Gate.arity_ok Gate.And 1);
+  Alcotest.(check bool) "not arity 1 ok" true (Gate.arity_ok Gate.Not 1);
+  Alcotest.(check bool) "not arity 2 bad" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "input arity 0" true (Gate.arity_ok Gate.Input 0);
+  Alcotest.(check bool) "dff arity 1" true (Gate.arity_ok Gate.Dff 1)
+
+(* --- Builder / Circuit ---------------------------------------------- *)
+
+(* A tiny hand-built circuit: 2 PIs, 1 DFF, and-or logic. *)
+let tiny () =
+  let b = Builder.create "tiny" in
+  let a = Builder.add_input b "a" in
+  let c = Builder.add_input b "c" in
+  let q = Builder.add_dff b "q" in
+  let g1 = Builder.add_gate b Gate.And "g1" [ a; q ] in
+  let g2 = Builder.add_gate b Gate.Or "g2" [ g1; c ] in
+  Builder.set_dff_input b q g2;
+  Builder.add_output b g2;
+  Builder.finalize b
+
+let test_builder_tiny () =
+  let c = tiny () in
+  Alcotest.(check int) "gates" 5 (Circuit.n_gates c);
+  Alcotest.(check int) "inputs" 2 (Circuit.n_inputs c);
+  Alcotest.(check int) "outputs" 1 (Circuit.n_outputs c);
+  Alcotest.(check int) "dffs" 1 (Circuit.n_dffs c);
+  Alcotest.(check int) "order covers comb gates" 2 (Array.length (Circuit.order c));
+  (* Topological property: every fanin of an ordered gate appears earlier
+     or is a source. *)
+  let position = Array.make (Circuit.n_gates c) (-1) in
+  Array.iteri (fun i g -> position.(g) <- i) (Circuit.order c);
+  Array.iter
+    (fun g ->
+      Array.iter
+        (fun f ->
+          if not (Gate.is_source (Circuit.kind c f)) then
+            Alcotest.(check bool) "topo order" true (position.(f) < position.(g)))
+        (Circuit.fanins c g))
+    (Circuit.order c)
+
+let test_builder_errors () =
+  let b = Builder.create "bad" in
+  let a = Builder.add_input b "a" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Builder.declare: duplicate signal \"a\"") (fun () ->
+      ignore (Builder.add_input b "a"));
+  let q = Builder.add_dff b "q" in
+  ignore q;
+  ignore a;
+  (* Unconnected DFF fails at finalize. *)
+  Alcotest.(check bool) "finalize fails on unconnected" true
+    (try
+       ignore (Builder.finalize b);
+       false
+     with Circuit.Structural_error _ -> true)
+
+let test_combinational_cycle_detected () =
+  let b = Builder.create "cyc" in
+  let a = Builder.add_input b "a" in
+  let g1 = Builder.declare b Gate.And "g1" in
+  let g2 = Builder.add_gate b Gate.Or "g2" [ g1; a ] in
+  Builder.connect b g1 [ g2; a ];
+  Builder.add_output b g2;
+  Alcotest.(check bool) "cycle detected" true
+    (try
+       ignore (Builder.finalize b);
+       false
+     with Circuit.Structural_error _ -> true)
+
+let test_sequential_loop_allowed () =
+  (* Feedback through a DFF is legal. *)
+  let c = tiny () in
+  Alcotest.(check int) "dff input resolves" 1
+    (Circuit.dff_index c (Circuit.dffs c).(0) + 1)
+
+let test_fanouts () =
+  let c = tiny () in
+  match Circuit.find_signal c "g1" with
+  | None -> Alcotest.fail "g1 missing"
+  | Some g1 ->
+      let fo = Circuit.fanouts c g1 in
+      Alcotest.(check int) "g1 fanout count" 1 (Array.length fo);
+      (match Circuit.find_signal c "q" with
+      | Some q -> Alcotest.(check int) "q fanout" 1 (Array.length (Circuit.fanouts c q))
+      | None -> Alcotest.fail "q missing")
+
+(* --- Bench I/O ------------------------------------------------------- *)
+
+let test_s27_parse () =
+  let c = Asc_circuits.S27.circuit () in
+  Alcotest.(check int) "pis" 4 (Circuit.n_inputs c);
+  Alcotest.(check int) "pos" 1 (Circuit.n_outputs c);
+  Alcotest.(check int) "ffs" 3 (Circuit.n_dffs c);
+  (* 4 inputs + 3 DFFs + 10 logic gates. *)
+  Alcotest.(check int) "gates" 17 (Circuit.n_gates c);
+  match Circuit.find_signal c "G17" with
+  | Some g -> Alcotest.(check bool) "G17 is NOT" true (Circuit.kind c g = Gate.Not)
+  | None -> Alcotest.fail "G17 missing"
+
+let test_bench_roundtrip_s27 () =
+  let c = Asc_circuits.S27.circuit () in
+  let text = Bench_io.to_string c in
+  let c' = Bench_io.parse_string ~name:"s27rt" text in
+  Alcotest.(check int) "gates" (Circuit.n_gates c) (Circuit.n_gates c');
+  Alcotest.(check int) "pis" (Circuit.n_inputs c) (Circuit.n_inputs c');
+  Alcotest.(check int) "ffs" (Circuit.n_dffs c) (Circuit.n_dffs c');
+  (* Same simulation behaviour on a handful of runs. *)
+  let rng = Asc_util.Rng.create 3 in
+  for _ = 1 to 10 do
+    let init = Asc_util.Rng.bool_array rng 3 in
+    let seq = Array.init 5 (fun _ -> Asc_util.Rng.bool_array rng 4) in
+    let r1, f1 = Asc_sim.Naive.run c ~init ~seq in
+    let r2, f2 = Asc_sim.Naive.run c' ~init ~seq in
+    Alcotest.(check bool) "same outputs" true (r1 = r2);
+    Alcotest.(check bool) "same final state" true (f1 = f2)
+  done
+
+let test_bench_parse_errors () =
+  let bad input expected_line =
+    match Bench_io.parse_string ~name:"bad" input with
+    | exception Bench_io.Parse_error { line; _ } ->
+        Alcotest.(check int) "error line" expected_line line
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  bad "INPUT(a)\nx = FOO(a)\n" 2;
+  bad "x = AND(a, b)\n" 1 (* undefined signals *);
+  bad "INPUT(a)\nOUTPUT(\n" 2;
+  bad "INPUT(a)\nx = NOT(a, a)\n" 2 (* arity *)
+
+let test_bench_comments_and_blanks () =
+  let text = "# hello\n\nINPUT(a)\n  OUTPUT(x) # trailing\nx = NOT(a)\n" in
+  let c = Bench_io.parse_string ~name:"c" text in
+  Alcotest.(check int) "gates" 2 (Circuit.n_gates c)
+
+(* Random circuits round-trip through the bench format with identical
+   behaviour. *)
+let prop_bench_roundtrip =
+  QCheck.Test.make ~name:"bench round-trip preserves behaviour" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let profile =
+        Asc_circuits.Profile.make "rt" 4 3 5 40 ~t0_budget:10
+      in
+      let c = Asc_circuits.Generator.generate ~seed profile in
+      let text = Bench_io.to_string c in
+      let c' = Bench_io.parse_string ~name:"rt" text in
+      let rng = Asc_util.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let init = Asc_util.Rng.bool_array rng (Circuit.n_dffs c) in
+        let seq =
+          Array.init 6 (fun _ -> Asc_util.Rng.bool_array rng (Circuit.n_inputs c))
+        in
+        let r1 = Asc_sim.Naive.run c ~init ~seq in
+        let r2 = Asc_sim.Naive.run c' ~init ~seq in
+        if r1 <> r2 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "netlist",
+      [
+        Alcotest.test_case "gate strings" `Quick test_gate_strings;
+        Alcotest.test_case "gate arity" `Quick test_gate_arity;
+        Alcotest.test_case "builder tiny" `Quick test_builder_tiny;
+        Alcotest.test_case "builder errors" `Quick test_builder_errors;
+        Alcotest.test_case "comb cycle detected" `Quick test_combinational_cycle_detected;
+        Alcotest.test_case "sequential loop ok" `Quick test_sequential_loop_allowed;
+        Alcotest.test_case "fanouts" `Quick test_fanouts;
+        Alcotest.test_case "s27 parse" `Quick test_s27_parse;
+        Alcotest.test_case "s27 roundtrip" `Quick test_bench_roundtrip_s27;
+        Alcotest.test_case "parse errors" `Quick test_bench_parse_errors;
+        Alcotest.test_case "comments/blanks" `Quick test_bench_comments_and_blanks;
+        qtest prop_bench_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,116 @@
+(* The paper's qualitative claims, as tests.
+
+   These run the full experiment battery on a few small benchmark
+   stand-ins and assert the *shapes* the paper reports — the orderings and
+   relationships its conclusions rest on, not the absolute numbers (which
+   belong to the authors' netlists and tools; see EXPERIMENTS.md). *)
+
+module Bv = Asc_util.Bitvec
+module Scan_test = Asc_scan.Scan_test
+
+let runs =
+  lazy
+    (List.map
+       (fun name -> (name, Asc_core.Experiments.run_circuit ~seed:1 name))
+       [ "s298"; "s344"; "b06" ])
+
+let for_all_runs check =
+  List.iter (fun (name, r) -> check name (r : Asc_core.Experiments.circuit_run))
+    (Lazy.force runs)
+
+(* Section 2: combining tests always lowers the cycle count, so a test set
+   already shaped like a combined one starts ahead — the proposed initial
+   set should beat [4]'s initial set. *)
+let test_proposed_init_beats_4_init () =
+  for_all_runs (fun name r ->
+      Alcotest.(check bool)
+        (name ^ ": proposed init < [4] init")
+        true
+        (r.directed.cycles_initial < r.static_baseline.cycles_initial))
+
+(* Table 3's bottom line: after both flows run the compaction of [4], the
+   proposed sets still need no more cycles. *)
+let test_proposed_comp_not_worse () =
+  for_all_runs (fun name r ->
+      Alcotest.(check bool)
+        (name ^ ": proposed comp <= [4] comp")
+        true
+        (r.directed.cycles_final <= r.static_baseline.cycles_final))
+
+(* Table 4: the proposed procedure yields significantly longer at-speed
+   sequences than [4]'s compacted sets. *)
+let test_longer_at_speed_sequences () =
+  for_all_runs (fun name r ->
+      let prop = Asc_scan.Time_model.length_stats r.directed.final_tests in
+      let base = Asc_scan.Time_model.length_stats r.static_baseline.final_tests in
+      Alcotest.(check bool)
+        (name ^ ": longer average sequences")
+        true (prop.average > base.average);
+      Alcotest.(check bool) (name ^ ": longer max sequence") true (prop.hi > base.hi))
+
+(* Table 1: tau_seq detects a large share of the faults, and the phase-3
+   top-up is small relative to |C|. *)
+let test_tau_seq_dominates () =
+  for_all_runs (fun name r ->
+      let targets = Bv.count r.prepared.targets in
+      Alcotest.(check bool)
+        (name ^ ": tau_seq detects > 80% of targets")
+        true
+        (5 * Bv.count r.directed.f_seq > 4 * targets);
+      Alcotest.(check bool)
+        (name ^ ": few added tests")
+        true
+        (Array.length r.directed.added < Array.length r.prepared.comb_tests))
+
+(* Coverage is never sacrificed: both flows detect the same target faults
+   (everything C can detect plus whatever tau_seq adds). *)
+let test_no_coverage_regression () =
+  for_all_runs (fun name r ->
+      let reachable = Bv.inter r.prepared.comb_detected r.prepared.targets in
+      Alcotest.(check bool)
+        (name ^ ": proposed covers all of C's reach")
+        true
+        (Bv.subset reachable r.directed.final_detected))
+
+(* Sections 1 and 5 (the at-speed claim): the proposed final set detects
+   transition faults that [4]'s initial set (all length-one tests) cannot
+   touch at all. *)
+let test_at_speed_advantage () =
+  for_all_runs (fun name r ->
+      let c = r.prepared.circuit in
+      let tf = Asc_tfault.Tfault.universe c in
+      let cov tests = Bv.count (Asc_tfault.Tfault.coverage c tests ~faults:tf) in
+      Alcotest.(check int) (name ^ ": [4] initial TF coverage is zero") 0
+        (cov r.static_baseline.initial_tests);
+      Alcotest.(check bool)
+        (name ^ ": proposed TF coverage > [4] compacted's")
+        true
+        (cov r.directed.final_tests > cov r.static_baseline.final_tests))
+
+(* Table 5 / Section 4: on a hard-to-initialise circuit the random T0
+   detects far fewer faults without scan than the directed one, yet the
+   procedure still reaches the same final coverage. *)
+let test_random_t0_on_hard_circuit () =
+  let r = Asc_core.Experiments.run_circuit ~seed:1 "s382" in
+  Alcotest.(check bool) "random F0 << directed F0" true
+    (4 * r.random.f0_count < r.directed.f0_count);
+  Alcotest.(check int) "same final coverage"
+    (Bv.count r.directed.final_detected)
+    (Bv.count r.random.final_detected)
+
+let suite =
+  [
+    ( "paper-shapes",
+      [
+        Alcotest.test_case "proposed init beats [4] init" `Quick
+          test_proposed_init_beats_4_init;
+        Alcotest.test_case "proposed comp not worse" `Quick test_proposed_comp_not_worse;
+        Alcotest.test_case "longer at-speed sequences" `Quick
+          test_longer_at_speed_sequences;
+        Alcotest.test_case "tau_seq dominates" `Quick test_tau_seq_dominates;
+        Alcotest.test_case "no coverage regression" `Quick test_no_coverage_regression;
+        Alcotest.test_case "at-speed advantage" `Quick test_at_speed_advantage;
+        Alcotest.test_case "random T0 on a hard circuit" `Quick
+          test_random_t0_on_hard_circuit;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* PODEM on hand-built textbook circuits with known outcomes: redundancy
+   through reconvergent fanout, multi-level propagation requirements, and
+   observability blocking. *)
+
+module Gate = Asc_netlist.Gate
+module Builder = Asc_netlist.Builder
+module Fault = Asc_fault.Fault
+module Podem = Asc_atpg.Podem
+
+(* y = OR(a, NOT a): constant 1 — the OR output stuck-at-1 is redundant,
+   stuck-at-0 is testable... also redundant!  (No assignment makes y = 0,
+   so sa0 can never be *distinguished* — y is always 1 in the good circuit
+   and always 0 in the faulty one, which IS detectable.)  Work it out:
+   good y = 1 always, faulty y = 0 always: any input detects sa0; sa1 is
+   undetectable. *)
+let test_constant_or () =
+  let b = Builder.create "const_or" in
+  let a = Builder.add_input b "a" in
+  let na = Builder.add_gate b Gate.Not "na" [ a ] in
+  let y = Builder.add_gate b Gate.Or "y" [ a; na ] in
+  Builder.add_output b y;
+  let c = Builder.finalize b in
+  let podem = Podem.create c in
+  (match Podem.run podem (Fault.output y true) with
+  | Podem.Redundant -> ()
+  | _ -> Alcotest.fail "y/sa1 must be redundant (y is constant 1)");
+  match Podem.run podem (Fault.output y false) with
+  | Podem.Test _ -> ()
+  | _ -> Alcotest.fail "y/sa0 must be testable (any input works)"
+
+(* The classic masking case: z = AND(a, b) observed only through
+   w = AND(z, NOT a)?  w is constant 0 (z = 1 requires a = 1, killing
+   NOT a), so z's faults are unobservable there; with w as the only
+   output, z/sa0 is redundant. *)
+let test_reconvergent_masking () =
+  let b = Builder.create "mask" in
+  let a = Builder.add_input b "a" in
+  let b_in = Builder.add_input b "b" in
+  let z = Builder.add_gate b Gate.And "z" [ a; b_in ] in
+  let na = Builder.add_gate b Gate.Not "na" [ a ] in
+  let w = Builder.add_gate b Gate.And "w" [ z; na ] in
+  Builder.add_output b w;
+  let c = Builder.finalize b in
+  let podem = Podem.create c in
+  (match Podem.run podem (Fault.output z false) with
+  | Podem.Redundant -> ()
+  | Podem.Test _ -> Alcotest.fail "z/sa0 must be redundant (w is constant 0)"
+  | Podem.Aborted -> Alcotest.fail "tiny circuit must not abort");
+  (* z stuck-at-1 un-masks w: with a = 0, b = X: faulty z = 1, na = 1 ->
+     faulty w = 1 vs good w = 0.  Testable. *)
+  match Podem.run podem (Fault.output z true) with
+  | Podem.Test cube ->
+      Alcotest.(check bool) "a must be 0" true (cube.pis.(0) = Asc_atpg.Cube.Zero)
+  | _ -> Alcotest.fail "z/sa1 must be testable"
+
+(* Multi-level propagation: a 3-deep AND chain needs every side input
+   at 1. *)
+let test_deep_propagation () =
+  let b = Builder.create "chain" in
+  let x = Builder.add_input b "x" in
+  let s1 = Builder.add_input b "s1" in
+  let s2 = Builder.add_input b "s2" in
+  let s3 = Builder.add_input b "s3" in
+  let g1 = Builder.add_gate b Gate.And "g1" [ x; s1 ] in
+  let g2 = Builder.add_gate b Gate.And "g2" [ g1; s2 ] in
+  let g3 = Builder.add_gate b Gate.And "g3" [ g2; s3 ] in
+  Builder.add_output b g3;
+  let c = Builder.finalize b in
+  let podem = Podem.create c in
+  match Podem.run podem (Fault.output x false) with
+  | Podem.Test cube ->
+      List.iteri
+        (fun i expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "input %d" i)
+            true
+            (cube.pis.(i) = expected))
+        [ Asc_atpg.Cube.One; Asc_atpg.Cube.One; Asc_atpg.Cube.One; Asc_atpg.Cube.One ]
+  | _ -> Alcotest.fail "x/sa0 must be testable"
+
+(* Scan observability: a fault whose only path is into a flip-flop is
+   testable thanks to the scan-out. *)
+let test_scan_observability () =
+  let b = Builder.create "scanobs" in
+  let a = Builder.add_input b "a" in
+  let q = Builder.add_dff b "q" in
+  let g = Builder.add_gate b Gate.Not "g" [ a ] in
+  Builder.set_dff_input b q g;
+  (* q drives nothing; the circuit's PO is an unrelated buffer of a. *)
+  let po = Builder.add_gate b Gate.Buf "po" [ a ] in
+  Builder.add_output b po;
+  let c = Builder.finalize b in
+  let podem = Podem.create c in
+  match Podem.run podem (Fault.output g false) with
+  | Podem.Test cube ->
+      (* Excite NOT's sa0: need a = 0. *)
+      Alcotest.(check bool) "a = 0" true (cube.pis.(0) = Asc_atpg.Cube.Zero)
+  | _ -> Alcotest.fail "g/sa0 must be testable via the scan-out"
+
+(* PI faults on a fanout stem reaching two POs. *)
+let test_stem_fault () =
+  let b = Builder.create "stem" in
+  let a = Builder.add_input b "a" in
+  let p = Builder.add_gate b Gate.Buf "p" [ a ] in
+  let q = Builder.add_gate b Gate.Not "q" [ a ] in
+  Builder.add_output b p;
+  Builder.add_output b q;
+  let c = Builder.finalize b in
+  let podem = Podem.create c in
+  List.iter
+    (fun stuck ->
+      match Podem.run podem (Fault.output a stuck) with
+      | Podem.Test cube ->
+          Alcotest.(check bool) "excitation value" true
+            (cube.pis.(0) = if stuck then Asc_atpg.Cube.Zero else Asc_atpg.Cube.One)
+      | _ -> Alcotest.fail "stem fault must be testable")
+    [ true; false ]
+
+let suite =
+  [
+    ( "podem-textbook",
+      [
+        Alcotest.test_case "constant OR" `Quick test_constant_or;
+        Alcotest.test_case "reconvergent masking" `Quick test_reconvergent_masking;
+        Alcotest.test_case "deep propagation" `Quick test_deep_propagation;
+        Alcotest.test_case "scan observability" `Quick test_scan_observability;
+        Alcotest.test_case "stem fault" `Quick test_stem_fault;
+      ] );
+  ]

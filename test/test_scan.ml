@@ -1,0 +1,137 @@
+(* Tests for Asc_scan: scan-test operations, the clock-cycle model, the
+   detection matrix's fast path. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Scan_test = Asc_scan.Scan_test
+module Time_model = Asc_scan.Time_model
+module Collapse = Asc_fault.Collapse
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let small_circuit seed =
+  Asc_circuits.Profile.make "scan" 4 3 5 40 ~t0_budget:10
+  |> Asc_circuits.Generator.generate ~seed
+
+let test_time_model () =
+  (* The paper's formula: (k+1) * N_SV + sum L(T_j). *)
+  Alcotest.(check int) "empty" 0 (Time_model.cycles ~n_sv:10 []);
+  Alcotest.(check int) "one test" ((2 * 10) + 5) (Time_model.cycles ~n_sv:10 [ 5 ]);
+  Alcotest.(check int) "three tests"
+    ((4 * 7) + 1 + 2 + 3)
+    (Time_model.cycles ~n_sv:7 [ 1; 2; 3 ]);
+  (* The paper's Section 2 example: N tests of length one cost
+     (N+1) * N_SV + N; a single combined test costs 2 * N_SV + N. *)
+  let n = 50 and n_sv = 20 in
+  let split = Time_model.cycles ~n_sv (List.init n (fun _ -> 1)) in
+  let merged = Time_model.cycles ~n_sv [ n ] in
+  Alcotest.(check int) "split" (((n + 1) * n_sv) + n) split;
+  Alcotest.(check int) "merged" ((2 * n_sv) + n) merged;
+  Alcotest.(check bool) "combining always wins" true (merged < split)
+
+let test_length_stats () =
+  let t len =
+    Scan_test.create ~si:[| true |] ~seq:(Array.make len [| false |])
+  in
+  let stats = Time_model.length_stats [| t 1; t 3; t 8 |] in
+  Alcotest.(check (float 1e-9)) "average" 4.0 stats.average;
+  Alcotest.(check int) "lo" 1 stats.lo;
+  Alcotest.(check int) "hi" 8 stats.hi
+
+let test_scan_test_ops () =
+  let si = [| true; false |] in
+  let seq = Array.init 5 (fun i -> [| i mod 2 = 0 |]) in
+  let t = Scan_test.create ~si ~seq in
+  Alcotest.(check int) "length" 5 (Scan_test.length t);
+  let trunc = Scan_test.truncate t ~u:2 in
+  Alcotest.(check int) "truncate" 3 (Scan_test.length trunc);
+  let omitted = Scan_test.omit t ~p:1 in
+  Alcotest.(check int) "omit length" 4 (Scan_test.length omitted);
+  Alcotest.(check bool) "omit shifts" true (omitted.seq.(1) = seq.(2));
+  let span = Scan_test.omit_span t ~p:1 ~count:3 in
+  Alcotest.(check int) "omit_span length" 2 (Scan_test.length span);
+  Alcotest.(check bool) "span keeps ends" true
+    (span.seq.(0) = seq.(0) && span.seq.(1) = seq.(4));
+  let a = Scan_test.create ~si ~seq:(Array.sub seq 0 2) in
+  let b = Scan_test.create ~si:[| false; true |] ~seq:(Array.sub seq 2 3) in
+  let ab = Scan_test.combine a b in
+  Alcotest.(check int) "combine length" 5 (Scan_test.length ab);
+  Alcotest.(check bool) "combine keeps SI_i" true (ab.si = a.si);
+  Alcotest.check_raises "empty test rejected"
+    (Invalid_argument "Scan_test.create: empty sequence") (fun () ->
+      ignore (Scan_test.create ~si ~seq:[||]))
+
+(* Length-one scan tests and combinational patterns agree (the fast path
+   of the detection matrix equals the sequential path). *)
+let prop_length_one_equals_comb =
+  QCheck.Test.make ~name:"length-1 scan detection = combinational detection" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit seed in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 21) in
+      let tests =
+        Array.init 8 (fun _ ->
+            let p =
+              Asc_sim.Pattern.random rng ~n_pis:(Circuit.n_inputs c)
+                ~n_ffs:(Circuit.n_dffs c)
+            in
+            Scan_test.of_pattern p)
+      in
+      let mat = Asc_scan.Tset.detection_matrix c tests ~faults in
+      let ok = ref true in
+      Array.iteri
+        (fun i t ->
+          let seq_det = Asc_fault.Seq_fsim.detect c ~si:t.Scan_test.si ~seq:t.seq ~faults in
+          if not (Bitvec.equal (Asc_util.Bitmat.row mat i) seq_det) then ok := false)
+        tests;
+      !ok)
+
+(* The scan-out vector is the fault-free final state. *)
+let prop_scan_out_is_good_final =
+  QCheck.Test.make ~name:"scan_out equals naive final state" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit seed in
+      let rng = Rng.create (seed + 22) in
+      let si = Rng.bool_array rng (Circuit.n_dffs c) in
+      let seq = Array.init 6 (fun _ -> Rng.bool_array rng (Circuit.n_inputs c)) in
+      let t = Scan_test.create ~si ~seq in
+      let _, final = Asc_sim.Naive.run c ~init:si ~seq in
+      Scan_test.scan_out c t = final)
+
+(* Mixed-length detection matrix agrees with per-test detection. *)
+let prop_detection_matrix_mixed =
+  QCheck.Test.make ~name:"detection matrix handles mixed lengths" ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit seed in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 23) in
+      let mk len =
+        Scan_test.create
+          ~si:(Rng.bool_array rng (Circuit.n_dffs c))
+          ~seq:(Array.init len (fun _ -> Rng.bool_array rng (Circuit.n_inputs c)))
+      in
+      let tests = [| mk 1; mk 4; mk 1; mk 2 |] in
+      let mat = Asc_scan.Tset.detection_matrix c tests ~faults in
+      let ok = ref true in
+      Array.iteri
+        (fun i t ->
+          let det = Scan_test.detect c t ~faults in
+          if not (Bitvec.equal (Asc_util.Bitmat.row mat i) det) then ok := false)
+        tests;
+      !ok)
+
+let suite =
+  [
+    ( "scan",
+      [
+        Alcotest.test_case "time model" `Quick test_time_model;
+        Alcotest.test_case "length stats" `Quick test_length_stats;
+        Alcotest.test_case "scan test ops" `Quick test_scan_test_ops;
+        qtest prop_length_one_equals_comb;
+        qtest prop_scan_out_is_good_final;
+        qtest prop_detection_matrix_mixed;
+      ] );
+  ]

@@ -1,0 +1,63 @@
+(* Tests for the [11]-style sequence restoration compaction. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Collapse = Asc_fault.Collapse
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_restore_preserves_no_scan_coverage =
+  QCheck.Test.make ~name:"sequence restoration preserves no-scan coverage" ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Asc_circuits.Profile.make "sr" 4 3 5 45 ~t0_budget:10
+        |> Asc_circuits.Generator.generate ~seed
+      in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 95) in
+      let seq =
+        Asc_atpg.Random_tgen.generate rng ~n_pis:(Circuit.n_inputs c) ~len:30
+      in
+      let before = Asc_fault.Seq_fsim.detect_no_scan c ~seq ~faults in
+      let r = Asc_compact.Seq_restore.run c ~seq ~faults in
+      Bitvec.subset before r.detected
+      && Array.length r.seq = 30 - r.omitted
+      && Array.length r.seq >= 1
+      (* The reported coverage is the compacted sequence's real coverage. *)
+      && Bitvec.equal r.detected
+           (Asc_fault.Seq_fsim.detect_no_scan c ~seq:r.seq ~faults))
+
+let test_restore_strips_padding () =
+  (* A sequence whose tail detects nothing new gets trimmed. *)
+  let c = Asc_circuits.Registry.get "s298" in
+  let faults = Collapse.reps (Collapse.run c) in
+  let rng = Rng.create 6 in
+  let core = Asc_atpg.Random_tgen.generate rng ~n_pis:3 ~len:20 in
+  (* Pad with a constant vector repeated: after the first repetition the
+     state trajectory fixes, so most of the padding is removable. *)
+  let pad = Array.make 20 (Array.make 3 false) in
+  let seq = Array.append core pad in
+  let r = Asc_compact.Seq_restore.run c ~seq ~faults in
+  Alcotest.(check bool) "some omission" true (r.omitted > 0);
+  let before = Asc_fault.Seq_fsim.detect_no_scan c ~seq ~faults in
+  Alcotest.(check bool) "coverage preserved" true (Bitvec.subset before r.detected)
+
+let test_restore_empty_and_tiny () =
+  let c = Asc_circuits.S27.circuit () in
+  let faults = Collapse.reps (Collapse.run c) in
+  let r = Asc_compact.Seq_restore.run c ~seq:[||] ~faults in
+  Alcotest.(check int) "empty stays empty" 0 (Array.length r.seq);
+  let one = [| [| true; false; true; false |] |] in
+  let r1 = Asc_compact.Seq_restore.run c ~seq:one ~faults in
+  Alcotest.(check bool) "singleton survives" true (Array.length r1.seq >= 1)
+
+let suite =
+  [
+    ( "seq-restore",
+      [
+        qtest prop_restore_preserves_no_scan_coverage;
+        Alcotest.test_case "strips padding" `Quick test_restore_strips_padding;
+        Alcotest.test_case "empty and tiny" `Quick test_restore_empty_and_tiny;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+(* Tests for the toolchain conveniences: the VCD writer and the test-set
+   audit. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Scan_test = Asc_scan.Scan_test
+module Collapse = Asc_fault.Collapse
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- VCD ------------------------------------------------------------- *)
+
+let test_vcd_structure () =
+  let c = Asc_circuits.S27.circuit () in
+  let rng = Rng.create 3 in
+  let si = Rng.bool_array rng 3 in
+  let seq = Array.init 4 (fun _ -> Rng.bool_array rng 4) in
+  let vcd = Asc_sim.Vcd.of_scan_test c ~si ~seq in
+  Alcotest.(check bool) "has header" true (contains vcd "$enddefinitions");
+  Alcotest.(check bool) "declares the clock" true (contains vcd "clock");
+  Alcotest.(check bool) "declares G17" true (contains vcd "G17");
+  (* 4 cycles: time stamps 0..8. *)
+  Alcotest.(check bool) "final time stamp" true (contains vcd "#8");
+  (* Every gate changes at most once per cycle: the dump's change count is
+     bounded by gates x cycles + clock edges. *)
+  let changes =
+    List.length
+      (List.filter
+         (fun l -> String.length l >= 2 && (l.[0] = '0' || l.[0] = '1'))
+         (String.split_on_char '\n' vcd))
+  in
+  Alcotest.(check bool) "bounded changes" true
+    (changes <= (Circuit.n_gates c * 4) + (2 * 4) + 8)
+
+let test_vcd_first_cycle_values () =
+  (* At time 0 every signal's value must be dumped (nothing is implicit). *)
+  let c = Asc_circuits.S27.circuit () in
+  let si = [| false; false; false |] in
+  let seq = [| [| true; false; true; false |] |] in
+  let vcd = Asc_sim.Vcd.of_scan_test c ~si ~seq in
+  (* The dump between "#0" and "#1" must mention every gate code; count
+     value-change lines there. *)
+  let after0 =
+    match String.index_opt vcd '#' with
+    | Some _ ->
+        let parts = String.split_on_char '#' vcd in
+        List.nth parts 1 (* "0\n...changes..." *)
+    | None -> ""
+  in
+  let lines = String.split_on_char '\n' after0 in
+  let change_lines =
+    List.filter (fun l -> String.length l >= 2 && (l.[0] = '0' || l.[0] = '1')) lines
+  in
+  (* clock + all 17 gates. *)
+  Alcotest.(check int) "all signals dumped at t0" (1 + Circuit.n_gates c)
+    (List.length change_lines)
+
+(* --- Audit ------------------------------------------------------------ *)
+
+let test_audit_duplicates_and_useless () =
+  let c = Asc_circuits.S27.circuit () in
+  let faults = Collapse.reps (Collapse.run c) in
+  let targets = Bitvec.create ~default:true (Array.length faults) in
+  let rng = Rng.create 7 in
+  let t1 =
+    Scan_test.create ~si:(Rng.bool_array rng 3)
+      ~seq:(Array.init 6 (fun _ -> Rng.bool_array rng 4))
+  in
+  (* t2 duplicates t1; t3 is fresh. *)
+  let t2 = Scan_test.create ~si:(Array.copy t1.si) ~seq:(Array.map Array.copy t1.seq) in
+  let t3 =
+    Scan_test.create ~si:(Rng.bool_array rng 3)
+      ~seq:(Array.init 2 (fun _ -> Rng.bool_array rng 4))
+  in
+  let report = Asc_scan.Audit.run c [| t1; t2; t3 |] ~faults ~targets in
+  Alcotest.(check (list (pair int int))) "duplicate found" [ (0, 1) ] report.duplicates;
+  Alcotest.(check bool) "duplicate is useless" true (List.mem 1 report.useless);
+  Alcotest.(check int) "incremental of duplicate" 0 report.incremental.(1);
+  Alcotest.(check int) "coverage consistent" report.coverage
+    (Array.fold_left ( + ) 0 report.incremental);
+  Alcotest.(check int) "cycles match model"
+    (Asc_scan.Time_model.cycles ~n_sv:3 [ 6; 6; 2 ])
+    report.cycles;
+  (* Scan-outs are the fault-free finals. *)
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool) "scan-out matches" true
+        (report.scan_outs.(i) = Scan_test.scan_out c t))
+    [| t1; t2; t3 |]
+
+let suite =
+  [
+    ( "tools",
+      [
+        Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+        Alcotest.test_case "vcd first cycle" `Quick test_vcd_first_cycle_values;
+        Alcotest.test_case "audit" `Quick test_audit_duplicates_and_useless;
+      ] );
+  ]
