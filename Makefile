@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick ablations micro examples clean
+.PHONY: all build test bench bench-quick ablations micro examples fmt fmt-check clean
 
 all: build
 
@@ -28,6 +28,12 @@ examples:
 	dune exec examples/at_speed_delay.exe
 	dune exec examples/custom_circuit.exe
 	dune exec examples/diagnosis.exe
+
+fmt:              ## reformat in place (needs ocamlformat)
+	dune build @fmt --auto-promote
+
+fmt-check:        ## check formatting without modifying files
+	dune build @fmt
 
 clean:
 	dune clean

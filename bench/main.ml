@@ -26,28 +26,39 @@ let dynamic_circuits = [ "s298"; "s344"; "s382"; "s526"; "s820"; "s1423"; "s1488
 
 type options = {
   mutable circuits : string list;
+  mutable quick : bool;
   mutable seed : int;
   mutable dynamic : bool;
   mutable at_speed : bool;
   mutable micro : bool;
   mutable ablations : bool;
+  mutable domains : int option; (* --domains N: pool size for fault simulation *)
+  mutable json : string option; (* --json FILE: machine-readable summary *)
 }
 
 let parse_args () =
   let o =
-    { circuits = default_circuits; seed = 1; dynamic = true; at_speed = true;
-      micro = false; ablations = false }
+    { circuits = default_circuits; quick = false; seed = 1; dynamic = true;
+      at_speed = true; micro = false; ablations = false; domains = None;
+      json = None }
   in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
         o.circuits <- quick_circuits;
+        o.quick <- true;
         go rest
     | "--circuits" :: names :: rest ->
         o.circuits <- String.split_on_char ',' names;
         go rest
     | "--seed" :: n :: rest ->
         o.seed <- int_of_string n;
+        go rest
+    | "--domains" :: n :: rest ->
+        o.domains <- Some (max 1 (int_of_string n));
+        go rest
+    | "--json" :: file :: rest ->
+        o.json <- Some file;
         go rest
     | "--no-dynamic" :: rest ->
         o.dynamic <- false;
@@ -78,21 +89,162 @@ let parse_args () =
 
 (* --- Full table regeneration ------------------------------------------- *)
 
-let run_tables o =
+let run_tables o pool =
   let total = List.length o.circuits in
+  let timings = ref [] in
   let runs =
     List.mapi
       (fun i name ->
         let with_dynamic = o.dynamic && List.mem name dynamic_circuits in
         let t0 = Unix.gettimeofday () in
         Printf.printf "[%2d/%d] %-8s ...%!" (i + 1) total name;
-        let r = Asc_core.Experiments.run_circuit ~seed:o.seed ~with_dynamic name in
-        Printf.printf " %.1fs\n%!" (Unix.gettimeofday () -. t0);
+        let r = Asc_core.Experiments.run_circuit ?pool ~seed:o.seed ~with_dynamic name in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf " %.1fs\n%!" dt;
+        timings := (name, dt) :: !timings;
         r)
       o.circuits
   in
   print_newline ();
-  print_string (Asc_report.Report.render_all ~with_at_speed:o.at_speed runs)
+  print_string (Asc_report.Report.render_all ~with_at_speed:o.at_speed runs);
+  List.rev !timings
+
+(* --- Fault-simulation phase speedup ------------------------------------- *)
+
+(* Wall-clock comparison of the sequential-fault-simulation kernel with 1
+   domain vs the requested pool, on the largest circuit of the run: the
+   uncollapsed fault universe of that circuit across a few random scan
+   tests.  Detection counts must agree bit for bit — the pool's merge is
+   deterministic — so the counts are reported alongside the timings. *)
+type fsim_result = {
+  fs_circuit : string;
+  fs_faults : int;
+  fs_seq_len : int;
+  fs_tests : int;
+  fs_detected_1 : int;
+  fs_detected_n : int;
+  fs_seconds_1 : float;
+  fs_seconds_n : float;
+  fs_speedup : float;
+}
+
+let fsim_bench ~seed ~domains names =
+  let gates name =
+    Asc_netlist.Circuit.n_gates (Asc_circuits.Registry.get ~seed name)
+  in
+  let name =
+    List.fold_left
+      (fun best n -> if gates n > gates best then n else best)
+      (List.hd names) names
+  in
+  let c = Asc_circuits.Registry.get ~seed name in
+  let collapse = Asc_fault.Collapse.run c in
+  let faults = Asc_fault.Collapse.universe collapse in
+  let rng = Asc_util.Rng.of_name ~seed (name ^ "/fsim-bench") in
+  let n_tests = 4 and len = 256 in
+  let tests =
+    Array.init n_tests (fun _ ->
+        let si = Asc_util.Rng.bool_array rng (Asc_netlist.Circuit.n_dffs c) in
+        let seq =
+          Array.init len (fun _ ->
+              Asc_util.Rng.bool_array rng (Asc_netlist.Circuit.n_inputs c))
+        in
+        (si, seq))
+  in
+  let detect ?pool () =
+    Array.fold_left
+      (fun acc (si, seq) ->
+        acc + Asc_util.Bitvec.count (Asc_fault.Seq_fsim.detect ?pool c ~si ~seq ~faults))
+      0 tests
+  in
+  (* Best of a few repetitions, to shed warm-up and scheduler noise. *)
+  let time_best f =
+    let best = ref infinity and result = ref 0 in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := f ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!result, !best)
+  in
+  let detected_1, seconds_1 = time_best (fun () -> detect ()) in
+  let detected_n, seconds_n =
+    if domains > 1 then begin
+      let pool = Asc_util.Domain_pool.create ~domains () in
+      let r = time_best (fun () -> detect ~pool ()) in
+      Asc_util.Domain_pool.shutdown pool;
+      r
+    end
+    else time_best (fun () -> detect ())
+  in
+  let r =
+    {
+      fs_circuit = name;
+      fs_faults = Array.length faults;
+      fs_seq_len = len;
+      fs_tests = n_tests;
+      fs_detected_1 = detected_1;
+      fs_detected_n = detected_n;
+      fs_seconds_1 = seconds_1;
+      fs_seconds_n = seconds_n;
+      fs_speedup = seconds_1 /. seconds_n;
+    }
+  in
+  Printf.printf
+    "fsim phase (%s, %d faults, %d tests x %d vectors): 1 domain %.3fs, %d \
+     domains %.3fs, speedup %.2fx; detected %d vs %d (%s)\n%!"
+    r.fs_circuit r.fs_faults r.fs_tests r.fs_seq_len r.fs_seconds_1 domains
+    r.fs_seconds_n r.fs_speedup r.fs_detected_1 r.fs_detected_n
+    (if r.fs_detected_1 = r.fs_detected_n then "identical" else "MISMATCH");
+  r
+
+(* --- JSON summary -------------------------------------------------------- *)
+
+let json_summary o ~domains ~timings ~fsim =
+  let b = Buffer.create 1024 in
+  let circuit_entries =
+    List.map
+      (fun (name, dt) -> Printf.sprintf {|    { "name": "%s", "seconds": %.3f }|} name dt)
+      timings
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf {|  "bench": "asc",%s|} "\n");
+  Buffer.add_string b
+    (Printf.sprintf {|  "mode": "%s",%s|} (if o.quick then "quick" else "full") "\n");
+  Buffer.add_string b (Printf.sprintf {|  "seed": %d,%s|} o.seed "\n");
+  Buffer.add_string b (Printf.sprintf {|  "domains": %d,%s|} domains "\n");
+  Buffer.add_string b
+    (Printf.sprintf "  \"circuits\": [\n%s\n  ],\n" (String.concat ",\n" circuit_entries));
+  (match fsim with
+  | None -> Buffer.add_string b "  \"fsim\": null\n"
+  | Some f ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"fsim\": {\n\
+           \    \"circuit\": \"%s\",\n\
+           \    \"faults\": %d,\n\
+           \    \"tests\": %d,\n\
+           \    \"seq_len\": %d,\n\
+           \    \"detected_domains_1\": %d,\n\
+           \    \"detected_domains_n\": %d,\n\
+           \    \"seconds_domains_1\": %.4f,\n\
+           \    \"seconds_domains_n\": %.4f,\n\
+           \    \"speedup\": %.3f\n\
+           \  }\n"
+           f.fs_circuit f.fs_faults f.fs_tests f.fs_seq_len f.fs_detected_1
+           f.fs_detected_n f.fs_seconds_1 f.fs_seconds_n f.fs_speedup));
+  Buffer.add_string b "}\n";
+  let json = Buffer.contents b in
+  (match o.json with
+  | Some file -> (
+      try
+        let oc = open_out file in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "wrote %s\n%!" file
+      with Sys_error msg -> Printf.eprintf "cannot write JSON summary: %s\n%!" msg)
+  | None -> ());
+  print_string json
 
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
@@ -183,4 +335,24 @@ let () =
     Ablations.run_all ~seed:o.seed
       ?names:(if o.circuits == default_circuits then None else Some o.circuits)
       ()
-  else run_tables o
+  else begin
+    let domains =
+      match o.domains with
+      | Some n -> n
+      | None -> Asc_util.Domain_pool.default_domains ()
+    in
+    let pool =
+      if domains > 1 then Some (Asc_util.Domain_pool.create ~domains ()) else None
+    in
+    let timings = run_tables o pool in
+    (match pool with Some p -> Asc_util.Domain_pool.shutdown p | None -> ());
+    (* The fault-simulation phase comparison runs whenever a domain count
+       was requested explicitly — it is the per-PR perf-regression signal
+       the CI quick-bench job records. *)
+    let fsim =
+      match o.domains with
+      | Some domains -> Some (fsim_bench ~seed:o.seed ~domains o.circuits)
+      | None -> None
+    in
+    json_summary o ~domains ~timings ~fsim
+  end

@@ -17,6 +17,24 @@ let seed_arg =
   let doc = "Seed for every stochastic step (default 1)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for fault simulation (default: the ASC_DOMAINS \
+     environment variable, else the hardware's recommended count; 1 \
+     disables parallelism)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+
+(* Resolve the --domains flag to an optional pool; [None] keeps every
+   simulation on the calling domain. *)
+let make_pool domains =
+  let n =
+    match domains with
+    | Some n -> max 1 n
+    | None -> Asc_util.Domain_pool.default_domains ()
+  in
+  if n > 1 then Some (Asc_util.Domain_pool.create ~domains:n ()) else None
+
 let name_arg =
   let doc = "Benchmark circuit name (see `asc list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
@@ -102,9 +120,10 @@ let t0_arg =
   Arg.(value & opt string "directed" & info [ "t0" ] ~doc)
 
 let run_cmd =
-  let run name t0 seed verbose =
+  let run name t0 seed domains verbose =
     setup_logs verbose;
     check_name name;
+    let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let t0_source =
       match t0 with
@@ -116,7 +135,7 @@ let run_cmd =
     in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
     let prepared = Pipeline.prepare ~config c in
-    let r = Pipeline.run ~config prepared in
+    let r = Pipeline.run ?pool ~config prepared in
     Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
       (Bv.count prepared.targets)
       (Array.length prepared.comb_tests);
@@ -138,23 +157,24 @@ let run_cmd =
       (Bv.count prepared.targets)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
-    Term.(const run $ name_arg $ t0_arg $ seed_arg $ verbose_arg)
+    Term.(const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ verbose_arg)
 
 let baseline_cmd =
-  let run name seed verbose =
+  let run name seed domains verbose =
     setup_logs verbose;
     check_name name;
+    let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let config = { Pipeline.default_config with seed } in
     let prepared = Pipeline.prepare ~config c in
-    let b = Asc_core.Baseline_static.run prepared in
+    let b = Asc_core.Baseline_static.run ?pool prepared in
     Printf.printf "[4] baseline on %s: |C| = %d\n" name (Array.length b.initial_tests);
     Printf.printf "initial: %d cycles\n" b.cycles_initial;
     Printf.printf "compacted: %d cycles (%d combinations, %d tests left)\n"
       b.cycles_final b.combinations (Array.length b.final_tests)
   in
   Cmd.v (Cmd.info "baseline" ~doc:"Run the static baseline of [4]")
-    Term.(const run $ name_arg $ seed_arg $ verbose_arg)
+    Term.(const run $ name_arg $ seed_arg $ domains_arg $ verbose_arg)
 
 let atspeed_cmd =
   let run name seed =
@@ -170,8 +190,9 @@ let atspeed_cmd =
 
 let save_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
-  let run name file t0 seed =
+  let run name file t0 seed domains =
     check_name name;
+    let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let t0_source =
       match t0 with
@@ -183,31 +204,32 @@ let save_cmd =
     in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
     let prepared = Pipeline.prepare ~config c in
-    let r = Pipeline.run ~config prepared in
+    let r = Pipeline.run ?pool ~config prepared in
     Asc_scan.Tset_io.write_file file c r.final_tests;
     Printf.printf "wrote %d tests (%d cycles) to %s\n"
       (Array.length r.final_tests) r.cycles_final file
   in
   Cmd.v
     (Cmd.info "save-tests" ~doc:"Run the proposed procedure and save the final test set")
-    Term.(const run $ name_arg $ file_arg $ t0_arg $ seed_arg)
+    Term.(const run $ name_arg $ file_arg $ t0_arg $ seed_arg $ domains_arg)
 
 let verify_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
-  let run name file seed =
+  let run name file seed domains =
     check_name name;
+    let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
     let collapse = Asc_fault.Collapse.run c in
     let faults = Asc_fault.Collapse.reps collapse in
-    let cov = Asc_scan.Tset.coverage c tests ~faults in
+    let cov = Asc_scan.Tset.coverage ?pool c tests ~faults in
     Printf.printf "%d tests, %d cycles, %d / %d collapsed faults detected\n"
       (Array.length tests)
       (Asc_scan.Time_model.cycles_of_tests c tests)
       (Bv.count cov) (Array.length faults)
   in
   Cmd.v (Cmd.info "verify-tests" ~doc:"Fault-simulate a saved test set")
-    Term.(const run $ name_arg $ file_arg $ seed_arg)
+    Term.(const run $ name_arg $ file_arg $ seed_arg $ domains_arg)
 
 let import_cmd =
   let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -320,8 +342,9 @@ let tables_cmd =
     let doc = "Also run the dynamic baseline of [2,3] (slow)." in
     Arg.(value & flag & info [ "dynamic" ] ~doc)
   in
-  let run circuits dynamic seed verbose =
+  let run circuits dynamic seed domains verbose =
     setup_logs verbose;
+    let pool = make_pool domains in
     let names =
       match circuits with
       | None -> Asc_circuits.Profile.names
@@ -332,13 +355,13 @@ let tables_cmd =
       List.map
         (fun n ->
           Printf.printf "running %s...\n%!" n;
-          Asc_core.Experiments.run_circuit ~seed ~with_dynamic:dynamic n)
+          Asc_core.Experiments.run_circuit ?pool ~seed ~with_dynamic:dynamic n)
         names
     in
     print_string (Asc_report.Report.render_all runs)
   in
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
-    Term.(const run $ circuits_arg $ dynamic_arg $ seed_arg $ verbose_arg)
+    Term.(const run $ circuits_arg $ dynamic_arg $ seed_arg $ domains_arg $ verbose_arg)
 
 let () =
   let doc = "scan test compaction for at-speed testing (Pomeranz & Reddy, DAC 2001)" in

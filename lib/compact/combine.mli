@@ -15,6 +15,7 @@ type config = { max_sweeps : int; max_attempts : int }
 val default_config : config
 
 val run :
+  ?pool:Asc_util.Domain_pool.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   Asc_scan.Scan_test.t array ->

@@ -20,6 +20,7 @@ type result = {
 }
 
 val run :
+  ?pool:Asc_util.Domain_pool.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   Asc_scan.Scan_test.t ->

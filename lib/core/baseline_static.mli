@@ -9,4 +9,8 @@ type result = {
   combinations : int;
 }
 
-val run : ?combine:Asc_compact.Combine.config -> Pipeline.prepared -> result
+val run :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?combine:Asc_compact.Combine.config ->
+  Pipeline.prepared ->
+  result

@@ -22,18 +22,18 @@ let dynamic_cycles (d : Asc_compact.Dynamic_baseline.result) c =
 
 let config_for ~seed ~t0_source = { Pipeline.default_config with seed; t0_source }
 
-let run_circuit ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000) name =
+let run_circuit ?pool ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000) name =
   let c = Asc_circuits.Registry.get ~seed name in
   let budget = Asc_circuits.Registry.t0_budget name in
   let base_config = config_for ~seed ~t0_source:(Pipeline.Directed budget) in
   let prepared = Pipeline.prepare ~config:base_config c in
-  let directed = Pipeline.run ~config:base_config prepared in
+  let directed = Pipeline.run ?pool ~config:base_config prepared in
   let random =
-    Pipeline.run
+    Pipeline.run ?pool
       ~config:(config_for ~seed ~t0_source:(Pipeline.Random_seq random_t0_len))
       prepared
   in
-  let static_baseline = Baseline_static.run prepared in
+  let static_baseline = Baseline_static.run ?pool prepared in
   let dynamic_baseline =
     if with_dynamic then
       let rng = Asc_util.Rng.of_name ~seed (name ^ "/dynamic") in

@@ -18,4 +18,9 @@ val dynamic_cycles :
 val config_for : seed:int -> t0_source:Pipeline.t0_source -> Pipeline.config
 
 val run_circuit :
-  ?seed:int -> ?with_dynamic:bool -> ?random_t0_len:int -> string -> circuit_run
+  ?pool:Asc_util.Domain_pool.t ->
+  ?seed:int ->
+  ?with_dynamic:bool ->
+  ?random_t0_len:int ->
+  string ->
+  circuit_run

@@ -114,7 +114,7 @@ let make_t0 config (p : prepared) =
       let cfg = { Asc_atpg.Ga_tgen.default_config with budget } in
       (Asc_atpg.Ga_tgen.generate ~config:cfg c ~faults:p.faults ~rng).seq
 
-let run ?(config = default_config) (p : prepared) =
+let run ?pool ?(config = default_config) (p : prepared) =
   let c = p.circuit in
   if Array.length p.comb_tests = 0 then
     invalid_arg
@@ -125,7 +125,7 @@ let run ?(config = default_config) (p : prepared) =
   let faults = p.faults in
   let t0 = make_t0 config p in
   let f0_orig =
-    Bitvec.inter (Seq_fsim.detect_no_scan c ~seq:t0 ~faults) p.targets
+    Bitvec.inter (Seq_fsim.detect_no_scan ?pool c ~seq:t0 ~faults) p.targets
   in
   (* --- Phases 1 + 2, iterated ------------------------------------- *)
   let selected = Bitvec.create (Array.length p.comb_tests) in
@@ -145,21 +145,23 @@ let run ?(config = default_config) (p : prepared) =
     incr iter;
     let choice =
       timed "select_scan_in" (fun () ->
-          Phase1.select_scan_in c ~faults ~candidates:p.comb_tests ~t0:!current_seq
+          Phase1.select_scan_in ?pool c ~faults ~candidates:p.comb_tests ~t0:!current_seq
             ~f0:!current_f0 ~targets:p.targets ~selected)
     in
     let so =
       timed "select_scan_out" (fun () ->
-          Phase1.select_scan_out ~policy:config.scan_out_policy c ~faults
+          Phase1.select_scan_out ?pool ~policy:config.scan_out_policy c ~faults
             ~si:p.comb_tests.(choice.index).state
             ~t0:!current_seq ~f_si:choice.f_si ~targets:p.targets)
     in
     let om =
       timed "vector_omission" (fun () ->
-          Asc_compact.Vector_omission.run ~config:config.omission c so.test ~faults
+          Asc_compact.Vector_omission.run ?pool ~config:config.omission c so.test ~faults
             ~required:so.f_so)
     in
-    let f_c = Bitvec.inter (Scan_test.detect ~only:p.targets c om.test ~faults) p.targets in
+    let f_c =
+      Bitvec.inter (Scan_test.detect ?pool ~only:p.targets c om.test ~faults) p.targets
+    in
     Log.debug (fun m ->
         m "%s iter %d: SI=%d%s u_SO=%d len %d->%d detected %d" (Circuit.name c) !iter
           choice.index
@@ -195,7 +197,7 @@ let run ?(config = default_config) (p : prepared) =
       Bitvec.set selected choice.index;
       current_seq := om.test.seq;
       current_f0 :=
-        Bitvec.inter (Seq_fsim.detect_no_scan c ~seq:!current_seq ~faults) p.targets
+        Bitvec.inter (Seq_fsim.detect_no_scan ?pool c ~seq:!current_seq ~faults) p.targets
     end
   done;
   let tau_seq, f_seq =
@@ -204,7 +206,8 @@ let run ?(config = default_config) (p : prepared) =
   (* --- Phase 3: complete the coverage ------------------------------ *)
   let undetected = Bitvec.diff p.targets f_seq in
   let matrix =
-    Asc_fault.Comb_fsim.detect_matrix ~only:undetected c ~patterns:p.comb_tests ~faults
+    Asc_fault.Comb_fsim.detect_matrix ?pool ~only:undetected c ~patterns:p.comb_tests
+      ~faults
   in
   let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
   let added =
@@ -215,12 +218,12 @@ let run ?(config = default_config) (p : prepared) =
   let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
   (* --- Phase 4: static compaction of the result -------------------- *)
   let combined =
-    Asc_compact.Combine.run ~config:config.combine c initial_tests ~faults
+    Asc_compact.Combine.run ?pool ~config:config.combine c initial_tests ~faults
       ~targets:p.targets
   in
   let final_tests = combined.tests in
   let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
-  let final_detected = Asc_scan.Tset.coverage ~only:p.targets c final_tests ~faults in
+  let final_detected = Asc_scan.Tset.coverage ?pool ~only:p.targets c final_tests ~faults in
   {
     config;
     t0_length = Array.length t0;

@@ -66,4 +66,7 @@ type result = {
   cycles_final : int;  (** Table 3, "comp". *)
 }
 
-val run : ?config:config -> prepared -> result
+(** [run ?pool ?config prepared] executes Phases 1–4.  [pool] parallelises
+    the fault-simulation inner loops across domains; the result is
+    identical for any domain count. *)
+val run : ?pool:Asc_util.Domain_pool.t -> ?config:config -> prepared -> result

@@ -71,50 +71,80 @@ let detect_word engine group (good : good) fault =
   done;
   !det land group.lanes
 
+(* Chunked parallel sweep over pattern groups (see Asc_util.Domain_pool):
+   each chunk simulates a contiguous group range on a private engine and
+   fills its own slot of [parts]; the submitter merges in index order. *)
+let sweep_groups ?pool groups ~chunk ~merge ~empty =
+  let n = Array.length groups in
+  let ranges = Domain_pool.split ~n ~pieces:(Domain_pool.chunk_count pool n) in
+  let parts = Array.make (Array.length ranges) empty in
+  Domain_pool.run_opt pool (Array.length ranges) (fun ci -> parts.(ci) <- chunk ranges.(ci));
+  Array.iteri (fun ci part -> merge ranges.(ci) part) parts
+
 (* Detection matrix: rows are patterns, columns are faults.  [only]
    restricts the simulated fault indices (default: all). *)
-let detect_matrix ?only c ~patterns ~faults =
+let detect_matrix ?pool ?only c ~patterns ~faults =
   let n_faults = Array.length faults in
   let mat = Bitmat.create (Array.length patterns) n_faults in
-  let engine = Engine2.create c [] in
   let groups = pack c patterns in
-  Array.iter
-    (fun group ->
+  let chunk (start, count) =
+    let engine = Engine2.create c [] in
+    let base0 = groups.(start).base in
+    let last = groups.(start + count - 1) in
+    let rows =
+      Array.init (last.base + last.count - base0) (fun _ -> Bitvec.create n_faults)
+    in
+    for gi = start to start + count - 1 do
+      let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =
         let det = detect_word engine group good faults.(fi) in
-        Word.iter_set (fun lane -> Bitmat.set mat (group.base + lane) fi) det
+        Word.iter_set (fun lane -> Bitvec.set rows.(group.base - base0 + lane) fi) det
       in
       match only with
       | None ->
           for fi = 0 to n_faults - 1 do
             simulate fi
           done
-      | Some mask -> Bitvec.iter_set simulate mask)
-    groups;
+      | Some mask -> Bitvec.iter_set simulate mask
+    done;
+    rows
+  in
+  sweep_groups ?pool groups ~chunk ~empty:[||] ~merge:(fun (start, _) rows ->
+      let base0 = groups.(start).base in
+      Array.iteri (fun k row -> Bitmat.set_row mat (base0 + k) row) rows);
   mat
 
 (* Union detection: the set of fault indices detected by at least one
-   pattern.  [only] restricts the simulated faults. *)
-let detect_union ?only c ~patterns ~faults =
+   pattern.  [only] restricts the simulated faults.  Sequentially, a fault
+   already detected by an earlier group is skipped; across domains the
+   skip applies within each chunk only (results are identical, some
+   redundant simulation is traded for wall-clock). *)
+let detect_union ?pool ?only c ~patterns ~faults =
   let n_faults = Array.length faults in
   let det = Bitvec.create n_faults in
-  let engine = Engine2.create c [] in
   let groups = pack c patterns in
-  Array.iter
-    (fun group ->
+  let chunk (start, count) =
+    let engine = Engine2.create c [] in
+    let local = Bitvec.create n_faults in
+    for gi = start to start + count - 1 do
+      let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =
-        if (not (Bitvec.get det fi)) && detect_word engine group good faults.(fi) <> 0 then
-          Bitvec.set det fi
+        if (not (Bitvec.get local fi)) && detect_word engine group good faults.(fi) <> 0
+        then Bitvec.set local fi
       in
       match only with
       | None ->
           for fi = 0 to n_faults - 1 do
             simulate fi
           done
-      | Some mask -> Bitvec.iter_set simulate mask)
-    groups;
+      | Some mask -> Bitvec.iter_set simulate mask
+    done;
+    local
+  in
+  sweep_groups ?pool groups ~chunk ~empty:(Bitvec.create n_faults)
+    ~merge:(fun _ local -> Bitvec.union_into ~into:det local);
   det
 
 (* Per-pattern detection of a *single* fault: which patterns detect it. *)

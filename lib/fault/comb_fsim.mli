@@ -4,10 +4,13 @@
     difference at a primary output or in the captured next state — exactly
     the detection condition of a length-one scan test under full scan. *)
 
-(** [detect_matrix ?only c ~patterns ~faults] — rows are patterns, columns
-    are fault indices; [only] restricts which fault indices are simulated
-    (others are left undetected). *)
+(** [detect_matrix ?pool ?only c ~patterns ~faults] — rows are patterns,
+    columns are fault indices; [only] restricts which fault indices are
+    simulated (others are left undetected).  [pool] chunks the pattern
+    groups across worker domains; results are identical for any domain
+    count. *)
 val detect_matrix :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->
@@ -16,6 +19,7 @@ val detect_matrix :
 
 (** Fault indices detected by at least one pattern. *)
 val detect_union :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->

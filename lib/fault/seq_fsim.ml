@@ -11,6 +11,15 @@
    lane each.  Phase 1's scan-in selection instead runs one fault across 62
    *candidate initial states* per word; both modes share the same engine.
 
+   On top of the word-level parallelism, every entry point takes an
+   optional [pool] (see Asc_util.Domain_pool): fault groups (or, in
+   [candidate_detections], fault indices) are split into contiguous chunks
+   and simulated on worker domains.  Each chunk owns a private engine — no
+   simulation state is shared between domains; the fault-free trace and the
+   packed PI words are shared read-only.  Chunks report results into
+   chunk-indexed slots which the submitting domain merges in index order,
+   so detection bit vectors are bit-identical for any domain count.
+
    [profile] additionally records, per fault, the earliest PO detection
    time and the set of time units at which the faulty state differs — the
    single-pass data from which Phase 1 picks its scan-out time and the
@@ -98,10 +107,37 @@ let state_diff engine (good : good) boundary =
   done;
   !diff
 
+(* Detection word of one fault group over the whole test, with an early
+   exit once every lane has seen a PO difference; the scan-out (final
+   state) difference is folded in only when the early exit did not fire. *)
+let detect_group engine ~si ~sw ~good ~len (group : group) =
+  Engine2.set_overrides engine group.overrides;
+  Engine2.set_state_bools engine si;
+  let det = ref 0 in
+  let t = ref 0 in
+  while !det <> group.lanes && !t < len do
+    Engine2.eval engine ~pi_words:sw.(!t);
+    det := !det lor po_diff engine good !t;
+    Engine2.capture engine;
+    incr t
+  done;
+  if !t = len && !det <> group.lanes then det := !det lor state_diff engine good len;
+  !det land group.lanes
+
+(* Chunked parallel sweep over [groups]: each chunk simulates a contiguous
+   group range on its own engine and fills its own result slot; [merge] is
+   then applied chunk by chunk on the submitting domain. *)
+let sweep_groups ?pool c groups ~chunk ~merge ~empty =
+  let n = Array.length groups in
+  let ranges = Domain_pool.split ~n ~pieces:(Domain_pool.chunk_count pool n) in
+  let parts = Array.make (Array.length ranges) empty in
+  Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+      parts.(ci) <- chunk (Engine2.create c []) ranges.(ci));
+  Array.iteri (fun ci part -> merge ranges.(ci) part) parts
+
 (* Which of [faults] does the scan test (si, seq) detect?  [only] restricts
-   the simulated fault indices.  Detection lanes are accumulated with an
-   early exit once a whole group is detected. *)
-let detect ?only c ~si ~seq ~faults =
+   the simulated fault indices. *)
+let detect ?pool ?only c ~si ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
@@ -110,24 +146,18 @@ let detect ?only c ~si ~seq ~faults =
     let sw = seq_words c seq in
     let len = Array.length seq in
     let good = good_run c ~si ~seq in
-    let engine = Engine2.create c [] in
-    Array.iter
-      (fun group ->
-        Engine2.set_overrides engine group.overrides;
-        Engine2.set_state_bools engine si;
-        let det = ref 0 in
-        let t = ref 0 in
-        while !det <> group.lanes && !t < len do
-          Engine2.eval engine ~pi_words:sw.(!t);
-          det := !det lor po_diff engine good !t;
-          Engine2.capture engine;
-          incr t
-        done;
-        if !t = len && !det <> group.lanes then
-          det := !det lor state_diff engine good len;
-        let d = !det land group.lanes in
-        Word.iter_set (fun lane -> Bitvec.set result group.members.(lane)) d)
-      (make_groups faults subset);
+    let groups = make_groups faults subset in
+    let chunk engine (start, count) =
+      let hits = ref [] in
+      for gi = start to start + count - 1 do
+        let group = groups.(gi) in
+        let d = detect_group engine ~si ~sw ~good ~len group in
+        Word.iter_set (fun lane -> hits := group.members.(lane) :: !hits) d
+      done;
+      !hits
+    in
+    sweep_groups ?pool c groups ~chunk ~empty:[]
+      ~merge:(fun _range hits -> List.iter (Bitvec.set result) hits);
     result
   end
 
@@ -144,30 +174,44 @@ type profile = {
   state_diff_at : Bitvec.t array;
 }
 
-let profile c ~si ~seq ~faults ~subset =
+let profile ?pool c ~si ~seq ~faults ~subset =
   let len = Array.length seq in
   let sw = seq_words c seq in
   let good = good_run c ~si ~seq in
-  let engine = Engine2.create c [] in
-  let po_time = Array.make (Array.length subset) max_int in
-  let state_diff_at = Array.init (Array.length subset) (fun _ -> Bitvec.create len) in
+  let total = Array.length subset in
+  let po_time = Array.make total max_int in
+  let state_diff_at = Array.make total (Bitvec.create len) in
   let groups = make_groups faults subset in
-  Array.iteri
-    (fun gi group ->
-      let base = gi * Word.width in
+  (* A chunk covers subset positions [gstart*W, gstart*W + span) and
+     returns its profile slices; the submitter blits them into place. *)
+  let chunk engine (gstart, gcount) =
+    let base0 = gstart * Word.width in
+    let span = min total ((gstart + gcount) * Word.width) - base0 in
+    let po = Array.make span max_int in
+    let sdiff = Array.init span (fun _ -> Bitvec.create len) in
+    for gi = gstart to gstart + gcount - 1 do
+      let group = groups.(gi) in
+      let base = (gi * Word.width) - base0 in
       Engine2.set_overrides engine group.overrides;
       Engine2.set_state_bools engine si;
       let po_seen = ref 0 in
       for t = 0 to len - 1 do
         Engine2.eval engine ~pi_words:sw.(t);
         let fresh = po_diff engine good t land group.lanes land lnot !po_seen in
-        Word.iter_set (fun lane -> po_time.(base + lane) <- t) fresh;
+        Word.iter_set (fun lane -> po.(base + lane) <- t) fresh;
         po_seen := !po_seen lor fresh;
         Engine2.capture engine;
-        let sdiff = state_diff engine good (t + 1) land group.lanes in
-        Word.iter_set (fun lane -> Bitvec.set state_diff_at.(base + lane) t) sdiff
-      done)
-    groups;
+        let sd = state_diff engine good (t + 1) land group.lanes in
+        Word.iter_set (fun lane -> Bitvec.set sdiff.(base + lane) t) sd
+      done
+    done;
+    (po, sdiff)
+  in
+  sweep_groups ?pool c groups ~chunk ~empty:([||], [||])
+    ~merge:(fun (gstart, _) (po, sdiff) ->
+      let base0 = gstart * Word.width in
+      Array.blit po 0 po_time base0 (Array.length po);
+      Array.blit sdiff 0 state_diff_at base0 (Array.length sdiff));
   { subset; po_time; state_diff_at }
 
 (* Faults detected by the test truncated to end (and scan out) at time
@@ -183,101 +227,135 @@ let profile_detected_at p ~u =
 (* Candidate scan-in evaluation (Phase 1, Step 2): rows are candidate
    scan-in states, columns are fault indices; entry set when the test
    (candidate, seq) detects the fault.  One fault is simulated at a time
-   across up to 62 candidate initial states per word. *)
-let candidate_detections c ~sis ~seq ~faults ~subset =
+   across up to 62 candidate initial states per word.
+
+   Parallel decomposition: the candidate packing and the fault-free runs
+   (one per candidate group) are cheap and stay on the submitting domain;
+   the [subset] faults — the heavy dimension — are chunked across the
+   pool, each chunk simulating its faults against every candidate group on
+   a private engine.  Chunks return raw detection words; the submitter
+   alone writes the result matrix. *)
+type cand_group = {
+  cbase : int; (* index of the first candidate of this group *)
+  cfull : int; (* mask of lanes carrying a real candidate *)
+  init_words : int array; (* packed candidate states, per DFF *)
+  good_po : int array array; (* fault-free PO words per time unit *)
+  good_final : int array; (* fault-free final state words *)
+}
+
+let candidate_detections ?pool c ~sis ~seq ~faults ~subset =
   let n_candidates = Array.length sis in
   let n_ff = Circuit.n_dffs c in
+  let n_po = Circuit.n_outputs c in
   let len = Array.length seq in
   let sw = seq_words c seq in
   let result = Bitmat.create n_candidates (Array.length faults) in
-  let engine = Engine2.create c [] in
+  let engine0 = Engine2.create c [] in
   let n_cgroups = (n_candidates + Word.width - 1) / Word.width in
-  for cg = 0 to n_cgroups - 1 do
-    let base = cg * Word.width in
-    let count = min Word.width (n_candidates - base) in
-    let full = if count = Word.width then Word.mask else (1 lsl count) - 1 in
-    (* Pack the candidate states: lane = candidate (base + lane). *)
-    let init_words = Array.make n_ff 0 in
-    for lane = 0 to count - 1 do
-      let si = sis.(base + lane) in
-      if Array.length si <> n_ff then invalid_arg "Seq_fsim.candidate_detections: state arity";
-      for i = 0 to n_ff - 1 do
-        if si.(i) then init_words.(i) <- Word.set init_words.(i) lane
-      done
-    done;
-    (* Fault-free machines for all candidates at once. *)
-    Engine2.set_overrides engine [];
-    Engine2.set_state_words engine init_words;
-    let good_po = Array.make len [||] in
-    let n_po = Circuit.n_outputs c in
-    for t = 0 to len - 1 do
-      Engine2.eval engine ~pi_words:sw.(t);
-      good_po.(t) <- Array.init n_po (Engine2.po_word engine);
-      Engine2.capture engine
-    done;
-    let good_final = Array.init n_ff (Engine2.state_word engine) in
-    (* One fault at a time, injected in every candidate lane. *)
-    Array.iter
-      (fun fi ->
-        Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
-        Engine2.set_state_words engine init_words;
-        let det = ref 0 in
-        let t = ref 0 in
-        while !det <> full && !t < len do
-          Engine2.eval engine ~pi_words:sw.(!t);
-          let gpo = good_po.(!t) in
-          for i = 0 to n_po - 1 do
-            det := !det lor (Engine2.po_word engine i lxor gpo.(i))
-          done;
-          Engine2.capture engine;
-          incr t
-        done;
-        if !t = len && !det <> full then
+  let cgroups =
+    Array.init n_cgroups (fun cg ->
+        let cbase = cg * Word.width in
+        let count = min Word.width (n_candidates - cbase) in
+        let cfull = if count = Word.width then Word.mask else (1 lsl count) - 1 in
+        (* Pack the candidate states: lane = candidate (cbase + lane). *)
+        let init_words = Array.make n_ff 0 in
+        for lane = 0 to count - 1 do
+          let si = sis.(cbase + lane) in
+          if Array.length si <> n_ff then
+            invalid_arg "Seq_fsim.candidate_detections: state arity";
           for i = 0 to n_ff - 1 do
-            det := !det lor (Engine2.state_word engine i lxor good_final.(i))
-          done;
-        Word.iter_set (fun lane -> Bitmat.set result (base + lane) fi) (!det land full))
-      subset
-  done;
+            if si.(i) then init_words.(i) <- Word.set init_words.(i) lane
+          done
+        done;
+        (* Fault-free machines for all candidates at once. *)
+        Engine2.set_overrides engine0 [];
+        Engine2.set_state_words engine0 init_words;
+        let good_po = Array.make len [||] in
+        for t = 0 to len - 1 do
+          Engine2.eval engine0 ~pi_words:sw.(t);
+          good_po.(t) <- Array.init n_po (Engine2.po_word engine0);
+          Engine2.capture engine0
+        done;
+        let good_final = Array.init n_ff (Engine2.state_word engine0) in
+        { cbase; cfull; init_words; good_po; good_final })
+  in
+  (* One fault at a time, injected in every candidate lane. *)
+  let detect_candidates engine fi cg =
+    Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
+    Engine2.set_state_words engine cg.init_words;
+    let det = ref 0 in
+    let t = ref 0 in
+    while !det <> cg.cfull && !t < len do
+      Engine2.eval engine ~pi_words:sw.(!t);
+      let gpo = cg.good_po.(!t) in
+      for i = 0 to n_po - 1 do
+        det := !det lor (Engine2.po_word engine i lxor gpo.(i))
+      done;
+      Engine2.capture engine;
+      incr t
+    done;
+    if !t = len && !det <> cg.cfull then
+      for i = 0 to n_ff - 1 do
+        det := !det lor (Engine2.state_word engine i lxor cg.good_final.(i))
+      done;
+    !det land cg.cfull
+  in
+  let nf = Array.length subset in
+  let ranges = Domain_pool.split ~n:nf ~pieces:(Domain_pool.chunk_count pool nf) in
+  let parts = Array.make (Array.length ranges) [||] in
+  Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+      let start, count = ranges.(ci) in
+      let engine = Engine2.create c [] in
+      let dets = Array.make_matrix count n_cgroups 0 in
+      for k = 0 to count - 1 do
+        let fi = subset.(start + k) in
+        Array.iteri (fun cgi cg -> dets.(k).(cgi) <- detect_candidates engine fi cg) cgroups
+      done;
+      parts.(ci) <- dets);
+  Array.iteri
+    (fun ci dets ->
+      let start, _ = ranges.(ci) in
+      Array.iteri
+        (fun k per_cg ->
+          let fi = subset.(start + k) in
+          Array.iteri
+            (fun cgi det ->
+              let cbase = cgroups.(cgi).cbase in
+              Word.iter_set (fun lane -> Bitmat.set result (cbase + lane) fi) det)
+            per_cg)
+        dets)
+    parts;
   result
 
 (* Verification: does (si, seq) detect *every* fault index in [subset]?
-   Groups are checked in subset order and the first failing group stops the
-   run, so callers should put the most fragile faults first. *)
-let verify_required c ~si ~seq ~faults ~subset =
+   Any failing group stops the sweep: sequentially via the loop condition,
+   across domains via a shared flag checked between groups. *)
+let verify_required ?pool c ~si ~seq ~faults ~subset =
   if Array.length subset = 0 then true
   else begin
     let sw = seq_words c seq in
     let len = Array.length seq in
     let good = good_run c ~si ~seq in
-    let engine = Engine2.create c [] in
     let groups = make_groups faults subset in
-    let ok = ref true in
-    let gi = ref 0 in
-    while !ok && !gi < Array.length groups do
-      let group = groups.(!gi) in
-      Engine2.set_overrides engine group.overrides;
-      Engine2.set_state_bools engine si;
-      let det = ref 0 in
-      let t = ref 0 in
-      while !det <> group.lanes && !t < len do
-        Engine2.eval engine ~pi_words:sw.(!t);
-        det := !det lor po_diff engine good !t;
-        Engine2.capture engine;
-        incr t
-      done;
-      if !t = len && !det <> group.lanes then det := !det lor state_diff engine good len;
-      if !det land group.lanes <> group.lanes then ok := false;
-      incr gi
-    done;
-    !ok
+    let failed = Atomic.make false in
+    let chunk engine (start, count) =
+      let gi = ref start in
+      while (not (Atomic.get failed)) && !gi < start + count do
+        let group = groups.(!gi) in
+        let d = detect_group engine ~si ~sw ~good ~len group in
+        if d <> group.lanes then Atomic.set failed true;
+        incr gi
+      done
+    in
+    sweep_groups ?pool c groups ~chunk ~empty:() ~merge:(fun _ () -> ());
+    not (Atomic.get failed)
   end
 
 (* --- 3-valued, unknown initial state ("without scan") ------------------ *)
 
 (* A fault counts as detected only when the fault-free value at a PO is a
    binary value and the faulty value is the complementary binary value. *)
-let detect_no_scan ?only c ~seq ~faults =
+let detect_no_scan ?pool ?only c ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
@@ -295,27 +373,39 @@ let detect_no_scan ?only c ~seq ~faults =
       good_po.(t) <- Array.init n_po (Engine3.po_word good);
       Engine3.capture good
     done;
-    let engine = Engine3.create c [] in
-    Array.iter
-      (fun group ->
-        Engine3.set_overrides engine group.overrides;
-        Engine3.set_state_x engine;
-        let det = ref 0 in
-        let t = ref 0 in
-        while !det <> group.lanes && !t < len do
-          Engine3.eval_binary engine ~pi_words:sw.(!t);
-          for i = 0 to n_po - 1 do
-            let gz, go = good_po.(!t).(i) in
-            let fz, fo = Engine3.po_word engine i in
-            det := !det lor ((gz land fo) lor (go land fz))
-          done;
-          Engine3.capture engine;
-          incr t
+    let groups = make_groups faults subset in
+    let detect_group3 engine (group : group) =
+      Engine3.set_overrides engine group.overrides;
+      Engine3.set_state_x engine;
+      let det = ref 0 in
+      let t = ref 0 in
+      while !det <> group.lanes && !t < len do
+        Engine3.eval_binary engine ~pi_words:sw.(!t);
+        for i = 0 to n_po - 1 do
+          let gz, go = good_po.(!t).(i) in
+          let fz, fo = Engine3.po_word engine i in
+          det := !det lor ((gz land fo) lor (go land fz))
         done;
-        Word.iter_set
-          (fun lane -> Bitvec.set result group.members.(lane))
-          (!det land group.lanes))
-      (make_groups faults subset);
+        Engine3.capture engine;
+        incr t
+      done;
+      !det land group.lanes
+    in
+    let ng = Array.length groups in
+    let ranges = Domain_pool.split ~n:ng ~pieces:(Domain_pool.chunk_count pool ng) in
+    let parts = Array.make (Array.length ranges) [] in
+    Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+        let start, count = ranges.(ci) in
+        let engine = Engine3.create c [] in
+        let hits = ref [] in
+        for gi = start to start + count - 1 do
+          let group = groups.(gi) in
+          Word.iter_set
+            (fun lane -> hits := group.members.(lane) :: !hits)
+            (detect_group3 engine group)
+        done;
+        parts.(ci) <- !hits);
+    Array.iter (List.iter (Bitvec.set result)) parts;
     result
   end
 

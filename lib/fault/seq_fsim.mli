@@ -8,7 +8,10 @@
 
     Bit-parallel: up to 62 faulty machines per word — or, in
     {!candidate_detections}, one fault across up to 62 candidate scan-in
-    states per word. *)
+    states per word.  Every entry point additionally takes an optional
+    [pool]: fault groups are chunked across worker domains, each chunk on
+    a private engine, and the results are merged deterministically — the
+    output is bit-identical for any domain count. *)
 
 type seq = bool array array
 (** A primary-input sequence: [L] vectors of [n_pis] values. *)
@@ -24,6 +27,7 @@ val good_final_state : Asc_netlist.Circuit.t -> good -> bool array
 
 (** Fault indices detected by the scan test; [only] restricts simulation. *)
 val detect :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
@@ -42,6 +46,7 @@ type profile = {
 }
 
 val profile :
+  ?pool:Asc_util.Domain_pool.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -57,6 +62,7 @@ val profile_detected_at : profile -> u:int -> Asc_util.Bitvec.t
     fault indices; set when [(candidate, seq)] detects the fault.  Only
     [subset] columns are simulated. *)
 val candidate_detections :
+  ?pool:Asc_util.Domain_pool.t ->
   Asc_netlist.Circuit.t ->
   sis:bool array array ->
   seq:seq ->
@@ -67,6 +73,7 @@ val candidate_detections :
 (** Does the test detect every fault index in [subset]?  Checked in subset
     order with early failure exit — put fragile faults first. *)
 val verify_required :
+  ?pool:Asc_util.Domain_pool.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -77,6 +84,7 @@ val verify_required :
 (** Faults detected by [seq] from an unknown initial state, no scan-out
     (3-valued; detection requires complementary binary values at a PO). *)
 val detect_no_scan :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   seq:seq ->

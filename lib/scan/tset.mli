@@ -2,6 +2,7 @@
     a fast combinational path for length-one tests. *)
 
 val detection_matrix :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -9,6 +10,7 @@ val detection_matrix :
   Asc_util.Bitmat.t
 
 val coverage :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -17,6 +19,7 @@ val coverage :
 
 (** N-detect profile: tests detecting each fault. *)
 val detection_counts :
+  ?pool:Asc_util.Domain_pool.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->

@@ -10,18 +10,22 @@ let bpw = Word.width
 
 let nwords len = (len + bpw - 1) / bpw
 
+(* Mask off trailing bits beyond [len].  When [len] is a multiple of [bpw]
+   the last word is fully used and needs no mask — shifting by a full word
+   width there would be undefined ([1 lsl 62] overflows a 62-bit lane
+   word). *)
+let mask_trailing words len =
+  let used = len mod bpw in
+  if used > 0 then begin
+    let last = nwords len - 1 in
+    words.(last) <- words.(last) land ((1 lsl used) - 1)
+  end
+
 let create ?(default = false) len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
   let words = Array.make (max 1 (nwords len)) (if default then Word.mask else 0) in
-  let t = { len; words } in
-  (* Mask off trailing bits beyond [len]. *)
-  if default && len > 0 then begin
-    let last = nwords len - 1 in
-    let used = len - (last * bpw) in
-    words.(last) <- words.(last) land ((1 lsl used) - 1)
-  end
-  else if default then words.(0) <- 0;
-  t
+  if default then if len = 0 then words.(0) <- 0 else mask_trailing words len;
+  { len; words }
 
 let length t = t.len
 
@@ -47,12 +51,7 @@ let copy t = { len = t.len; words = Array.copy t.words }
 let fill t b =
   if b then begin
     Array.fill t.words 0 (Array.length t.words) Word.mask;
-    if t.len > 0 then begin
-      let last = nwords t.len - 1 in
-      let used = t.len - (last * bpw) in
-      t.words.(last) <- t.words.(last) land ((1 lsl used) - 1)
-    end
-    else t.words.(0) <- 0
+    if t.len = 0 then t.words.(0) <- 0 else mask_trailing t.words t.len
   end
   else Array.fill t.words 0 (Array.length t.words) 0
 

@@ -1,0 +1,53 @@
+(** Fixed pool of worker domains with a chunked work queue.
+
+    Callers split independent work into indexed tasks; tasks are claimed
+    from a shared atomic counter, so uneven task costs rebalance across
+    domains.  Task results must be written to disjoint, task-indexed slots
+    — the pool then guarantees the submitter reads them after a
+    happens-before edge, and the submitter merges them in index order, so
+    results are deterministic regardless of scheduling.
+
+    A pool of size 1 spawns no domains and runs everything inline; nested
+    [run] calls from inside a task also degrade to inline execution rather
+    than deadlock. *)
+
+type t
+
+(** [create ?domains ()] spawns a pool of [domains] total participants
+    (including the submitting domain), so [domains - 1] worker domains.
+    Default: [default_domains ()]. *)
+val create : ?domains:int -> unit -> t
+
+(** Pool size (total participating domains; 1 means fully sequential). *)
+val size : t -> int
+
+(** The default pool size: the [ASC_DOMAINS] environment variable when set
+    to a positive integer, otherwise [Domain.recommended_domain_count ()]
+    (which is 1 on single-core hosts). *)
+val default_domains : unit -> int
+
+(** [run t n f] executes [f 0 .. f (n-1)] across the pool and returns when
+    all have finished.  The first task exception (if any) is re-raised on
+    the submitting domain after the job drains.  Must not be called
+    concurrently from two domains. *)
+val run : t -> int -> (int -> unit) -> unit
+
+(** [run_opt pool n f]: [run] through [Some pool], plain sequential loop on
+    [None]. *)
+val run_opt : t option -> int -> (int -> unit) -> unit
+
+(** Stop and join the worker domains.  Idempotent; subsequent [run] calls
+    execute sequentially. *)
+val shutdown : t -> unit
+
+(** [split ~n ~pieces] cuts [0, n) into at most [pieces] contiguous
+    [(start, len)] ranges of near-equal length. *)
+val split : n:int -> pieces:int -> (int * int) array
+
+(** Task count to split [n] independent items into over [pool] (a few
+    chunks per domain, capped at [n]; 1 when [pool] is [None]). *)
+val chunk_count : t option -> int -> int
+
+(** [map pool arr ~f] maps [f] over [arr] with one task per element and
+    returns results in element order. *)
+val map : t option -> 'a array -> f:('a -> 'b) -> 'b array

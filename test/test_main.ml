@@ -31,4 +31,5 @@ let () =
          Test_metamorphic.suite;
          Test_small_units.suite;
          Test_final.suite;
+         Test_parallel.suite;
        ])

@@ -64,6 +64,23 @@ let test_bitvec_bounds () =
   Alcotest.check_raises "set negative" (Invalid_argument "Bitvec: index out of bounds")
     (fun () -> Bitvec.set v (-1))
 
+(* Regression: [create ~default:true] (and [fill true]) on lengths that
+   are exact word multiples must not shift by a full word width. *)
+let test_bitvec_default_word_boundary () =
+  List.iter
+    (fun len ->
+      let v = Bitvec.create ~default:true len in
+      Alcotest.(check int) (Printf.sprintf "count len=%d" len) len (Bitvec.count v);
+      if len > 0 then begin
+        Alcotest.(check bool) "first bit" true (Bitvec.get v 0);
+        Alcotest.(check bool) "last bit" true (Bitvec.get v (len - 1))
+      end;
+      let w = Bitvec.create len in
+      Bitvec.fill w true;
+      Alcotest.(check bool) (Printf.sprintf "fill = default len=%d" len) true
+        (Bitvec.equal v w))
+    [ 0; 1; 61; 62; 63; 124; 186; 200 ]
+
 (* Model-based property: random operation sequences agree with a bool
    array model. *)
 let bitvec_pair_gen =
@@ -222,6 +239,8 @@ let suite =
         qtest prop_word_iter;
         Alcotest.test_case "bitvec basics" `Quick test_bitvec_basics;
         Alcotest.test_case "bitvec bounds" `Quick test_bitvec_bounds;
+        Alcotest.test_case "bitvec default at word boundaries" `Quick
+          test_bitvec_default_word_boundary;
         qtest prop_bitvec_set_ops;
         qtest prop_bitvec_subset;
         qtest prop_bitvec_count;
