@@ -100,8 +100,8 @@ let run_tables o pool =
         Printf.printf "[%2d/%d] %-8s ...%!" (i + 1) total name;
         let r = Asc_core.Experiments.run_circuit ?pool ~seed:o.seed ~with_dynamic name in
         let dt = Unix.gettimeofday () -. t0 in
-        Printf.printf " %.1fs\n%!" dt;
-        timings := (name, dt) :: !timings;
+        Printf.printf " %.1fs (atpg %.1fs)\n%!" dt r.prepare_seconds;
+        timings := (name, dt, r.prepare_seconds) :: !timings;
         r)
       o.circuits
   in
@@ -198,13 +198,95 @@ let fsim_bench ~seed ~domains names =
     (if r.fs_detected_1 = r.fs_detected_n then "identical" else "MISMATCH");
   r
 
+(* --- ATPG (test-generation) phase speedup -------------------------------- *)
+
+(* Same shape as the fault-simulation comparison, for the other parallel
+   kernel: [Comb_tgen.generate] with 1 domain vs the requested pool, on the
+   largest circuit of the run.  The merge contract makes the generated set
+   bit-identical for any domain count, so detected-fault and test counts
+   must agree exactly. *)
+type atpg_result = {
+  at_circuit : string;
+  at_faults : int;
+  at_tests_1 : int;
+  at_tests_n : int;
+  at_detected_1 : int;
+  at_detected_n : int;
+  at_seconds_1 : float;
+  at_seconds_n : float;
+  at_speedup : float;
+}
+
+let atpg_bench ~seed ~domains names =
+  let gates name =
+    Asc_netlist.Circuit.n_gates (Asc_circuits.Registry.get ~seed name)
+  in
+  let name =
+    List.fold_left
+      (fun best n -> if gates n > gates best then n else best)
+      (List.hd names) names
+  in
+  let c = Asc_circuits.Registry.get ~seed name in
+  let faults = Asc_fault.Collapse.reps (Asc_fault.Collapse.run c) in
+  let generate ?pool () =
+    (* Fresh RNG per run: generate's randomness must not leak between
+       repetitions, or the 1-domain and N-domain runs would diverge. *)
+    let rng = Asc_util.Rng.of_name ~seed (name ^ "/atpg-bench") in
+    let r = Asc_atpg.Comb_tgen.generate ?pool c ~faults ~rng in
+    (Asc_util.Bitvec.count r.detected, Array.length r.tests)
+  in
+  let time_best f =
+    let best = ref infinity and result = ref (0, 0) in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := f ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!result, !best)
+  in
+  let (detected_1, tests_1), seconds_1 = time_best (fun () -> generate ()) in
+  let (detected_n, tests_n), seconds_n =
+    if domains > 1 then begin
+      let pool = Asc_util.Domain_pool.create ~domains () in
+      let r = time_best (fun () -> generate ~pool ()) in
+      Asc_util.Domain_pool.shutdown pool;
+      r
+    end
+    else time_best (fun () -> generate ())
+  in
+  let r =
+    {
+      at_circuit = name;
+      at_faults = Array.length faults;
+      at_tests_1 = tests_1;
+      at_tests_n = tests_n;
+      at_detected_1 = detected_1;
+      at_detected_n = detected_n;
+      at_seconds_1 = seconds_1;
+      at_seconds_n = seconds_n;
+      at_speedup = seconds_1 /. seconds_n;
+    }
+  in
+  Printf.printf
+    "atpg phase (%s, %d faults): 1 domain %.3fs, %d domains %.3fs, speedup \
+     %.2fx; detected %d vs %d, |C| %d vs %d (%s)\n%!"
+    r.at_circuit r.at_faults r.at_seconds_1 domains r.at_seconds_n r.at_speedup
+    r.at_detected_1 r.at_detected_n r.at_tests_1 r.at_tests_n
+    (if r.at_detected_1 = r.at_detected_n && r.at_tests_1 = r.at_tests_n then
+       "identical"
+     else "MISMATCH");
+  r
+
 (* --- JSON summary -------------------------------------------------------- *)
 
-let json_summary o ~domains ~timings ~fsim =
+let json_summary o ~domains ~timings ~fsim ~atpg =
   let b = Buffer.create 1024 in
   let circuit_entries =
     List.map
-      (fun (name, dt) -> Printf.sprintf {|    { "name": "%s", "seconds": %.3f }|} name dt)
+      (fun (name, dt, atpg_dt) ->
+        Printf.sprintf
+          {|    { "name": "%s", "seconds": %.3f, "atpg_seconds": %.3f }|} name dt
+          atpg_dt)
       timings
   in
   Buffer.add_string b "{\n";
@@ -216,7 +298,7 @@ let json_summary o ~domains ~timings ~fsim =
   Buffer.add_string b
     (Printf.sprintf "  \"circuits\": [\n%s\n  ],\n" (String.concat ",\n" circuit_entries));
   (match fsim with
-  | None -> Buffer.add_string b "  \"fsim\": null\n"
+  | None -> Buffer.add_string b "  \"fsim\": null,\n"
   | Some f ->
       Buffer.add_string b
         (Printf.sprintf
@@ -230,9 +312,27 @@ let json_summary o ~domains ~timings ~fsim =
            \    \"seconds_domains_1\": %.4f,\n\
            \    \"seconds_domains_n\": %.4f,\n\
            \    \"speedup\": %.3f\n\
-           \  }\n"
+           \  },\n"
            f.fs_circuit f.fs_faults f.fs_tests f.fs_seq_len f.fs_detected_1
            f.fs_detected_n f.fs_seconds_1 f.fs_seconds_n f.fs_speedup));
+  (match atpg with
+  | None -> Buffer.add_string b "  \"atpg\": null\n"
+  | Some a ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"atpg\": {\n\
+           \    \"circuit\": \"%s\",\n\
+           \    \"faults\": %d,\n\
+           \    \"tests_domains_1\": %d,\n\
+           \    \"tests_domains_n\": %d,\n\
+           \    \"detected_domains_1\": %d,\n\
+           \    \"detected_domains_n\": %d,\n\
+           \    \"seconds_domains_1\": %.4f,\n\
+           \    \"seconds_domains_n\": %.4f,\n\
+           \    \"speedup\": %.3f\n\
+           \  }\n"
+           a.at_circuit a.at_faults a.at_tests_1 a.at_tests_n a.at_detected_1
+           a.at_detected_n a.at_seconds_1 a.at_seconds_n a.at_speedup));
   Buffer.add_string b "}\n";
   let json = Buffer.contents b in
   (match o.json with
@@ -349,10 +449,12 @@ let () =
     (* The fault-simulation phase comparison runs whenever a domain count
        was requested explicitly — it is the per-PR perf-regression signal
        the CI quick-bench job records. *)
-    let fsim =
+    let fsim, atpg =
       match o.domains with
-      | Some domains -> Some (fsim_bench ~seed:o.seed ~domains o.circuits)
-      | None -> None
+      | Some domains ->
+          ( Some (fsim_bench ~seed:o.seed ~domains o.circuits),
+            Some (atpg_bench ~seed:o.seed ~domains o.circuits) )
+      | None -> (None, None)
     in
-    json_summary o ~domains ~timings ~fsim
+    json_summary o ~domains ~timings ~fsim ~atpg
   end

@@ -134,7 +134,7 @@ let run_cmd =
           exit 1
     in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
-    let prepared = Pipeline.prepare ~config c in
+    let prepared = Pipeline.prepare ?pool ~config c in
     let r = Pipeline.run ?pool ~config prepared in
     Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
       (Bv.count prepared.targets)
@@ -166,7 +166,7 @@ let baseline_cmd =
     let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let config = { Pipeline.default_config with seed } in
-    let prepared = Pipeline.prepare ~config c in
+    let prepared = Pipeline.prepare ?pool ~config c in
     let b = Asc_core.Baseline_static.run ?pool prepared in
     Printf.printf "[4] baseline on %s: |C| = %d\n" name (Array.length b.initial_tests);
     Printf.printf "initial: %d cycles\n" b.cycles_initial;
@@ -203,7 +203,7 @@ let save_cmd =
           exit 1
     in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
-    let prepared = Pipeline.prepare ~config c in
+    let prepared = Pipeline.prepare ?pool ~config c in
     let r = Pipeline.run ?pool ~config prepared in
     Asc_scan.Tset_io.write_file file c r.final_tests;
     Printf.printf "wrote %d tests (%d cycles) to %s\n"

@@ -5,7 +5,19 @@
    detectable faults plays the same role.  We produce one with the standard
    flow: a random-pattern phase with fault dropping, a deterministic PODEM
    phase for the remaining faults (random fill of unspecified positions),
-   and reverse-order fault-simulation compaction. *)
+   and reverse-order fault-simulation compaction.
+
+   The PODEM phase is domain-parallel (see docs/PARALLELISM.md).  Target
+   faults are split into contiguous chunks; each chunk runs on a private
+   [Podem.t] — PODEM is a pure function of (circuit, fault, limit), so
+   chunking cannot change its answers.  Random fill draws from a per-fault
+   stream derived with [Rng.of_name] from the fault's index, not from the
+   shared generator, so the candidate patterns are independent of
+   generation order.  Candidate detection rows are simulated in one
+   parallel [detect_matrix] sweep, and the greedy cross-fault drop phase
+   (fortuitous detection) then runs as a sequential merge in fault-index
+   order over the merged candidates — bit-identical output for any domain
+   count, including fully sequential runs. *)
 
 open Asc_util
 module Circuit = Asc_netlist.Circuit
@@ -30,7 +42,14 @@ type config = {
 let default_config =
   { random_batches = 24; random_patience = 3; backtrack_limit = 200; fill_tries = 1 }
 
-let generate ?(config = default_config) c ~faults ~rng =
+(* Per-fault PODEM outcome, produced in parallel and consumed by the
+   sequential index-order merge. *)
+type candidate =
+  | Cand_redundant
+  | Cand_aborted
+  | Cand_fills of Pattern.t array (* fill_tries concrete fills of the cube *)
+
+let generate ?pool ?(config = default_config) c ~faults ~rng =
   let n_faults = Array.length faults in
   let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
   let detected = Bitvec.create n_faults in
@@ -48,7 +67,7 @@ let generate ?(config = default_config) c ~faults ~rng =
     let only = undetected () in
     if Bitvec.is_empty only then fruitless := config.random_patience
     else begin
-      let mat = Comb_fsim.detect_matrix ~only c ~patterns:batch ~faults in
+      let mat = Comb_fsim.detect_matrix ?pool ~only c ~patterns:batch ~faults in
       (* Keep, within the batch, only patterns that add coverage. *)
       let added = ref false in
       Array.iteri
@@ -64,41 +83,86 @@ let generate ?(config = default_config) c ~faults ~rng =
       if !added then fruitless := 0 else incr fruitless
     end
   done;
-  (* Deterministic phase: PODEM per remaining fault, immediate dropping. *)
-  let podem = Podem.create c in
+  (* Deterministic phase: PODEM per remaining fault.  Candidate generation
+     runs in parallel chunks, each with a private Podem.t and per-fault
+     fill streams; fortuitous dropping happens in the merge below. *)
   let redundant = Bitvec.create n_faults in
   let aborted = Bitvec.create n_faults in
-  for fi = 0 to n_faults - 1 do
-    if not (Bitvec.get detected fi || Bitvec.get redundant fi || Bitvec.get aborted fi)
-    then begin
-      match Podem.run ~backtrack_limit:config.backtrack_limit podem faults.(fi) with
-      | Podem.Redundant -> Bitvec.set redundant fi
-      | Podem.Aborted -> Bitvec.set aborted fi
-      | Podem.Test cube ->
-          let best = ref None in
-          for _try = 1 to max 1 config.fill_tries do
-            let pattern = Cube.fill rng cube in
-            let only = undetected () in
-            let det = Comb_fsim.detect_union ~only c ~patterns:[| pattern |] ~faults in
-            let gain = Bitvec.count det in
+  let remaining = undetected () in
+  let todo = Array.of_list (Bitvec.to_list remaining) in
+  let n_todo = Array.length todo in
+  (* One base drawn from the shared stream (deterministic: the random
+     phase above consumes [rng] identically for any domain count), then an
+     independent stream per fault id. *)
+  let fill_base = Rng.bits rng in
+  let fill_rng fi = Rng.of_name ~seed:fill_base (Printf.sprintf "fill/%d" fi) in
+  let cands = Array.make n_todo Cand_aborted in
+  let ranges =
+    Domain_pool.split ~n:n_todo ~pieces:(Domain_pool.chunk_count pool n_todo)
+  in
+  Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+      let start, count = ranges.(ci) in
+      let podem = Podem.create c in
+      for k = start to start + count - 1 do
+        let fi = todo.(k) in
+        cands.(k) <-
+          (match Podem.run ~backtrack_limit:config.backtrack_limit podem faults.(fi) with
+          | Podem.Redundant -> Cand_redundant
+          | Podem.Aborted -> Cand_aborted
+          | Podem.Test cube ->
+              let frng = fill_rng fi in
+              Cand_fills
+                (Array.init (max 1 config.fill_tries) (fun _ -> Cube.fill frng cube)))
+      done);
+  (* One parallel sweep gives every fill its detection row over the faults
+     still undetected after the random phase; intersecting a row with the
+     evolving undetected set during the merge equals simulating the fill
+     against that evolving set directly. *)
+  let all_fills =
+    Array.concat
+      (Array.to_list
+         (Array.map (function Cand_fills ps -> ps | _ -> [||]) cands))
+  in
+  let fill_rows =
+    Comb_fsim.detect_matrix ?pool ~only:remaining c ~patterns:all_fills ~faults
+  in
+  (* Sequential greedy merge in fault-index order: a fault fortuitously
+     detected by an earlier accepted fill contributes nothing (its
+     candidate is discarded, exactly as if PODEM had been skipped). *)
+  let offset = ref 0 in
+  Array.iteri
+    (fun k cand ->
+      let fi = todo.(k) in
+      match cand with
+      | Cand_redundant -> if not (Bitvec.get detected fi) then Bitvec.set redundant fi
+      | Cand_aborted -> if not (Bitvec.get detected fi) then Bitvec.set aborted fi
+      | Cand_fills fills ->
+          let base = !offset in
+          offset := base + Array.length fills;
+          if not (Bitvec.get detected fi) then begin
+            let best = ref None in
+            Array.iteri
+              (fun j pattern ->
+                let row = Bitmat.row fill_rows (base + j) in
+                let gain = Bitvec.count (Bitvec.diff row detected) in
+                match !best with
+                | Some (g, _, _) when g >= gain -> ()
+                | _ -> best := Some (gain, pattern, row))
+              fills;
             match !best with
-            | Some (g, _, _) when g >= gain -> ()
-            | _ -> best := Some (gain, pattern, det)
-          done;
-          (match !best with
-          | Some (_, pattern, det) ->
-              kept := pattern :: !kept;
-              Bitvec.union_into ~into:detected det;
-              (* The cube's own target must be covered by construction;
-                 random fill cannot undo the PODEM assignments. *)
-              Bitvec.set detected fi
-          | None -> ())
-    end
-  done;
+            | Some (_, pattern, row) ->
+                kept := pattern :: !kept;
+                Bitvec.union_into ~into:detected row;
+                (* The cube's own target must be covered by construction;
+                   random fill cannot undo the PODEM assignments. *)
+                Bitvec.set detected fi
+            | None -> ()
+          end)
+    cands;
   (* Reverse-order compaction: walk the tests newest-first and keep only
      those still contributing coverage. *)
   let tests = Array.of_list (List.rev !kept) in
-  let mat = Comb_fsim.detect_matrix ~only:detected c ~patterns:tests ~faults in
+  let mat = Comb_fsim.detect_matrix ?pool ~only:detected c ~patterns:tests ~faults in
   let still_needed = Bitvec.copy detected in
   let final = ref [] in
   for p = Array.length tests - 1 downto 0 do

@@ -3,7 +3,13 @@
     Random phase with fault dropping, PODEM for the remaining faults with
     random fill, then reverse-order fault-simulation compaction.  Detection
     is the full-scan combinational condition (PO or captured-state
-    difference). *)
+    difference).
+
+    The PODEM phase runs across worker domains when [pool] is given: fault
+    chunks each own a private [Podem.t], random fill draws from per-fault
+    streams seeded by fault id, and the greedy fortuitous-dropping pass is
+    a sequential fault-index-order merge over the chunked candidates — the
+    result is bit-identical for any domain count. *)
 
 type result = {
   tests : Asc_sim.Pattern.t array;  (** The compacted test set C. *)
@@ -22,6 +28,7 @@ type config = {
 val default_config : config
 
 val generate :
+  ?pool:Asc_util.Domain_pool.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

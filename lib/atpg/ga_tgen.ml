@@ -78,7 +78,7 @@ let commit_states good visited segment =
       Hashtbl.replace visited (state_signature (Engine3.state_words good)) ())
     segment
 
-let generate ?(config = default_config) c ~faults ~rng =
+let generate ?pool ?(config = default_config) c ~faults ~rng =
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   (* A fault-free mirror for state-novelty accounting. *)
@@ -112,7 +112,7 @@ let generate ?(config = default_config) c ~faults ~rng =
      novelty count is evaluated against a throwaway copy of [visited] so
      candidates don't spoil each other. *)
   let fitness ind =
-    let detections = Seq_fsim.inc3_peek inc ind in
+    let detections = Seq_fsim.inc3_peek ?pool inc ind in
     let novelty = count_novel_states good (Hashtbl.copy visited) ind in
     (detections, novelty)
   in
@@ -145,7 +145,7 @@ let generate ?(config = default_config) c ~faults ~rng =
       done;
       match !best with
       | Some ((detections, novelty), ind) when detections > 0 || novelty > 0 ->
-          let (_ : int) = Seq_fsim.inc3_commit inc ind in
+          let (_ : int) = Seq_fsim.inc3_commit ?pool inc ind in
           commit_states good visited ind;
           segments := ind :: !segments;
           if detections > 0 then fruitless := 0
@@ -165,7 +165,7 @@ let generate ?(config = default_config) c ~faults ~rng =
   done;
   if !segments = [] then begin
     let seg = random_individual (min config.budget config.seg_len) in
-    let (_ : int) = Seq_fsim.inc3_commit inc seg in
+    let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
     segments := [ seg ]
   end;
   { seq = Array.concat (List.rev !segments); detected = Bitvec.copy (Seq_fsim.inc3_detected inc) }

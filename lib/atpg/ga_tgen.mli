@@ -22,7 +22,10 @@ type result = {
       (** No-scan (unknown initial state) detections of the sequence. *)
 }
 
+(** [pool] parallelises the per-individual fault co-simulation across
+    domains; the generated sequence is identical for any domain count. *)
 val generate :
+  ?pool:Asc_util.Domain_pool.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

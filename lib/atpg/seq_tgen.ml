@@ -33,7 +33,7 @@ type result = {
   detected : Bitvec.t; (* no-scan detections of the full sequence *)
 }
 
-let generate ?(config = default_config) c ~faults ~rng =
+let generate ?pool ?(config = default_config) c ~faults ~rng =
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   let segments = ref [] in
@@ -64,7 +64,7 @@ let generate ?(config = default_config) c ~faults ~rng =
       let best = ref (-1) and best_gain = ref 0 in
       Array.iteri
         (fun k seg ->
-          let gain = Seq_fsim.inc3_peek inc seg in
+          let gain = Seq_fsim.inc3_peek ?pool inc seg in
           if gain > !best_gain then begin
             best := k;
             best_gain := gain
@@ -72,7 +72,7 @@ let generate ?(config = default_config) c ~faults ~rng =
         candidates;
       if !best >= 0 then begin
         let seg = candidates.(!best) in
-        let (_ : int) = Seq_fsim.inc3_commit inc seg in
+        let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
         segments := seg :: !segments;
         last_vector := seg.(Array.length seg - 1);
         fruitless := 0
@@ -91,7 +91,7 @@ let generate ?(config = default_config) c ~faults ~rng =
      without scan — the compaction procedure still needs a T0 to work on. *)
   if !segments = [] then begin
     let seg = Random_tgen.generate rng ~n_pis ~len:(min config.budget config.max_seg_len) in
-    let (_ : int) = Seq_fsim.inc3_commit inc seg in
+    let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
     segments := [ seg ]
   end;
   let seq = Array.concat (List.rev !segments) in

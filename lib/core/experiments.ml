@@ -11,6 +11,7 @@ module Circuit = Asc_netlist.Circuit
 type circuit_run = {
   name : string;
   prepared : Pipeline.prepared;
+  prepare_seconds : float; (* wall-clock of Pipeline.prepare (ATPG) *)
   directed : Pipeline.result;
   random : Pipeline.result;
   static_baseline : Baseline_static.result;
@@ -26,7 +27,9 @@ let run_circuit ?pool ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000
   let c = Asc_circuits.Registry.get ~seed name in
   let budget = Asc_circuits.Registry.t0_budget name in
   let base_config = config_for ~seed ~t0_source:(Pipeline.Directed budget) in
-  let prepared = Pipeline.prepare ~config:base_config c in
+  let t_prepare = Unix.gettimeofday () in
+  let prepared = Pipeline.prepare ?pool ~config:base_config c in
+  let prepare_seconds = Unix.gettimeofday () -. t_prepare in
   let directed = Pipeline.run ?pool ~config:base_config prepared in
   let random =
     Pipeline.run ?pool
@@ -42,4 +45,4 @@ let run_circuit ?pool ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000
            ~targets:prepared.targets ~rng)
     else None
   in
-  { name; prepared; directed; random; static_baseline; dynamic_baseline }
+  { name; prepared; prepare_seconds; directed; random; static_baseline; dynamic_baseline }

@@ -4,6 +4,8 @@
 type circuit_run = {
   name : string;
   prepared : Pipeline.prepared;
+  prepare_seconds : float;
+      (** Wall-clock spent in {!Pipeline.prepare} (fault collapse + ATPG). *)
   directed : Pipeline.result;  (** Proposed, directed T0 ([10]–[12] columns). *)
   random : Pipeline.result;  (** Proposed, random T0 ("rand" columns). *)
   static_baseline : Baseline_static.result;  (** The [4] columns. *)

@@ -61,11 +61,11 @@ type prepared = {
   aborted : Bitvec.t;
 }
 
-let prepare ?(config = default_config) c =
+let prepare ?pool ?(config = default_config) c =
   let collapse = Asc_fault.Collapse.run c in
   let faults = Asc_fault.Collapse.reps collapse in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/comb") in
-  let gen = Asc_atpg.Comb_tgen.generate ~config:config.comb_tgen c ~faults ~rng in
+  let gen = Asc_atpg.Comb_tgen.generate ?pool ~config:config.comb_tgen c ~faults ~rng in
   let n = Array.length faults in
   let targets = Bitvec.init n (fun i -> not (Bitvec.get gen.redundant i)) in
   {
@@ -101,7 +101,7 @@ type result = {
   cycles_final : int;
 }
 
-let make_t0 config (p : prepared) =
+let make_t0 ?pool config (p : prepared) =
   let c = p.circuit in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/t0") in
   match config.t0_source with
@@ -109,10 +109,10 @@ let make_t0 config (p : prepared) =
       Asc_atpg.Random_tgen.generate rng ~n_pis:(Circuit.n_inputs c) ~len
   | Directed budget ->
       let cfg = { Asc_atpg.Seq_tgen.default_config with budget } in
-      (Asc_atpg.Seq_tgen.generate ~config:cfg c ~faults:p.faults ~rng).seq
+      (Asc_atpg.Seq_tgen.generate ?pool ~config:cfg c ~faults:p.faults ~rng).seq
   | Genetic budget ->
       let cfg = { Asc_atpg.Ga_tgen.default_config with budget } in
-      (Asc_atpg.Ga_tgen.generate ~config:cfg c ~faults:p.faults ~rng).seq
+      (Asc_atpg.Ga_tgen.generate ?pool ~config:cfg c ~faults:p.faults ~rng).seq
 
 let run ?pool ?(config = default_config) (p : prepared) =
   let c = p.circuit in
@@ -123,7 +123,7 @@ let run ?pool ?(config = default_config) (p : prepared) =
           detectable faults?)"
          (Circuit.name c));
   let faults = p.faults in
-  let t0 = make_t0 config p in
+  let t0 = make_t0 ?pool config p in
   let f0_orig =
     Bitvec.inter (Seq_fsim.detect_no_scan ?pool c ~seq:t0 ~faults) p.targets
   in

@@ -38,10 +38,16 @@ type prepared = {
   aborted : Asc_util.Bitvec.t;
 }
 
-val prepare : ?config:config -> Asc_netlist.Circuit.t -> prepared
+(** [prepare ?pool ?config c] builds the shared preparation.  [pool]
+    parallelises combinational test generation (the PODEM phase chunks
+    target faults across domains, each chunk with private ATPG state); the
+    [prepared] record is bit-identical for any domain count. *)
+val prepare :
+  ?pool:Asc_util.Domain_pool.t -> ?config:config -> Asc_netlist.Circuit.t -> prepared
 
-(** Generate the configured T0 sequence (exposed for pipeline variants). *)
-val make_t0 : config -> prepared -> bool array array
+(** Generate the configured T0 sequence (exposed for pipeline variants).
+    [pool] parallelises the generators' fault co-simulation. *)
+val make_t0 : ?pool:Asc_util.Domain_pool.t -> config -> prepared -> bool array array
 
 type iteration = {
   si_index : int;

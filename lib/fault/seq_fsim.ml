@@ -541,9 +541,28 @@ let good_segment t sw =
   done;
   (good_po, !any_known)
 
+(* Chunked parallel sweep over the incremental engines.  Each chunk owns a
+   contiguous group range: group [gi]'s engine is touched only by the task
+   that owns [gi], the good-machine PO trace and [detected3] are read-only
+   during the sweep, and per-group results land in group-indexed slots the
+   submitter merges in index order — so peek counts and commit detections
+   are bit-identical for any domain count. *)
+let inc3_sweep ?pool t ~(f : int -> int) =
+  let n_groups = Array.length t.groups3 in
+  let dets = Array.make n_groups 0 in
+  let ranges =
+    Domain_pool.split ~n:n_groups ~pieces:(Domain_pool.chunk_count pool n_groups)
+  in
+  Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+      let start, count = ranges.(ci) in
+      for gi = start to start + count - 1 do
+        dets.(gi) <- f gi
+      done);
+  dets
+
 (* Evaluate a candidate segment without committing: number of newly
    detected faults.  Engine states are saved and restored. *)
-let inc3_peek t (segment : seq) =
+let inc3_peek ?pool t (segment : seq) =
   let sw = seq_words t.c3 segment in
   let saved_good = Engine3.state_words t.good3 in
   let good_po, any_known = good_segment t sw in
@@ -551,30 +570,30 @@ let inc3_peek t (segment : seq) =
   Engine3.set_state_words t.good3 ~z ~o;
   if not any_known then 0
   else begin
-    let newly = ref 0 in
-    Array.iteri
-      (fun gi _ ->
-        if undetected_lanes t gi <> 0 then begin
-          let saved = Engine3.state_words t.engines.(gi) in
-          let d = run_segment t gi ~sw ~good_po in
-          newly := !newly + Word.popcount d;
-          let z, o = saved in
-          Engine3.set_state_words t.engines.(gi) ~z ~o
-        end)
-      t.groups3;
-    !newly
+    let dets =
+      inc3_sweep ?pool t ~f:(fun gi ->
+          if undetected_lanes t gi = 0 then 0
+          else begin
+            let saved = Engine3.state_words t.engines.(gi) in
+            let d = run_segment t gi ~sw ~good_po in
+            let z, o = saved in
+            Engine3.set_state_words t.engines.(gi) ~z ~o;
+            d
+          end)
+    in
+    Array.fold_left (fun acc d -> acc + Word.popcount d) 0 dets
   end
 
 (* Append a segment: update every machine, mark newly detected faults,
    return how many were newly detected. *)
-let inc3_commit t (segment : seq) =
+let inc3_commit ?pool t (segment : seq) =
   let sw = seq_words t.c3 segment in
   let good_po, _ = good_segment t sw in
+  (* Even fully-detected groups must advance their state. *)
+  let dets = inc3_sweep ?pool t ~f:(fun gi -> run_segment t gi ~sw ~good_po) in
   let newly = ref 0 in
   Array.iteri
     (fun gi group ->
-      (* Even fully-detected groups must advance their state. *)
-      let d = run_segment t gi ~sw ~good_po in
       Word.iter_set
         (fun lane ->
           let fi = group.members.(lane) in
@@ -582,7 +601,7 @@ let inc3_commit t (segment : seq) =
             Bitvec.set t.detected3 fi;
             incr newly
           end)
-        d)
+        dets.(gi))
     t.groups3;
   t.length <- t.length + Array.length segment;
   t.commits_since_compact <- t.commits_since_compact + 1;

@@ -104,8 +104,12 @@ val inc3_detected : inc3 -> Asc_util.Bitvec.t
 (** Length of the committed sequence. *)
 val inc3_length : inc3 -> int
 
-(** Number of new detections a candidate segment would add (no commit). *)
-val inc3_peek : inc3 -> seq -> int
+(** Number of new detections a candidate segment would add (no commit).
+    [pool] chunks the fault groups across worker domains (each group's
+    engine stays private to one task); the count is identical for any
+    domain count. *)
+val inc3_peek : ?pool:Asc_util.Domain_pool.t -> inc3 -> seq -> int
 
-(** Append a segment; returns the number of newly detected faults. *)
-val inc3_commit : inc3 -> seq -> int
+(** Append a segment; returns the number of newly detected faults.  Same
+    [pool] contract as {!inc3_peek}. *)
+val inc3_commit : ?pool:Asc_util.Domain_pool.t -> inc3 -> seq -> int

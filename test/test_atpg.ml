@@ -152,6 +152,41 @@ let prop_comb_tgen_complete =
         Bitvec.equal cov r.detected
       end)
 
+(* Exhaustive oracle for the domain-parallel PODEM phase, on circuits
+   small enough (<= 16 PIs+FFs) to enumerate every input assignment:
+   every fault the parallel generator covers is confirmed by a kept
+   pattern through the independent Comb_fsim.patterns_detecting path, and
+   every fault it proves redundant is exhaustively undetectable. *)
+let prop_parallel_podem_oracle =
+  QCheck.Test.make ~name:"parallel Comb_tgen matches the exhaustive oracle" ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit ~pis:4 ~ffs:4 ~gates:35 seed in
+      assert (Circuit.n_inputs c + Circuit.n_dffs c <= 16);
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 3) in
+      let pool = Asc_util.Domain_pool.create ~domains:2 () in
+      Fun.protect
+        ~finally:(fun () -> Asc_util.Domain_pool.shutdown pool)
+        (fun () ->
+          let r = Asc_atpg.Comb_tgen.generate ~pool c ~faults ~rng in
+          let ok = ref true in
+          Array.iteri
+            (fun fi f ->
+              if Bitvec.get r.redundant fi then begin
+                if exhaustively_detectable c f then ok := false
+              end
+              else if Bitvec.get r.detected fi then begin
+                (* An emitted pattern must detect the fault, per the
+                   independent single-fault oracle. *)
+                let witnesses =
+                  Asc_fault.Comb_fsim.patterns_detecting c ~patterns:r.tests ~fault:f
+                in
+                if Bitvec.is_empty witnesses then ok := false
+              end)
+            faults;
+          !ok))
+
 let test_comb_tgen_s27_full_coverage () =
   let c = Asc_circuits.S27.circuit () in
   let faults = Collapse.reps (Collapse.run c) in
@@ -199,6 +234,7 @@ let suite =
         Alcotest.test_case "podem fixed pins" `Quick test_podem_fixed_assignment;
         Alcotest.test_case "podem dff pin fault" `Quick test_podem_dff_pin_fault;
         qtest prop_comb_tgen_complete;
+        qtest prop_parallel_podem_oracle;
         Alcotest.test_case "comb_tgen s27" `Quick test_comb_tgen_s27_full_coverage;
         Alcotest.test_case "random_tgen" `Quick test_random_tgen;
         Alcotest.test_case "seq_tgen consistency" `Quick test_seq_tgen_consistency;

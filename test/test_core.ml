@@ -169,6 +169,37 @@ let test_static_baseline () =
   Alcotest.(check bool) "coverage preserved" true
     (Bitvec.subset (Bitvec.inter prepared.comb_detected prepared.targets) cov)
 
+(* N_cyc regression: recompute the paper's Section-2 cost formula
+   (k + 1) * N_SV + sum_j L(T_j) directly from the final test sets —
+   without Time_model — and check it against the figures the pipeline
+   and the baseline report, on two circuits. *)
+let n_cyc_by_hand c (tests : Scan_test.t array) =
+  let k = Array.length tests in
+  let n_sv = Circuit.n_dffs c in
+  if k = 0 then 0
+  else ((k + 1) * n_sv) + Array.fold_left (fun acc t -> acc + Scan_test.length t) 0 tests
+
+let test_n_cyc_regression () =
+  (* s298: pipeline initial/final and the static baseline. *)
+  let c, prepared, r = Lazy.force run_s298 in
+  Alcotest.(check int) "s298 initial N_cyc" (n_cyc_by_hand c r.initial_tests)
+    r.cycles_initial;
+  Alcotest.(check int) "s298 final N_cyc" (n_cyc_by_hand c r.final_tests) r.cycles_final;
+  let b = Asc_core.Baseline_static.run prepared in
+  Alcotest.(check int) "s298 baseline initial N_cyc"
+    (n_cyc_by_hand c b.initial_tests) b.cycles_initial;
+  Alcotest.(check int) "s298 baseline final N_cyc" (n_cyc_by_hand c b.final_tests)
+    b.cycles_final;
+  (* s344: a second, independent run. *)
+  let c2 = Asc_circuits.Registry.get "s344" in
+  let config = { Pipeline.default_config with t0_source = Pipeline.Directed 60 } in
+  let p2 = Pipeline.prepare ~config c2 in
+  let r2 = Pipeline.run ~config p2 in
+  Alcotest.(check int) "s344 initial N_cyc" (n_cyc_by_hand c2 r2.initial_tests)
+    r2.cycles_initial;
+  Alcotest.(check int) "s344 final N_cyc" (n_cyc_by_hand c2 r2.final_tests)
+    r2.cycles_final
+
 let test_pipeline_random_t0 () =
   let c = Asc_circuits.Registry.get "s344" in
   let config = { Pipeline.default_config with t0_source = Pipeline.Random_seq 200 } in
@@ -191,6 +222,7 @@ let suite =
         Alcotest.test_case "f_seq = tau_seq coverage" `Quick test_pipeline_fseq_is_tau_seq_coverage;
         Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
         Alcotest.test_case "static baseline" `Quick test_static_baseline;
+        Alcotest.test_case "N_cyc formula regression" `Quick test_n_cyc_regression;
         Alcotest.test_case "pipeline random T0" `Quick test_pipeline_random_t0;
       ] );
   ]

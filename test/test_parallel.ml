@@ -1,11 +1,12 @@
 (* Tests for the domain-parallel simulation layer.
 
-   Two families: unit tests of Asc_util.Domain_pool itself (scheduling,
-   determinism of the merge contract, exception propagation, nesting), and
+   Three families: unit tests of Asc_util.Domain_pool itself (scheduling,
+   determinism of the merge contract, exception propagation, nesting),
    end-to-end determinism tests asserting that every parallel fault-sim
    entry point returns bit-identical results for 1, 2 and 4 domains — on
    the embedded s27 netlist and on a synthetic circuit from
-   Asc_circuits.Generator. *)
+   Asc_circuits.Generator — and ATPG determinism tests asserting the same
+   for Pipeline.prepare (PODEM + the set C) and the T0 generators. *)
 
 open Asc_util
 module Circuit = Asc_netlist.Circuit
@@ -198,6 +199,64 @@ let test_comb_deterministic () =
         (fun pool -> Comb_fsim.detect_matrix ?pool c ~patterns ~faults))
     (test_circuits ())
 
+(* --- ATPG (prepare) determinism across domain counts ----------------- *)
+
+let check_pattern_array label (a : Asc_sim.Pattern.t array) b =
+  Alcotest.(check int) (label ^ " count") (Array.length a) (Array.length b);
+  Alcotest.(check bool) (label ^ " contents") true
+    (Array.for_all2 (fun (p : Asc_sim.Pattern.t) (q : Asc_sim.Pattern.t) ->
+         p.pis = q.pis && p.state = q.state)
+       a b)
+
+(* Pipeline.prepare — PODEM, the set C, the redundancy proofs — must be
+   bit-identical for any domain count, on s27, a generated circuit and a
+   paper-profile stand-in. *)
+let test_prepare_deterministic () =
+  List.iter
+    (fun (name, c) ->
+      let reference = Asc_core.Pipeline.prepare c in
+      List.iter
+        (fun domains ->
+          with_pool domains (fun pool ->
+              let p = Asc_core.Pipeline.prepare ~pool c in
+              let label what =
+                Printf.sprintf "%s prepare %s (%d domains)" name what domains
+              in
+              check_pattern_array (label "comb_tests") reference.comb_tests
+                p.comb_tests;
+              check_bitvec (label "comb_detected") reference.comb_detected
+                p.comb_detected;
+              check_bitvec (label "redundant") reference.redundant p.redundant;
+              check_bitvec (label "aborted") reference.aborted p.aborted;
+              check_bitvec (label "targets") reference.targets p.targets))
+        [ 1; 2; 4 ])
+    (test_circuits () @ [ ("s298", Asc_circuits.Registry.get "s298") ])
+
+(* The T0 generators fan their candidate co-simulation out over fault
+   groups; the committed sequence must not depend on the domain count. *)
+let test_t0_deterministic () =
+  let name, c = ("s298", Asc_circuits.Registry.get "s298") in
+  let faults = Asc_fault.Collapse.reps (Asc_fault.Collapse.run c) in
+  let directed pool =
+    let cfg = { Asc_atpg.Seq_tgen.default_config with budget = 60 } in
+    let rng = Rng.of_name ~seed:13 (name ^ "/par-t0") in
+    (Asc_atpg.Seq_tgen.generate ?pool ~config:cfg c ~faults ~rng).seq
+  in
+  let genetic pool =
+    let cfg =
+      { Asc_atpg.Ga_tgen.default_config with budget = 30; generations = 2 }
+    in
+    let rng = Rng.of_name ~seed:17 (name ^ "/par-ga") in
+    (Asc_atpg.Ga_tgen.generate ?pool ~config:cfg c ~faults ~rng).seq
+  in
+  List.iter
+    (fun (label, gen) ->
+      across_pools ~label
+        ~check:(fun label (a : bool array array) b ->
+          Alcotest.(check bool) label true (a = b))
+        gen)
+    [ ("seq_tgen domain-invariant", directed); ("ga_tgen domain-invariant", genetic) ]
+
 (* End to end: the whole pipeline under a pool equals the sequential run
    on the cheapest benchmark circuit. *)
 let test_pipeline_deterministic () =
@@ -239,6 +298,10 @@ let suite =
           test_candidates_deterministic;
         Alcotest.test_case "comb fsim is domain-count invariant" `Quick
           test_comb_deterministic;
+        Alcotest.test_case "prepare is domain-count invariant" `Quick
+          test_prepare_deterministic;
+        Alcotest.test_case "t0 generators are domain-count invariant" `Quick
+          test_t0_deterministic;
         Alcotest.test_case "pipeline is domain-count invariant" `Quick
           test_pipeline_deterministic;
       ] );
