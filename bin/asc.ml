@@ -2,8 +2,38 @@
 
 open Cmdliner
 module Bv = Asc_util.Bitvec
+module Budget = Asc_util.Budget
 module Circuit = Asc_netlist.Circuit
 module Pipeline = Asc_core.Pipeline
+module Checkpoint = Asc_core.Checkpoint
+
+(* Exit-code contract (docs/ROBUSTNESS.md).  Cmdliner keeps its own
+   124/125 for command-line parse and internal errors. *)
+let exit_input = 1 (* malformed netlist / test set / checkpoint *)
+let exit_usage = 2 (* unknown circuit, bad flag value *)
+let exit_partial = 3 (* deadline or signal interrupted the run *)
+
+let die code fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("asc: " ^ s);
+      exit code)
+    fmt
+
+(* Map every known input-level exception to the exit contract instead of
+   dying with an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Asc_netlist.Bench_io.Parse_error { line; message } ->
+      die exit_input "parse error at line %d: %s" line message
+  | Asc_netlist.Circuit.Structural_error message ->
+      die exit_input "structural error: %s" message
+  | Asc_scan.Tset_io.Format_error { line; message } ->
+      die exit_input "test-set error at line %d: %s" line message
+  | Checkpoint.Corrupt { line; message } ->
+      die exit_input "corrupt checkpoint at line %d: %s" line message
+  | Checkpoint.Incompatible message -> die exit_input "incompatible checkpoint: %s" message
+  | Sys_error message -> die exit_input "%s" message
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -17,34 +47,64 @@ let seed_arg =
   let doc = "Seed for every stochastic step (default 1)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+(* Validating converters: reject bad values at parse time instead of
+   silently clamping them. *)
+let domain_count =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "domain count must be >= 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let timeout_seconds =
+  let parse s =
+    match float_of_string_opt s with
+    | Some t when t > 0.0 -> Ok t
+    | Some t -> Error (`Msg (Printf.sprintf "timeout must be positive, got %g" t))
+    | None -> Error (`Msg (Printf.sprintf "expected a number of seconds, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let domains_arg =
   let doc =
     "Worker domains for fault simulation (default: the ASC_DOMAINS \
      environment variable, else the hardware's recommended count; 1 \
      disables parallelism)."
   in
-  Arg.(value & opt (some int) None & info [ "domains" ] ~doc ~docv:"N")
+  Arg.(value & opt (some domain_count) None & info [ "domains" ] ~doc ~docv:"N")
 
 (* Resolve the --domains flag to an optional pool; [None] keeps every
-   simulation on the calling domain. *)
-let make_pool domains =
+   simulation on the calling domain.  [budget] makes the pool fail fast
+   once the run's deadline or a signal fires. *)
+let make_pool ?budget domains =
   let n =
     match domains with
-    | Some n -> max 1 n
+    | Some n -> n
     | None -> Asc_util.Domain_pool.default_domains ()
   in
-  if n > 1 then Some (Asc_util.Domain_pool.create ~domains:n ()) else None
+  if n > 1 then Some (Asc_util.Domain_pool.create ?budget ~domains:n ()) else None
+
+(* SIGINT/SIGTERM flip the run's budget; the pipeline unwinds at the next
+   cancellation point and exits with {!exit_partial}.  Best effort: on
+   platforms without these signals the run is still deadline-aware. *)
+let install_signal_handlers budget =
+  let handler _ = Budget.cancel budget in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 let name_arg =
   let doc = "Benchmark circuit name (see `asc list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 
 let check_name name =
-  if not (Asc_circuits.Registry.mem name) then begin
-    Printf.eprintf "unknown circuit %S; known: %s\n" name
-      (String.concat " " Asc_circuits.Registry.names);
-    exit 1
-  end
+  if not (Asc_circuits.Registry.mem name) then
+    die exit_usage "unknown circuit %S; known: %s" name
+      (String.concat " " Asc_circuits.Registry.names)
 
 (* --- list / info / export --------------------------------------------- *)
 
@@ -106,6 +166,7 @@ let export_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
   in
   let run name file seed =
+    guard @@ fun () ->
     check_name name;
     Asc_netlist.Bench_io.write_file file (Asc_circuits.Registry.get ~seed name);
     Printf.printf "wrote %s\n" file
@@ -119,48 +180,168 @@ let t0_arg =
   let doc = "T0 source: 'directed' or 'random'." in
   Arg.(value & opt string "directed" & info [ "t0" ] ~doc)
 
+let t0_source_of_flag name t0 =
+  match t0 with
+  | "directed" -> Pipeline.Directed (Asc_circuits.Registry.t0_budget name)
+  | "random" -> Pipeline.Random_seq 1000
+  | _ -> die exit_usage "bad --t0 %S (expected directed|random)" t0
+
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds.  When it fires the run stops at the \
+     next cancellation point, reports the best test set found so far, and \
+     exits with code 3."
+  in
+  Arg.(value & opt (some timeout_seconds) None & info [ "timeout" ] ~doc ~docv:"SECONDS")
+
+let checkpoint_arg =
+  let doc = "Write a resumable snapshot to $(docv) at every iteration boundary." in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
+
+let resume_arg =
+  let doc =
+    "Resume from a snapshot previously written by $(b,--checkpoint); the \
+     resumed run reproduces the uninterrupted result bit-identically."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
+
+let json_arg =
+  let doc = "Also write a machine-readable run summary to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+
+let emit_json path ~circuit ~status ~reason ~stage ~iterations ~tests ~cycles
+    ~detected ~targets =
+  let opt = function None -> "null" | Some s -> Printf.sprintf "%S" s in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"circuit\": %S,\n\
+    \  \"status\": %S,\n\
+    \  \"reason\": %s,\n\
+    \  \"stage\": %s,\n\
+    \  \"iterations\": %d,\n\
+    \  \"tests\": %d,\n\
+    \  \"cycles\": %d,\n\
+    \  \"detected\": %d,\n\
+    \  \"targets\": %d\n\
+     }\n"
+    circuit status (opt reason) (opt stage) iterations tests cycles detected targets;
+  close_out oc
+
 let run_cmd =
-  let run name t0 seed domains verbose =
+  let run name t0 seed domains timeout checkpoint resume json verbose =
+    guard @@ fun () ->
     setup_logs verbose;
     check_name name;
-    let pool = make_pool domains in
+    let budget = Budget.create ?timeout () in
+    install_signal_handlers budget;
+    let pool = make_pool ~budget domains in
     let c = Asc_circuits.Registry.get ~seed name in
-    let t0_source =
-      match t0 with
-      | "directed" -> Pipeline.Directed (Asc_circuits.Registry.t0_budget name)
-      | "random" -> Pipeline.Random_seq 1000
-      | _ ->
-          Printf.eprintf "bad --t0 %S (expected directed|random)\n" t0;
-          exit 1
-    in
+    let t0_source = t0_source_of_flag name t0 in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
-    let prepared = Pipeline.prepare ?pool ~config c in
-    let r = Pipeline.run ?pool ~config prepared in
-    Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
-      (Bv.count prepared.targets)
-      (Array.length prepared.comb_tests);
-    Printf.printf "T0: length %d, detects %d without scan\n" r.t0_length r.f0_count;
-    List.iteri
-      (fun i (it : Pipeline.iteration) ->
-        Printf.printf "  iteration %d: SI=%d u_SO=%d L=%d detected=%d\n" (i + 1)
-          it.si_index it.u_so it.len_after_omission it.detected_count)
-      r.iterations;
-    Printf.printf "tau_seq: L = %d, detects %d\n"
-      (Asc_scan.Scan_test.length r.tau_seq)
-      (Bv.count r.f_seq);
-    Printf.printf "phase 3: %d added tests (%d faults uncoverable by C)\n"
-      (Array.length r.added) (Bv.count r.uncovered);
-    Printf.printf "cycles: %d initial, %d after phase 4\n" r.cycles_initial
-      r.cycles_final;
-    Printf.printf "final coverage: %d / %d\n"
-      (Bv.count r.final_detected)
-      (Bv.count prepared.targets)
+    let ran =
+      (* The budget can fire while a budget-carrying pool is mid-sweep in
+         [prepare]; that surfaces as [Exhausted] before any snapshot
+         exists, so there is no partial test set to report. *)
+      try
+        let prepared = Pipeline.prepare ?pool ~budget ~config c in
+        let resume_snap =
+          Option.map
+            (fun path ->
+              let s = Checkpoint.read_file path in
+              Checkpoint.validate prepared ~config s;
+              s)
+            resume
+        in
+        let on_checkpoint =
+          Option.map (fun path snap -> Checkpoint.write_file path snap) checkpoint
+        in
+        Some
+          ( prepared,
+            Pipeline.run_bounded ?pool ~budget ~config ?resume:resume_snap
+              ?on_checkpoint prepared )
+      with Budget.Exhausted _ -> None
+    in
+    match ran with
+    | None ->
+        let reason =
+          match Budget.status budget with
+          | Some r -> Budget.reason_to_string r
+          | None -> "deadline"
+        in
+        Printf.printf "budget fired (%s) during preparation; no tests generated\n"
+          reason;
+        Option.iter
+          (fun path ->
+            emit_json path ~circuit:name ~status:"partial" ~reason:(Some reason)
+              ~stage:(Some "prepare") ~iterations:0 ~tests:0 ~cycles:0 ~detected:0
+              ~targets:0)
+          json;
+        exit exit_partial
+    | Some (prepared, outcome) -> (
+        Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
+          (Bv.count prepared.targets)
+          (Array.length prepared.comb_tests);
+        match outcome with
+        | Pipeline.Complete r ->
+            Printf.printf "T0: length %d, detects %d without scan\n" r.t0_length
+              r.f0_count;
+            List.iteri
+              (fun i (it : Pipeline.iteration) ->
+                Printf.printf "  iteration %d: SI=%d u_SO=%d L=%d detected=%d\n"
+                  (i + 1) it.si_index it.u_so it.len_after_omission it.detected_count)
+              r.iterations;
+            Printf.printf "tau_seq: L = %d, detects %d\n"
+              (Asc_scan.Scan_test.length r.tau_seq)
+              (Bv.count r.f_seq);
+            Printf.printf "phase 3: %d added tests (%d faults uncoverable by C)\n"
+              (Array.length r.added) (Bv.count r.uncovered);
+            Printf.printf "cycles: %d initial, %d after phase 4\n" r.cycles_initial
+              r.cycles_final;
+            Printf.printf "final coverage: %d / %d\n"
+              (Bv.count r.final_detected)
+              (Bv.count prepared.targets);
+            Option.iter
+              (fun path ->
+                emit_json path ~circuit:name ~status:"complete" ~reason:None
+                  ~stage:None
+                  ~iterations:(List.length r.iterations)
+                  ~tests:(Array.length r.final_tests)
+                  ~cycles:r.cycles_final
+                  ~detected:(Bv.count r.final_detected)
+                  ~targets:(Bv.count prepared.targets))
+              json
+        | Pipeline.Partial p ->
+            let reason = Budget.reason_to_string p.p_reason in
+            let stage = Pipeline.stage_to_string p.p_stage in
+            Printf.printf "budget fired (%s) during %s\n" reason stage;
+            Printf.printf
+              "best so far: %d tests, %d cycles, %d / %d detected after %d \
+               iterations\n"
+              (Array.length p.p_tests) p.p_cycles
+              (Bv.count p.p_detected)
+              (Bv.count prepared.targets)
+              (List.length p.p_iterations);
+            Option.iter
+              (fun path ->
+                emit_json path ~circuit:name ~status:"partial" ~reason:(Some reason)
+                  ~stage:(Some stage)
+                  ~iterations:(List.length p.p_iterations)
+                  ~tests:(Array.length p.p_tests)
+                  ~cycles:p.p_cycles
+                  ~detected:(Bv.count p.p_detected)
+                  ~targets:(Bv.count prepared.targets))
+              json;
+            exit exit_partial)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
-    Term.(const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ verbose_arg)
+    Term.(
+      const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ timeout_arg
+      $ checkpoint_arg $ resume_arg $ json_arg $ verbose_arg)
 
 let baseline_cmd =
   let run name seed domains verbose =
+    guard @@ fun () ->
     setup_logs verbose;
     check_name name;
     let pool = make_pool domains in
@@ -191,17 +372,11 @@ let atspeed_cmd =
 let save_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
   let run name file t0 seed domains =
+    guard @@ fun () ->
     check_name name;
     let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
-    let t0_source =
-      match t0 with
-      | "directed" -> Pipeline.Directed (Asc_circuits.Registry.t0_budget name)
-      | "random" -> Pipeline.Random_seq 1000
-      | _ ->
-          Printf.eprintf "bad --t0 %S\n" t0;
-          exit 1
-    in
+    let t0_source = t0_source_of_flag name t0 in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
     let prepared = Pipeline.prepare ?pool ~config c in
     let r = Pipeline.run ?pool ~config prepared in
@@ -216,6 +391,7 @@ let save_cmd =
 let verify_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
   let run name file seed domains =
+    guard @@ fun () ->
     check_name name;
     let pool = make_pool domains in
     let c = Asc_circuits.Registry.get ~seed name in
@@ -234,6 +410,7 @@ let verify_cmd =
 let import_cmd =
   let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run file =
+    guard @@ fun () ->
     let c = Asc_netlist.Bench_io.parse_file file in
     Format.printf "%a@." Circuit.pp_stats c;
     let config = Pipeline.default_config in
@@ -294,6 +471,7 @@ let partial_cmd =
 let audit_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
   let run name file seed =
+    guard @@ fun () ->
     check_name name;
     let c = Asc_circuits.Registry.get ~seed name in
     let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
@@ -317,6 +495,7 @@ let waveform_cmd =
     Arg.(value & opt int 32 & info [ "cycles" ] ~doc)
   in
   let run name file len seed =
+    guard @@ fun () ->
     check_name name;
     let c = Asc_circuits.Registry.get ~seed name in
     let rng = Asc_util.Rng.of_name ~seed (name ^ "/waveform") in
@@ -365,7 +544,16 @@ let tables_cmd =
 
 let () =
   let doc = "scan test compaction for at-speed testing (Pomeranz & Reddy, DAC 2001)" in
-  let info = Cmd.info "asc" ~version:"1.0.0" ~doc in
+  let exits =
+    Cmd.Exit.info exit_input ~doc:"on malformed input (netlist, test set, checkpoint)."
+    :: Cmd.Exit.info exit_usage ~doc:"on usage errors such as an unknown circuit."
+    :: Cmd.Exit.info exit_partial
+         ~doc:
+           "when a $(b,--timeout) deadline or a SIGINT/SIGTERM interrupted the \
+            run; partial results were reported."
+    :: Cmd.Exit.defaults
+  in
+  let info = Cmd.info "asc" ~version:"1.0.0" ~doc ~exits in
   exit
     (Cmd.eval
        (Cmd.group info

@@ -49,7 +49,14 @@ type candidate =
   | Cand_aborted
   | Cand_fills of Pattern.t array (* fill_tries concrete fills of the cube *)
 
-let generate ?pool ?(config = default_config) c ~faults ~rng =
+(* [budget] reaches two places: the random-phase batch loop (a fired budget
+   stops proposing batches) and PODEM (which returns [Aborted] promptly).
+   The fault-simulation sweeps deliberately run without it, so [generate]
+   still returns a well-formed (if weaker) result after the budget fires —
+   the cooperative unwind happens at the caller's next poll point.  (A pool
+   carrying its own fired budget raises out of [generate] instead.) *)
+let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults ~rng
+    =
   let n_faults = Array.length faults in
   let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
   let detected = Bitvec.create n_faults in
@@ -61,7 +68,11 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
      patterns only when the batch detected something new. *)
   let fruitless = ref 0 in
   let batch_index = ref 0 in
-  while !batch_index < config.random_batches && !fruitless < config.random_patience do
+  while
+    !batch_index < config.random_batches
+    && !fruitless < config.random_patience
+    && not (Budget.exhausted budget)
+  do
     incr batch_index;
     let batch = Array.init Word.width (fun _ -> Pattern.random rng ~n_pis ~n_ffs) in
     let only = undetected () in
@@ -106,7 +117,9 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
       for k = start to start + count - 1 do
         let fi = todo.(k) in
         cands.(k) <-
-          (match Podem.run ~backtrack_limit:config.backtrack_limit podem faults.(fi) with
+          (match
+             Podem.run ~backtrack_limit:config.backtrack_limit ~budget podem faults.(fi)
+           with
           | Podem.Redundant -> Cand_redundant
           | Podem.Aborted -> Cand_aborted
           | Podem.Test cube ->

@@ -78,7 +78,12 @@ let commit_states good visited segment =
       Hashtbl.replace visited (state_signature (Engine3.state_words good)) ())
     segment
 
-let generate ?pool ?(config = default_config) c ~faults ~rng =
+(* [budget] (wall-clock, distinct from [config.budget]'s length cap): a
+   fired budget ends the evolution loop — unwinding out of the fitness
+   co-simulation via [Budget.Exhausted] — and the committed prefix is
+   returned as the sequence. *)
+let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults
+    ~rng =
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   (* A fault-free mirror for state-novelty accounting. *)
@@ -112,13 +117,14 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
      novelty count is evaluated against a throwaway copy of [visited] so
      candidates don't spoil each other. *)
   let fitness ind =
-    let detections = Seq_fsim.inc3_peek ?pool inc ind in
+    let detections = Seq_fsim.inc3_peek ?pool ~budget inc ind in
     let novelty = count_novel_states good (Hashtbl.copy visited) ind in
     (detections, novelty)
   in
+  (try
   while not !finished do
     let remaining = config.budget - Seq_fsim.inc3_length inc in
-    if remaining <= 0 then finished := true
+    if remaining <= 0 || Budget.exhausted budget then finished := true
     else begin
       let len = min !seg_len remaining in
       let population = ref (Array.init config.population (fun _ -> random_individual len)) in
@@ -145,7 +151,7 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
       done;
       match !best with
       | Some ((detections, novelty), ind) when detections > 0 || novelty > 0 ->
-          let (_ : int) = Seq_fsim.inc3_commit ?pool inc ind in
+          let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget inc ind in
           commit_states good visited ind;
           segments := ind :: !segments;
           if detections > 0 then fruitless := 0
@@ -162,10 +168,14 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
             else seg_len := min config.max_seg_len (2 * !seg_len)
           end
     end
-  done;
+  done
+  with Budget.Exhausted _ -> ());
   if !segments = [] then begin
     let seg = random_individual (min config.budget config.seg_len) in
-    let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
+    (try
+       let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
+       ()
+     with Budget.Exhausted _ -> ());
     segments := [ seg ]
   end;
   { seq = Array.concat (List.rev !segments); detected = Bitvec.copy (Seq_fsim.inc3_detected inc) }

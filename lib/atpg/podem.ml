@@ -322,8 +322,11 @@ let cube_of t =
    exhausted search space proves redundancy.  [fixed] pre-assigns input
    gates (e.g. the present state reached by a previous vector in dynamic
    compaction); the search never revisits them, so [Redundant] then only
-   means "untestable under the fixed assignment". *)
-let run ?(backtrack_limit = 200) ?(fixed = []) t (fault : Fault.t) =
+   means "untestable under the fixed assignment".  [budget] is polled once
+   per decision-loop round: a fired deadline or cancellation yields
+   [Aborted] — a graceful "don't know", never a bogus [Redundant]. *)
+let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed = []) t
+    (fault : Fault.t) =
   Array.fill t.asn 0 (Array.length t.asn) vx;
   List.iter
     (fun (g, v) ->
@@ -361,7 +364,8 @@ let run ?(backtrack_limit = 200) ?(fixed = []) t (fault : Fault.t) =
   in
   (try
      while !result = None do
-       if detected t fault then result := Some (Test (cube_of t))
+       if Asc_util.Budget.exhausted budget then result := Some Aborted
+       else if detected t fault then result := Some (Test (cube_of t))
        else begin
          match objective t fault with
          | None ->

@@ -8,7 +8,7 @@
 type result =
   | Test of Cube.t  (** A (possibly partial) test cube detecting the fault. *)
   | Redundant  (** Search space exhausted: combinationally untestable. *)
-  | Aborted  (** Backtrack limit exceeded. *)
+  | Aborted  (** Backtrack limit exceeded, or the budget fired mid-search. *)
 
 type t
 
@@ -17,6 +17,13 @@ val create : Asc_netlist.Circuit.t -> t
 
 (** Generate a test for one stuck-at fault.  [fixed] pre-assigns source
     gates (PIs / flip-flops); with it, [Redundant] only means "untestable
-    under the fixed assignment". *)
+    under the fixed assignment".  [budget] is polled once per decision
+    round; once fired the search returns {!Aborted} (never a spurious
+    {!Redundant}) instead of raising. *)
 val run :
-  ?backtrack_limit:int -> ?fixed:(int * bool) list -> t -> Asc_fault.Fault.t -> result
+  ?backtrack_limit:int ->
+  ?budget:Asc_util.Budget.t ->
+  ?fixed:(int * bool) list ->
+  t ->
+  Asc_fault.Fault.t ->
+  result

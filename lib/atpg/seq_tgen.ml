@@ -33,7 +33,12 @@ type result = {
   detected : Bitvec.t; (* no-scan detections of the full sequence *)
 }
 
-let generate ?pool ?(config = default_config) c ~faults ~rng =
+(* [budget] (wall-clock, distinct from [config.budget]'s length cap) makes
+   the generator degrade gracefully: a fired budget stops the growth loop —
+   unwinding out of the co-simulation kernels via [Budget.Exhausted] — and
+   the sequence committed so far is returned. *)
+let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults
+    ~rng =
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   let segments = ref [] in
@@ -41,9 +46,10 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
   let seg_len = ref config.seg_len in
   let fruitless = ref 0 in
   let finished = ref false in
+  (try
   while not !finished do
     let remaining = config.budget - Seq_fsim.inc3_length inc in
-    if remaining <= 0 then finished := true
+    if remaining <= 0 || Budget.exhausted budget then finished := true
     else begin
       let len = min !seg_len remaining in
       let make_candidate k =
@@ -64,7 +70,7 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
       let best = ref (-1) and best_gain = ref 0 in
       Array.iteri
         (fun k seg ->
-          let gain = Seq_fsim.inc3_peek ?pool inc seg in
+          let gain = Seq_fsim.inc3_peek ?pool ~budget inc seg in
           if gain > !best_gain then begin
             best := k;
             best_gain := gain
@@ -72,7 +78,7 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
         candidates;
       if !best >= 0 then begin
         let seg = candidates.(!best) in
-        let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
+        let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget inc seg in
         segments := seg :: !segments;
         last_vector := seg.(Array.length seg - 1);
         fruitless := 0
@@ -86,12 +92,16 @@ let generate ?pool ?(config = default_config) c ~faults ~rng =
         end
       end
     end
-  done;
+  done
+  with Budget.Exhausted _ -> ());
   (* Guarantee a non-empty sequence even when nothing is detectable
      without scan — the compaction procedure still needs a T0 to work on. *)
   if !segments = [] then begin
     let seg = Random_tgen.generate rng ~n_pis ~len:(min config.budget config.max_seg_len) in
-    let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
+    (try
+       let (_ : int) = Seq_fsim.inc3_commit ?pool inc seg in
+       ()
+     with Budget.Exhausted _ -> ());
     segments := [ seg ]
   end;
   let seq = Array.concat (List.rev !segments) in

@@ -23,9 +23,13 @@ type result = {
 }
 
 (** [pool] parallelises the per-candidate fault co-simulation across
-    domains; the generated sequence is identical for any domain count. *)
+    domains; the generated sequence is identical for any domain count.
+    [budget] (wall-clock, distinct from [config.budget]'s length cap)
+    degrades gracefully: once fired, growth stops and the sequence
+    committed so far is returned. *)
 val generate :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

@@ -1,0 +1,244 @@
+(* Plain-text serialization of Pipeline snapshots (crash-safe resume).
+
+   Format (one item per line, '#' comments, bit strings as in Tset_io):
+
+     checkpoint v1
+     circuit <name> <n_pis> <n_ffs>
+     seed <n>
+     t0 <fingerprint>            # e.g. directed/1000
+     comb <|C|>
+     t0len <n>
+     f0count <n>
+     iter <n>
+     selected <bits>             # |C| bits, chosen scan-in states
+     it <si> <u_so> <len> <det>  # iteration log, newest first
+     seq                         # T_C entering the next iteration
+     v <bits>
+     endseq
+     tau                         # best iterate so far (optional block)
+     si <bits>
+     v <bits>
+     endtau
+
+   Files are written atomically (temp file + rename), so a run killed
+   mid-write leaves the previous checkpoint intact. *)
+
+module Circuit = Asc_netlist.Circuit
+module Scan_test = Asc_scan.Scan_test
+module Tset_io = Asc_scan.Tset_io
+
+exception Corrupt of { line : int; message : string }
+
+exception Incompatible of string
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Corrupt { line; message })) fmt
+
+let to_string (s : Pipeline.snapshot) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# asc pipeline checkpoint (iteration %d)\n" s.snap_iter;
+  add "checkpoint v1\n";
+  add "circuit %s %d %d\n" s.snap_circuit s.snap_pis s.snap_ffs;
+  add "seed %d\n" s.snap_seed;
+  add "t0 %s\n" s.snap_t0;
+  add "comb %d\n" s.snap_comb_size;
+  add "t0len %d\n" s.snap_t0_length;
+  add "f0count %d\n" s.snap_f0_count;
+  add "iter %d\n" s.snap_iter;
+  add "selected %s\n"
+    (Tset_io.bits_to_string
+       (Array.init
+          (Asc_util.Bitvec.length s.snap_selected)
+          (Asc_util.Bitvec.get s.snap_selected)));
+  List.iter
+    (fun (it : Pipeline.iteration) ->
+      add "it %d %d %d %d\n" it.si_index it.u_so it.len_after_omission it.detected_count)
+    s.snap_iterations;
+  add "seq\n";
+  Array.iter (fun v -> add "v %s\n" (Tset_io.bits_to_string v)) s.snap_seq;
+  add "endseq\n";
+  (match s.snap_best with
+  | None -> ()
+  | Some t ->
+      add "tau\n";
+      add "si %s\n" (Tset_io.bits_to_string t.si);
+      Array.iter (fun v -> add "v %s\n" (Tset_io.bits_to_string v)) t.seq;
+      add "endtau\n");
+  Buffer.contents buf
+
+(* Parser: single pass, mutable slots; [section] tracks whether v-lines
+   belong to the header (none), the T_C block or the tau block. *)
+type section = Top | In_seq | In_tau
+
+let of_string text =
+  let version = ref false in
+  let circuit = ref None in
+  let seed = ref None
+  and t0 = ref None
+  and comb = ref None
+  and t0len = ref None
+  and f0count = ref None
+  and iter = ref None in
+  let selected = ref None in
+  let its = ref [] in
+  let seq = ref None in
+  let seq_acc = ref [] in
+  let tau = ref None in
+  let tau_si = ref None in
+  let tau_acc = ref [] in
+  let section = ref Top in
+  let int_field line name r v =
+    if !r <> None then fail line "duplicate %s" name;
+    match int_of_string_opt v with
+    | Some n -> r := Some n
+    | None -> fail line "bad %s %S" name v
+  in
+  let bits line v =
+    try Tset_io.bits_of_string line v
+    with Tset_io.Format_error { line; message } -> fail line "%s" message
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim raw in
+      let s =
+        match String.index_opt s '#' with
+        | Some k -> String.trim (String.sub s 0 k)
+        | None -> s
+      in
+      if s <> "" then
+        match (String.split_on_char ' ' s, !section) with
+        | [ "checkpoint"; "v1" ], Top -> version := true
+        | [ "checkpoint"; v ], Top -> fail line "unsupported checkpoint version %S" v
+        | [ "circuit"; name; pis; ffs ], Top -> (
+            if !circuit <> None then fail line "duplicate circuit";
+            match (int_of_string_opt pis, int_of_string_opt ffs) with
+            | Some pis, Some ffs -> circuit := Some (name, pis, ffs)
+            | _ -> fail line "bad circuit header")
+        | [ "seed"; v ], Top -> int_field line "seed" seed v
+        | [ "t0"; v ], Top ->
+            if !t0 <> None then fail line "duplicate t0";
+            t0 := Some v
+        | [ "comb"; v ], Top -> int_field line "comb" comb v
+        | [ "t0len"; v ], Top -> int_field line "t0len" t0len v
+        | [ "f0count"; v ], Top -> int_field line "f0count" f0count v
+        | [ "iter"; v ], Top -> int_field line "iter" iter v
+        | [ "selected"; v ], Top ->
+            if !selected <> None then fail line "duplicate selected";
+            selected := Some (bits line v)
+        | [ "it"; a; b; c; d ], Top -> (
+            match
+              ( int_of_string_opt a,
+                int_of_string_opt b,
+                int_of_string_opt c,
+                int_of_string_opt d )
+            with
+            | Some si_index, Some u_so, Some len_after_omission, Some detected_count ->
+                its :=
+                  { Pipeline.si_index; u_so; len_after_omission; detected_count } :: !its
+            | _ -> fail line "bad iteration record %S" s)
+        | [ "seq" ], Top ->
+            if !seq <> None then fail line "duplicate seq block";
+            seq_acc := [];
+            section := In_seq
+        | [ "v"; v ], In_seq -> seq_acc := bits line v :: !seq_acc
+        | [ "endseq" ], In_seq ->
+            seq := Some (Array.of_list (List.rev !seq_acc));
+            section := Top
+        | [ "tau" ], Top ->
+            if !tau <> None then fail line "duplicate tau block";
+            tau_si := None;
+            tau_acc := [];
+            section := In_tau
+        | [ "si"; v ], In_tau ->
+            if !tau_si <> None then fail line "duplicate si";
+            tau_si := Some (bits line v)
+        | [ "v"; v ], In_tau -> tau_acc := bits line v :: !tau_acc
+        | [ "endtau" ], In_tau ->
+            let si = match !tau_si with Some x -> x | None -> fail line "tau without si" in
+            if !tau_acc = [] then fail line "tau without vectors";
+            tau := Some (Scan_test.create ~si ~seq:(Array.of_list (List.rev !tau_acc)));
+            section := Top
+        | _, _ -> fail line "unrecognised line %S" s)
+    (String.split_on_char '\n' text);
+  if !section <> Top then fail 0 "unterminated block";
+  if not !version then fail 0 "missing checkpoint version line";
+  let req name r = match !r with Some x -> x | None -> fail 0 "missing %s" name in
+  let snap_circuit, snap_pis, snap_ffs = req "circuit" circuit in
+  let snap_seq = req "seq block" seq in
+  let snap_selected_bits = req "selected" selected in
+  Array.iter
+    (fun v ->
+      if Array.length v <> snap_pis then fail 0 "seq vector arity mismatch")
+    snap_seq;
+  (match !tau with
+  | Some (t : Scan_test.t) ->
+      if Array.length t.si <> snap_ffs then fail 0 "tau si arity mismatch";
+      Array.iter
+        (fun v -> if Array.length v <> snap_pis then fail 0 "tau vector arity mismatch")
+        t.seq
+  | None -> ());
+  let snap_comb_size = req "comb" comb in
+  if Array.length snap_selected_bits <> snap_comb_size then
+    fail 0 "selected length %d does not match comb %d"
+      (Array.length snap_selected_bits)
+      snap_comb_size;
+  {
+    Pipeline.snap_circuit;
+    snap_pis;
+    snap_ffs;
+    snap_seed = req "seed" seed;
+    snap_t0 = req "t0" t0;
+    snap_comb_size;
+    snap_t0_length = req "t0len" t0len;
+    snap_f0_count = req "f0count" f0count;
+    snap_iter = req "iter" iter;
+    snap_selected =
+      Asc_util.Bitvec.init (Array.length snap_selected_bits) (fun i ->
+          snap_selected_bits.(i));
+    snap_seq;
+    snap_best = !tau;
+    (* The file lists iterations newest-first, like the snapshot; undo the
+       reversal that accumulating with [::] introduced. *)
+    snap_iterations = List.rev !its;
+  }
+
+let validate (p : Pipeline.prepared) ~(config : Pipeline.config)
+    (s : Pipeline.snapshot) =
+  let c = p.circuit in
+  let expect what got want =
+    if got <> want then
+      raise
+        (Incompatible (Printf.sprintf "%s: checkpoint has %s, this run has %s" what got want))
+  in
+  expect "circuit" s.snap_circuit (Circuit.name c);
+  expect "inputs" (string_of_int s.snap_pis) (string_of_int (Circuit.n_inputs c));
+  expect "flip-flops" (string_of_int s.snap_ffs) (string_of_int (Circuit.n_dffs c));
+  expect "seed" (string_of_int s.snap_seed) (string_of_int config.seed);
+  expect "t0 source" s.snap_t0 (Pipeline.t0_fingerprint config.t0_source);
+  expect "|C|"
+    (string_of_int s.snap_comb_size)
+    (string_of_int (Array.length p.comb_tests))
+
+(* Atomic write: the previous checkpoint survives a crash mid-write. *)
+let write_file path (s : Pipeline.snapshot) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (to_string s)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  of_string text

@@ -1,0 +1,22 @@
+(** Plain-text serialization of {!Pipeline.snapshot} — the state a killed
+    [asc run] needs to continue from where it stopped and still produce a
+    bit-identical result (format in docs/ROBUSTNESS.md).
+
+    Writes are atomic (temp file + rename): a crash mid-write leaves the
+    previous checkpoint intact. *)
+
+(** Raised by the parser on a malformed checkpoint file. *)
+exception Corrupt of { line : int; message : string }
+
+(** Raised by {!validate} when a checkpoint belongs to a different
+    (circuit, seed, T0 source, C) than the resuming run. *)
+exception Incompatible of string
+
+val to_string : Pipeline.snapshot -> string
+val of_string : string -> Pipeline.snapshot
+
+(** Check a loaded snapshot against the run about to resume from it. *)
+val validate : Pipeline.prepared -> config:Pipeline.config -> Pipeline.snapshot -> unit
+
+val write_file : string -> Pipeline.snapshot -> unit
+val read_file : string -> Pipeline.snapshot

@@ -61,11 +61,13 @@ type prepared = {
   aborted : Bitvec.t;
 }
 
-let prepare ?pool ?(config = default_config) c =
+let prepare ?pool ?budget ?(config = default_config) c =
   let collapse = Asc_fault.Collapse.run c in
   let faults = Asc_fault.Collapse.reps collapse in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/comb") in
-  let gen = Asc_atpg.Comb_tgen.generate ?pool ~config:config.comb_tgen c ~faults ~rng in
+  let gen =
+    Asc_atpg.Comb_tgen.generate ?pool ?budget ~config:config.comb_tgen c ~faults ~rng
+  in
   let n = Array.length faults in
   let targets = Bitvec.init n (fun i -> not (Bitvec.get gen.redundant i)) in
   {
@@ -101,20 +103,70 @@ type result = {
   cycles_final : int;
 }
 
-let make_t0 ?pool config (p : prepared) =
+let make_t0 ?pool ?budget config (p : prepared) =
   let c = p.circuit in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/t0") in
   match config.t0_source with
   | Random_seq len ->
       Asc_atpg.Random_tgen.generate rng ~n_pis:(Circuit.n_inputs c) ~len
-  | Directed budget ->
-      let cfg = { Asc_atpg.Seq_tgen.default_config with budget } in
-      (Asc_atpg.Seq_tgen.generate ?pool ~config:cfg c ~faults:p.faults ~rng).seq
-  | Genetic budget ->
-      let cfg = { Asc_atpg.Ga_tgen.default_config with budget } in
-      (Asc_atpg.Ga_tgen.generate ?pool ~config:cfg c ~faults:p.faults ~rng).seq
+  | Directed budget' ->
+      let cfg = { Asc_atpg.Seq_tgen.default_config with budget = budget' } in
+      (Asc_atpg.Seq_tgen.generate ?pool ?budget ~config:cfg c ~faults:p.faults ~rng).seq
+  | Genetic budget' ->
+      let cfg = { Asc_atpg.Ga_tgen.default_config with budget = budget' } in
+      (Asc_atpg.Ga_tgen.generate ?pool ?budget ~config:cfg c ~faults:p.faults ~rng).seq
 
-let run ?pool ?(config = default_config) (p : prepared) =
+(* --- Robustness layer: snapshots, partial results ---------------------- *)
+
+let t0_fingerprint = function
+  | Directed b -> Printf.sprintf "directed/%d" b
+  | Random_seq l -> Printf.sprintf "random/%d" l
+  | Genetic b -> Printf.sprintf "genetic/%d" b
+
+type snapshot = {
+  snap_circuit : string;
+  snap_pis : int;
+  snap_ffs : int;
+  snap_seed : int;
+  snap_t0 : string; (* [t0_fingerprint] of the run's T0 source *)
+  snap_comb_size : int; (* |C|, sanity-checked on resume *)
+  snap_t0_length : int;
+  snap_f0_count : int;
+  snap_iter : int; (* Phase 1+2 iterations completed *)
+  snap_selected : Bitvec.t; (* scan-in states already selected *)
+  snap_seq : bool array array; (* T_C entering the next iteration *)
+  snap_best : Scan_test.t option; (* best iterate tau so far *)
+  snap_iterations : iteration list; (* newest first (loop accumulator order) *)
+}
+
+type stage = Stage_t0 | Stage_iterate | Stage_cover | Stage_combine
+
+let stage_to_string = function
+  | Stage_t0 -> "t0-generation"
+  | Stage_iterate -> "phase1+2"
+  | Stage_cover -> "phase3"
+  | Stage_combine -> "phase4"
+
+type partial = {
+  p_reason : Budget.reason;
+  p_stage : stage;
+  p_iterations : iteration list; (* oldest first, like [result.iterations] *)
+  p_tests : Scan_test.t array; (* best-so-far test set (possibly empty) *)
+  p_detected : Bitvec.t; (* target faults [p_tests] detects *)
+  p_cycles : int; (* N_cyc of [p_tests] *)
+}
+
+type outcome = Complete of result | Partial of partial
+
+(* The deterministic-resume contract: a snapshot is taken only at an
+   iteration *boundary* (after the "continue" updates), and it captures the
+   loop's full explicit state — selected scan-ins, T_C, the best iterate,
+   the iteration log.  The derived state (no-scan detections of T_C, the
+   best iterate's detection set) is recomputed on resume by the same
+   deterministic simulations the uninterrupted run used, so a resumed run
+   replays the remaining iterations and Phases 3–4 bit-identically. *)
+let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?resume
+    ?on_checkpoint (p : prepared) =
   let c = p.circuit in
   if Array.length p.comb_tests = 0 then
     invalid_arg
@@ -122,120 +174,265 @@ let run ?pool ?(config = default_config) (p : prepared) =
          "Pipeline.run: circuit %s has an empty combinational test set (no \
           detectable faults?)"
          (Circuit.name c));
+  (match resume with
+  | Some s ->
+      if
+        s.snap_circuit <> Circuit.name c
+        || s.snap_pis <> Circuit.n_inputs c
+        || s.snap_ffs <> Circuit.n_dffs c
+        || s.snap_comb_size <> Array.length p.comb_tests
+        || s.snap_seed <> config.seed
+        || s.snap_t0 <> t0_fingerprint config.t0_source
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.run_bounded: snapshot (%s seed %d t0 %s |C|=%d) does not match \
+              this run (%s seed %d t0 %s |C|=%d)"
+             s.snap_circuit s.snap_seed s.snap_t0 s.snap_comb_size (Circuit.name c)
+             config.seed
+             (t0_fingerprint config.t0_source)
+             (Array.length p.comb_tests))
+  | None -> ());
   let faults = p.faults in
-  let t0 = make_t0 ?pool config p in
-  let f0_orig =
-    Bitvec.inter (Seq_fsim.detect_no_scan ?pool c ~seq:t0 ~faults) p.targets
-  in
-  (* --- Phases 1 + 2, iterated ------------------------------------- *)
-  let selected = Bitvec.create (Array.length p.comb_tests) in
-  let iterations = ref [] in
-  let current_seq = ref t0 in
-  let current_f0 = ref f0_orig in
-  let tau = ref None in
-  let stop = ref false in
-  let iter = ref 0 in
   let timed label f =
     let t0 = Sys.time () in
     let r = f () in
     Log.debug (fun m -> m "%s %s: %.2fs" (Circuit.name c) label (Sys.time () -. t0));
     r
   in
-  while not !stop do
-    incr iter;
-    let choice =
-      timed "select_scan_in" (fun () ->
-          Phase1.select_scan_in ?pool c ~faults ~candidates:p.comb_tests ~t0:!current_seq
-            ~f0:!current_f0 ~targets:p.targets ~selected)
-    in
-    let so =
-      timed "select_scan_out" (fun () ->
-          Phase1.select_scan_out ?pool ~policy:config.scan_out_policy c ~faults
-            ~si:p.comb_tests.(choice.index).state
-            ~t0:!current_seq ~f_si:choice.f_si ~targets:p.targets)
-    in
-    let om =
-      timed "vector_omission" (fun () ->
-          Asc_compact.Vector_omission.run ?pool ~config:config.omission c so.test ~faults
-            ~required:so.f_so)
-    in
-    let f_c =
-      Bitvec.inter (Scan_test.detect ?pool ~only:p.targets c om.test ~faults) p.targets
-    in
-    Log.debug (fun m ->
-        m "%s iter %d: SI=%d%s u_SO=%d len %d->%d detected %d" (Circuit.name c) !iter
-          choice.index
-          (if choice.already_selected then " (repeat)" else "")
-          so.u
-          (Scan_test.length so.test) (Scan_test.length om.test) (Bitvec.count f_c));
-    iterations :=
-      {
-        si_index = choice.index;
-        u_so = so.u;
-        len_after_omission = Scan_test.length om.test;
-        detected_count = Bitvec.count f_c;
-      }
-      :: !iterations;
-    (* Keep the best iterate: changing the scan-in state between rounds
-       can lose detections, and the best round dominates the last one.
-       Because round 1 already detects F_SI(1) >= F0, this also keeps the
-       Table-1 invariant |F0| <= |F_seq|. *)
-    let better =
+  (* --- Phase 1+2 loop state (fresh, or rebuilt from a snapshot) ----- *)
+  let selected =
+    match resume with
+    | Some s -> Bitvec.copy s.snap_selected
+    | None -> Bitvec.create (Array.length p.comb_tests)
+  in
+  let iterations = ref [] in
+  let current_seq = ref [||] in
+  let current_f0 = ref (Bitvec.create (Array.length faults)) in
+  let tau = ref None in
+  let iter = ref 0 in
+  let t0_length = ref 0 in
+  let f0_count = ref 0 in
+  let partial reason stage =
+    let tests, detected =
       match !tau with
-      | None -> true
-      | Some (t, f) ->
-          let cmp = compare (Bitvec.count f_c) (Bitvec.count f) in
-          cmp > 0 || (cmp = 0 && Scan_test.length om.test < Scan_test.length t)
+      | Some (t, f) -> ([| t |], f)
+      | None -> ([||], Bitvec.create (Array.length faults))
     in
-    if better then tau := Some (om.test, f_c);
-    (* Stop on the paper's condition (a repeated scan-in state), on the
-       iteration cap, or when the round brought no improvement — further
-       rounds only re-shuffle equivalent scan-in states. *)
-    if choice.already_selected || !iter >= config.max_iterations || not better then
-      stop := true
-    else begin
-      Bitvec.set selected choice.index;
-      current_seq := om.test.seq;
-      current_f0 :=
-        Bitvec.inter (Seq_fsim.detect_no_scan ?pool c ~seq:!current_seq ~faults) p.targets
-    end
-  done;
-  let tau_seq, f_seq =
-    match !tau with Some x -> x | None -> assert false
+    Partial
+      {
+        p_reason = reason;
+        p_stage = stage;
+        p_iterations = List.rev !iterations;
+        p_tests = tests;
+        p_detected = detected;
+        p_cycles =
+          (if Array.length tests = 0 then 0
+           else Asc_scan.Time_model.cycles_of_tests c tests);
+      }
   in
-  (* --- Phase 3: complete the coverage ------------------------------ *)
-  let undetected = Bitvec.diff p.targets f_seq in
-  let matrix =
-    Asc_fault.Comb_fsim.detect_matrix ?pool ~only:undetected c ~patterns:p.comb_tests
-      ~faults
+  let snapshot () =
+    {
+      snap_circuit = Circuit.name c;
+      snap_pis = Circuit.n_inputs c;
+      snap_ffs = Circuit.n_dffs c;
+      snap_seed = config.seed;
+      snap_t0 = t0_fingerprint config.t0_source;
+      snap_comb_size = Array.length p.comb_tests;
+      snap_t0_length = !t0_length;
+      snap_f0_count = !f0_count;
+      snap_iter = !iter;
+      snap_selected = Bitvec.copy selected;
+      snap_seq = Array.map Array.copy !current_seq;
+      snap_best = (match !tau with Some (t, _) -> Some t | None -> None);
+      snap_iterations = !iterations;
+    }
   in
-  let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
-  let added =
-    Array.of_list
-      (List.map (fun j -> Scan_test.of_pattern p.comb_tests.(j)) cover.selected)
+  let init =
+    try
+      (match resume with
+      | Some s ->
+          iterations := s.snap_iterations;
+          iter := s.snap_iter;
+          t0_length := s.snap_t0_length;
+          f0_count := s.snap_f0_count;
+          current_seq := s.snap_seq;
+          current_f0 :=
+            Bitvec.inter
+              (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:!current_seq ~faults)
+              p.targets;
+          tau :=
+            Option.map
+              (fun t ->
+                ( t,
+                  Bitvec.inter
+                    (Scan_test.detect ?pool ~budget ~only:p.targets c t ~faults)
+                    p.targets ))
+              s.snap_best
+      | None ->
+          let t0 = make_t0 ?pool ~budget config p in
+          Budget.check budget;
+          let f0 =
+            Bitvec.inter (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:t0 ~faults) p.targets
+          in
+          current_seq := t0;
+          current_f0 := f0;
+          t0_length := Array.length t0;
+          f0_count := Bitvec.count f0);
+      `Ok
+    with Budget.Exhausted reason -> `Exhausted reason
   in
-  let initial_tests = Array.append [| tau_seq |] added in
-  let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
-  (* --- Phase 4: static compaction of the result -------------------- *)
-  let combined =
-    Asc_compact.Combine.run ?pool ~config:config.combine c initial_tests ~faults
-      ~targets:p.targets
-  in
-  let final_tests = combined.tests in
-  let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
-  let final_detected = Asc_scan.Tset.coverage ?pool ~only:p.targets c final_tests ~faults in
-  {
-    config;
-    t0_length = Array.length t0;
-    f0_count = Bitvec.count f0_orig;
-    tau_seq;
-    f_seq;
-    iterations = List.rev !iterations;
-    added;
-    uncovered = cover.uncovered;
-    initial_tests;
-    final_tests;
-    final_detected;
-    cycles_initial;
-    cycles_final;
-  }
+  match init with
+  | `Exhausted reason -> partial reason Stage_t0
+  | `Ok -> (
+      (* --- Phases 1 + 2, iterated --------------------------------- *)
+      let loop =
+        try
+          let stop = ref false in
+          while not !stop do
+            Budget.check budget;
+            incr iter;
+            let choice =
+              timed "select_scan_in" (fun () ->
+                  Phase1.select_scan_in ?pool ~budget c ~faults ~candidates:p.comb_tests
+                    ~t0:!current_seq ~f0:!current_f0 ~targets:p.targets ~selected)
+            in
+            let so =
+              timed "select_scan_out" (fun () ->
+                  Phase1.select_scan_out ?pool ~budget ~policy:config.scan_out_policy c
+                    ~faults
+                    ~si:p.comb_tests.(choice.index).state
+                    ~t0:!current_seq ~f_si:choice.f_si ~targets:p.targets)
+            in
+            let om =
+              timed "vector_omission" (fun () ->
+                  Asc_compact.Vector_omission.run ?pool ~budget ~config:config.omission c
+                    so.test ~faults ~required:so.f_so)
+            in
+            let f_c =
+              Bitvec.inter
+                (Scan_test.detect ?pool ~budget ~only:p.targets c om.test ~faults)
+                p.targets
+            in
+            Log.debug (fun m ->
+                m "%s iter %d: SI=%d%s u_SO=%d len %d->%d detected %d" (Circuit.name c)
+                  !iter choice.index
+                  (if choice.already_selected then " (repeat)" else "")
+                  so.u
+                  (Scan_test.length so.test) (Scan_test.length om.test) (Bitvec.count f_c));
+            iterations :=
+              {
+                si_index = choice.index;
+                u_so = so.u;
+                len_after_omission = Scan_test.length om.test;
+                detected_count = Bitvec.count f_c;
+              }
+              :: !iterations;
+            (* Keep the best iterate: changing the scan-in state between rounds
+               can lose detections, and the best round dominates the last one.
+               Because round 1 already detects F_SI(1) >= F0, this also keeps the
+               Table-1 invariant |F0| <= |F_seq|. *)
+            let better =
+              match !tau with
+              | None -> true
+              | Some (t, f) ->
+                  let cmp = compare (Bitvec.count f_c) (Bitvec.count f) in
+                  cmp > 0 || (cmp = 0 && Scan_test.length om.test < Scan_test.length t)
+            in
+            if better then tau := Some (om.test, f_c);
+            (* Stop on the paper's condition (a repeated scan-in state), on the
+               iteration cap, or when the round brought no improvement — further
+               rounds only re-shuffle equivalent scan-in states. *)
+            if choice.already_selected || !iter >= config.max_iterations || not better
+            then stop := true
+            else begin
+              Bitvec.set selected choice.index;
+              current_seq := om.test.seq;
+              current_f0 :=
+                Bitvec.inter
+                  (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:!current_seq ~faults)
+                  p.targets;
+              (* Iteration boundary: the only checkpoint point — resuming
+                 here replays the rest of the run bit-identically. *)
+              match on_checkpoint with Some f -> f (snapshot ()) | None -> ()
+            end
+          done;
+          `Ok
+        with Budget.Exhausted reason -> `Exhausted reason
+      in
+      match loop with
+      | `Exhausted reason -> partial reason Stage_iterate
+      | `Ok -> (
+          let tau_seq, f_seq = match !tau with Some x -> x | None -> assert false in
+          (* Phases 3 and 4, each a cancellation region: a budget firing in
+             Phase 3 degrades to the tau-only set, in Phase 4 to the
+             uncombined end-of-Phase-3 set. *)
+          let after_phase3 = ref None in
+          try
+            (* --- Phase 3: complete the coverage -------------------- *)
+            let undetected = Bitvec.diff p.targets f_seq in
+            let matrix =
+              Asc_fault.Comb_fsim.detect_matrix ?pool ~budget ~only:undetected c
+                ~patterns:p.comb_tests ~faults
+            in
+            let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
+            let added =
+              Array.of_list
+                (List.map (fun j -> Scan_test.of_pattern p.comb_tests.(j)) cover.selected)
+            in
+            let initial_tests = Array.append [| tau_seq |] added in
+            let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
+            let detected_initial =
+              List.fold_left
+                (fun acc j -> Bitvec.union acc (Bitmat.row matrix j))
+                f_seq cover.selected
+            in
+            after_phase3 := Some (initial_tests, cycles_initial, detected_initial, cover, added);
+            (* --- Phase 4: static compaction of the result ----------- *)
+            let combined =
+              Asc_compact.Combine.run ?pool ~budget ~config:config.combine c initial_tests
+                ~faults ~targets:p.targets
+            in
+            let final_tests = combined.tests in
+            let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
+            let final_detected =
+              Asc_scan.Tset.coverage ?pool ~budget ~only:p.targets c final_tests ~faults
+            in
+            Complete
+              {
+                config;
+                t0_length = !t0_length;
+                f0_count = !f0_count;
+                tau_seq;
+                f_seq;
+                iterations = List.rev !iterations;
+                added;
+                uncovered = cover.uncovered;
+                initial_tests;
+                final_tests;
+                final_detected;
+                cycles_initial;
+                cycles_final;
+              }
+          with Budget.Exhausted reason -> (
+            match !after_phase3 with
+            | None -> partial reason Stage_cover
+            | Some (tests, cycles, detected, _, _) ->
+                Partial
+                  {
+                    p_reason = reason;
+                    p_stage = Stage_combine;
+                    p_iterations = List.rev !iterations;
+                    p_tests = tests;
+                    p_detected = detected;
+                    p_cycles = cycles;
+                  })))
+
+let run ?pool ?(config = default_config) (p : prepared) =
+  match run_bounded ?pool ~config p with
+  | Complete r -> r
+  | Partial pr ->
+      (* Only reachable through a pool whose own budget fired (the explicit
+         budget above is unlimited); surface it as the exception legacy
+         callers expect. *)
+      raise (Budget.Exhausted pr.p_reason)

@@ -41,13 +41,24 @@ type prepared = {
 (** [prepare ?pool ?config c] builds the shared preparation.  [pool]
     parallelises combinational test generation (the PODEM phase chunks
     target faults across domains, each chunk with private ATPG state); the
-    [prepared] record is bit-identical for any domain count. *)
+    [prepared] record is bit-identical for any domain count.  [budget]
+    degrades the ATPG gracefully (see {!Asc_atpg.Comb_tgen.generate}). *)
 val prepare :
-  ?pool:Asc_util.Domain_pool.t -> ?config:config -> Asc_netlist.Circuit.t -> prepared
+  ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
+  ?config:config ->
+  Asc_netlist.Circuit.t ->
+  prepared
 
 (** Generate the configured T0 sequence (exposed for pipeline variants).
-    [pool] parallelises the generators' fault co-simulation. *)
-val make_t0 : ?pool:Asc_util.Domain_pool.t -> config -> prepared -> bool array array
+    [pool] parallelises the generators' fault co-simulation.  [budget]
+    makes the generators degrade gracefully (best sequence so far). *)
+val make_t0 :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
+  config ->
+  prepared ->
+  bool array array
 
 type iteration = {
   si_index : int;
@@ -74,5 +85,75 @@ type result = {
 
 (** [run ?pool ?config prepared] executes Phases 1–4.  [pool] parallelises
     the fault-simulation inner loops across domains; the result is
-    identical for any domain count. *)
+    identical for any domain count.  Raises {!Asc_util.Budget.Exhausted}
+    if the pool carries a budget that fires mid-run (prefer
+    {!run_bounded} for interruptible runs). *)
 val run : ?pool:Asc_util.Domain_pool.t -> ?config:config -> prepared -> result
+
+(** {2 Deadline-aware execution (see docs/ROBUSTNESS.md)} *)
+
+(** Inter-iteration state of the Phase 1+2 loop, captured at an iteration
+    boundary.  Identity fields ([snap_circuit] … [snap_comb_size]) pin the
+    snapshot to one (circuit, seed, T0 source, C) combination; the rest is
+    the loop's explicit state.  Derived state is recomputed on resume, so
+    a resumed run reproduces the uninterrupted result bit-identically. *)
+type snapshot = {
+  snap_circuit : string;
+  snap_pis : int;
+  snap_ffs : int;
+  snap_seed : int;
+  snap_t0 : string;  (** {!t0_fingerprint} of the T0 source. *)
+  snap_comb_size : int;  (** |C|. *)
+  snap_t0_length : int;
+  snap_f0_count : int;
+  snap_iter : int;  (** Iterations completed. *)
+  snap_selected : Asc_util.Bitvec.t;
+  snap_seq : bool array array;  (** T_C entering the next iteration. *)
+  snap_best : Asc_scan.Scan_test.t option;
+  snap_iterations : iteration list;  (** Newest first. *)
+}
+
+(** Stable textual identity of a T0 source (recorded in snapshots). *)
+val t0_fingerprint : t0_source -> string
+
+(** Where a run was when its budget fired. *)
+type stage = Stage_t0 | Stage_iterate | Stage_cover | Stage_combine
+
+val stage_to_string : stage -> string
+
+(** Best-so-far state of an interrupted run: the stage reached, the
+    iteration log, and a usable (if incomplete) test set with its target
+    coverage and [N_cyc]. *)
+type partial = {
+  p_reason : Asc_util.Budget.reason;
+  p_stage : stage;
+  p_iterations : iteration list;  (** Oldest first, like [result]. *)
+  p_tests : Asc_scan.Scan_test.t array;
+  p_detected : Asc_util.Bitvec.t;
+  p_cycles : int;
+}
+
+type outcome = Complete of result | Partial of partial
+
+(** [run_bounded ?pool ?budget ?config ?resume ?on_checkpoint prepared]:
+    {!run}, made interruptible and resumable.
+
+    [budget] is polled at every iteration and threaded through every
+    kernel; once it fires the run unwinds cooperatively and returns
+    [Partial] with the best test set computed so far — it does not raise.
+
+    [on_checkpoint] is called with a {!snapshot} at each iteration
+    boundary the loop decides to continue past (so it fires at least once
+    whenever a second iteration starts).  [resume] restarts from such a
+    snapshot: the remaining iterations and Phases 3–4 replay exactly, so
+    the final result is bit-identical to an uninterrupted run for any
+    domain count.  Raises [Invalid_argument] if the snapshot does not
+    match this (circuit, seed, T0 source, |C|). *)
+val run_bounded :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
+  ?config:config ->
+  ?resume:snapshot ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  prepared ->
+  outcome

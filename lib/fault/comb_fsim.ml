@@ -83,7 +83,7 @@ let sweep_groups ?pool groups ~chunk ~merge ~empty =
 
 (* Detection matrix: rows are patterns, columns are faults.  [only]
    restricts the simulated fault indices (default: all). *)
-let detect_matrix ?pool ?only c ~patterns ~faults =
+let detect_matrix ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
   let n_faults = Array.length faults in
   let mat = Bitmat.create (Array.length patterns) n_faults in
   let groups = pack c patterns in
@@ -95,6 +95,7 @@ let detect_matrix ?pool ?only c ~patterns ~faults =
       Array.init (last.base + last.count - base0) (fun _ -> Bitvec.create n_faults)
     in
     for gi = start to start + count - 1 do
+      Budget.check budget;
       let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =
@@ -120,7 +121,7 @@ let detect_matrix ?pool ?only c ~patterns ~faults =
    already detected by an earlier group is skipped; across domains the
    skip applies within each chunk only (results are identical, some
    redundant simulation is traded for wall-clock). *)
-let detect_union ?pool ?only c ~patterns ~faults =
+let detect_union ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
   let n_faults = Array.length faults in
   let det = Bitvec.create n_faults in
   let groups = pack c patterns in
@@ -128,6 +129,7 @@ let detect_union ?pool ?only c ~patterns ~faults =
     let engine = Engine2.create c [] in
     let local = Bitvec.create n_faults in
     for gi = start to start + count - 1 do
+      Budget.check budget;
       let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =

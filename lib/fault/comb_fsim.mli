@@ -8,9 +8,11 @@
     columns are fault indices; [only] restricts which fault indices are
     simulated (others are left undetected).  [pool] chunks the pattern
     groups across worker domains; results are identical for any domain
-    count. *)
+    count.  [budget] is polled per pattern group (raises
+    {!Asc_util.Budget.Exhausted} once fired). *)
 val detect_matrix :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->
@@ -20,6 +22,7 @@ val detect_matrix :
 (** Fault indices detected by at least one pattern. *)
 val detect_union :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->

@@ -23,7 +23,12 @@
    [profile] additionally records, per fault, the earliest PO detection
    time and the set of time units at which the faulty state differs — the
    single-pass data from which Phase 1 picks its scan-out time and the
-   vector-omission procedure re-verifies suffixes. *)
+   vector-omission procedure re-verifies suffixes.
+
+   Every entry point also takes an optional [budget] (Asc_util.Budget),
+   polled once per fault group: a fired deadline or cancellation raises
+   [Budget.Exhausted] at the next group boundary (through the pool's
+   fail-fast path when domains are involved), never mid-group. *)
 
 open Asc_util
 module Circuit = Asc_netlist.Circuit
@@ -137,7 +142,7 @@ let sweep_groups ?pool c groups ~chunk ~merge ~empty =
 
 (* Which of [faults] does the scan test (si, seq) detect?  [only] restricts
    the simulated fault indices. *)
-let detect ?pool ?only c ~si ~seq ~faults =
+let detect ?pool ?(budget = Budget.unlimited) ?only c ~si ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
@@ -150,6 +155,7 @@ let detect ?pool ?only c ~si ~seq ~faults =
     let chunk engine (start, count) =
       let hits = ref [] in
       for gi = start to start + count - 1 do
+        Budget.check budget;
         let group = groups.(gi) in
         let d = detect_group engine ~si ~sw ~good ~len group in
         Word.iter_set (fun lane -> hits := group.members.(lane) :: !hits) d
@@ -174,7 +180,7 @@ type profile = {
   state_diff_at : Bitvec.t array;
 }
 
-let profile ?pool c ~si ~seq ~faults ~subset =
+let profile ?pool ?(budget = Budget.unlimited) c ~si ~seq ~faults ~subset =
   let len = Array.length seq in
   let sw = seq_words c seq in
   let good = good_run c ~si ~seq in
@@ -190,6 +196,7 @@ let profile ?pool c ~si ~seq ~faults ~subset =
     let po = Array.make span max_int in
     let sdiff = Array.init span (fun _ -> Bitvec.create len) in
     for gi = gstart to gstart + gcount - 1 do
+      Budget.check budget;
       let group = groups.(gi) in
       let base = (gi * Word.width) - base0 in
       Engine2.set_overrides engine group.overrides;
@@ -243,7 +250,7 @@ type cand_group = {
   good_final : int array; (* fault-free final state words *)
 }
 
-let candidate_detections ?pool c ~sis ~seq ~faults ~subset =
+let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults ~subset =
   let n_candidates = Array.length sis in
   let n_ff = Circuit.n_dffs c in
   let n_po = Circuit.n_outputs c in
@@ -308,6 +315,7 @@ let candidate_detections ?pool c ~sis ~seq ~faults ~subset =
       let engine = Engine2.create c [] in
       let dets = Array.make_matrix count n_cgroups 0 in
       for k = 0 to count - 1 do
+        Budget.check budget;
         let fi = subset.(start + k) in
         Array.iteri (fun cgi cg -> dets.(k).(cgi) <- detect_candidates engine fi cg) cgroups
       done;
@@ -330,7 +338,7 @@ let candidate_detections ?pool c ~sis ~seq ~faults ~subset =
 (* Verification: does (si, seq) detect *every* fault index in [subset]?
    Any failing group stops the sweep: sequentially via the loop condition,
    across domains via a shared flag checked between groups. *)
-let verify_required ?pool c ~si ~seq ~faults ~subset =
+let verify_required ?pool ?(budget = Budget.unlimited) c ~si ~seq ~faults ~subset =
   if Array.length subset = 0 then true
   else begin
     let sw = seq_words c seq in
@@ -341,6 +349,7 @@ let verify_required ?pool c ~si ~seq ~faults ~subset =
     let chunk engine (start, count) =
       let gi = ref start in
       while (not (Atomic.get failed)) && !gi < start + count do
+        Budget.check budget;
         let group = groups.(!gi) in
         let d = detect_group engine ~si ~sw ~good ~len group in
         if d <> group.lanes then Atomic.set failed true;
@@ -355,7 +364,7 @@ let verify_required ?pool c ~si ~seq ~faults ~subset =
 
 (* A fault counts as detected only when the fault-free value at a PO is a
    binary value and the faulty value is the complementary binary value. *)
-let detect_no_scan ?pool ?only c ~seq ~faults =
+let detect_no_scan ?pool ?(budget = Budget.unlimited) ?only c ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
@@ -399,6 +408,7 @@ let detect_no_scan ?pool ?only c ~seq ~faults =
         let engine = Engine3.create c [] in
         let hits = ref [] in
         for gi = start to start + count - 1 do
+          Budget.check budget;
           let group = groups.(gi) in
           Word.iter_set
             (fun lane -> hits := group.members.(lane) :: !hits)
@@ -562,7 +572,7 @@ let inc3_sweep ?pool t ~(f : int -> int) =
 
 (* Evaluate a candidate segment without committing: number of newly
    detected faults.  Engine states are saved and restored. *)
-let inc3_peek ?pool t (segment : seq) =
+let inc3_peek ?pool ?(budget = Budget.unlimited) t (segment : seq) =
   let sw = seq_words t.c3 segment in
   let saved_good = Engine3.state_words t.good3 in
   let good_po, any_known = good_segment t sw in
@@ -572,6 +582,10 @@ let inc3_peek ?pool t (segment : seq) =
   else begin
     let dets =
       inc3_sweep ?pool t ~f:(fun gi ->
+          (* Polled before the engine is touched: a raise here leaves the
+             group at its committed-prefix state, so an exhausted peek
+             never corrupts the incremental simulation. *)
+          Budget.check budget;
           if undetected_lanes t gi = 0 then 0
           else begin
             let saved = Engine3.state_words t.engines.(gi) in
@@ -585,8 +599,13 @@ let inc3_peek ?pool t (segment : seq) =
   end
 
 (* Append a segment: update every machine, mark newly detected faults,
-   return how many were newly detected. *)
-let inc3_commit ?pool t (segment : seq) =
+   return how many were newly detected.  The budget is polled only on
+   entry: once the sweep starts mutating engine states, the commit runs to
+   completion so the incremental state stays consistent.  (A pool with its
+   own budget may still abort the sweep mid-commit; callers must then stop
+   using [t], which the generators do — they unwind without committing.) *)
+let inc3_commit ?pool ?(budget = Budget.unlimited) t (segment : seq) =
+  Budget.check budget;
   let sw = seq_words t.c3 segment in
   let good_po, _ = good_segment t sw in
   (* Even fully-detected groups must advance their state. *)

@@ -11,7 +11,11 @@
     states per word.  Every entry point additionally takes an optional
     [pool]: fault groups are chunked across worker domains, each chunk on
     a private engine, and the results are merged deterministically — the
-    output is bit-identical for any domain count. *)
+    output is bit-identical for any domain count.
+
+    Every entry point also takes an optional [budget]
+    ({!Asc_util.Budget.t}), polled once per fault group; a fired budget
+    raises {!Asc_util.Budget.Exhausted} at the next group boundary. *)
 
 type seq = bool array array
 (** A primary-input sequence: [L] vectors of [n_pis] values. *)
@@ -28,6 +32,7 @@ val good_final_state : Asc_netlist.Circuit.t -> good -> bool array
 (** Fault indices detected by the scan test; [only] restricts simulation. *)
 val detect :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
@@ -47,6 +52,7 @@ type profile = {
 
 val profile :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -63,6 +69,7 @@ val profile_detected_at : profile -> u:int -> Asc_util.Bitvec.t
     [subset] columns are simulated. *)
 val candidate_detections :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   Asc_netlist.Circuit.t ->
   sis:bool array array ->
   seq:seq ->
@@ -74,6 +81,7 @@ val candidate_detections :
     order with early failure exit — put fragile faults first. *)
 val verify_required :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -85,6 +93,7 @@ val verify_required :
     (3-valued; detection requires complementary binary values at a PO). *)
 val detect_no_scan :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   seq:seq ->
@@ -108,8 +117,12 @@ val inc3_length : inc3 -> int
     [pool] chunks the fault groups across worker domains (each group's
     engine stays private to one task); the count is identical for any
     domain count. *)
-val inc3_peek : ?pool:Asc_util.Domain_pool.t -> inc3 -> seq -> int
+val inc3_peek :
+  ?pool:Asc_util.Domain_pool.t -> ?budget:Asc_util.Budget.t -> inc3 -> seq -> int
 
 (** Append a segment; returns the number of newly detected faults.  Same
-    [pool] contract as {!inc3_peek}. *)
-val inc3_commit : ?pool:Asc_util.Domain_pool.t -> inc3 -> seq -> int
+    [pool] contract as {!inc3_peek}.  The budget is polled on entry only,
+    so a commit that starts runs to completion (unless aborted by the
+    pool's own budget, after which the [inc3] must be discarded). *)
+val inc3_commit :
+  ?pool:Asc_util.Domain_pool.t -> ?budget:Asc_util.Budget.t -> inc3 -> seq -> int

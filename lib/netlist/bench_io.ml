@@ -116,6 +116,11 @@ let parse_string ~name text =
           if not (Gate.arity_ok kind (List.length fanin)) then
             parse_fail line "gate %S (%s) has illegal arity %d" lhs (Gate.to_string kind)
               (List.length fanin);
+          (* A DFF feeding itself is a legal one-bit state machine; any
+             other gate reading its own output is a zero-delay loop the
+             levelised simulator cannot evaluate. *)
+          if kind <> Gate.Dff && List.mem id fanin then
+            parse_fail line "combinational self-loop on %S" lhs;
           Builder.connect b id fanin)
     stmts;
   Builder.finalize b

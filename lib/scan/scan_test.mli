@@ -27,6 +27,7 @@ val omit_span : t -> p:int -> count:int -> t
 (** Fault indices detected by this test. *)
 val detect :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   t ->

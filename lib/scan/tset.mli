@@ -3,6 +3,7 @@
 
 val detection_matrix :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -11,6 +12,7 @@ val detection_matrix :
 
 val coverage :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -20,6 +22,7 @@ val coverage :
 (** N-detect profile: tests detecting each fault. *)
 val detection_counts :
   ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->

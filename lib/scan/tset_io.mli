@@ -3,6 +3,14 @@
 
 exception Format_error of { line : int; message : string }
 
+(** Render a bit array as a ['0']/['1'] string (shared with the checkpoint
+    format, which embeds the same bit encoding). *)
+val bits_to_string : bool array -> string
+
+(** Parse a ['0']/['1'] string; [line] is reported in {!Format_error} on
+    any other character. *)
+val bits_of_string : int -> string -> bool array
+
 val to_string : Asc_netlist.Circuit.t -> Scan_test.t array -> string
 
 (** Parse; returns the recorded circuit name and the tests. *)

@@ -1,0 +1,63 @@
+(* Wall-clock deadline plus cancellation token, shared across domains.
+
+   A budget is a single latch: the first of {deadline passed, cancel called}
+   wins and the reason sticks.  Kernels poll [check] (raises) or [exhausted]
+   (returns a flag) at loop boundaries — between fault groups, PODEM
+   backtracks, candidate scores, pipeline iterations — so a fired budget
+   unwinds cooperatively at the next poll point rather than killing work
+   mid-write.
+
+   The clock is wall time ([Unix.gettimeofday]), not CPU time: under a
+   multi-domain pool, CPU time advances [size] times faster than the clock
+   the user reasons about, and a `--timeout 10` must mean ten seconds.
+
+   [unlimited] is a shared constant used as the default everywhere; its
+   [cancel] is a no-op so one caller cannot poison every other default
+   user. *)
+
+type reason = Deadline | Cancelled
+
+exception Exhausted of reason
+
+type t = {
+  deadline : float option; (* absolute, Unix.gettimeofday scale *)
+  fired : reason option Atomic.t; (* the latch; first writer wins *)
+  pinned : bool; (* the shared [unlimited] constant ignores [cancel] *)
+}
+
+let unlimited = { deadline = None; fired = Atomic.make None; pinned = true }
+
+let create ?timeout () =
+  let deadline =
+    match timeout with
+    | None -> None
+    | Some s ->
+        if not (s > 0.) then
+          invalid_arg (Printf.sprintf "Budget.create: timeout must be > 0 (got %g)" s);
+        Some (Unix.gettimeofday () +. s)
+  in
+  { deadline; fired = Atomic.make None; pinned = false }
+
+let cancel t =
+  if not t.pinned then
+    ignore (Atomic.compare_and_set t.fired None (Some Cancelled))
+
+let status t =
+  match Atomic.get t.fired with
+  | Some _ as r -> r
+  | None -> (
+      match t.deadline with
+      | Some d when Unix.gettimeofday () >= d ->
+          (* Latch the deadline so a concurrent [cancel] cannot make two
+             observers report different reasons. *)
+          ignore (Atomic.compare_and_set t.fired None (Some Deadline));
+          Atomic.get t.fired
+      | _ -> None)
+
+let exhausted t = status t <> None
+
+let check t = match status t with None -> () | Some r -> raise (Exhausted r)
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"

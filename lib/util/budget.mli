@@ -1,0 +1,51 @@
+(** Wall-clock deadline plus cancellation token for cooperative
+    interruption of long-running kernels.
+
+    A budget fires at most once — the first of {e deadline passed} or
+    {e cancel called} wins — and the reason latches.  Kernels poll it at
+    loop boundaries (fault groups, PODEM backtracks, pipeline iterations),
+    so an exhausted budget unwinds at the next poll point with state still
+    consistent.  All operations are safe to call from any domain; a signal
+    handler may call {!cancel}.
+
+    Ownership rule (mirrors the pool's engine-ownership rule): a budget is
+    created by the top-level driver and threaded {e downward} through
+    [?budget] parameters; library code never creates or cancels one, it
+    only polls. *)
+
+type reason =
+  | Deadline  (** The wall-clock timeout elapsed. *)
+  | Cancelled  (** {!cancel} was called (e.g. from a SIGINT handler). *)
+
+(** Raised by {!check} (and by pool-dispatched kernels) once the budget has
+    fired. *)
+exception Exhausted of reason
+
+type t
+
+(** A budget that never fires; {!cancel} on it is a no-op.  This is the
+    shared default of every [?budget] parameter. *)
+val unlimited : t
+
+(** [create ?timeout ()] makes a fresh budget; [timeout] is in wall-clock
+    seconds from now.  Raises [Invalid_argument] if [timeout <= 0].
+    Omitting [timeout] gives a cancel-only token. *)
+val create : ?timeout:float -> unit -> t
+
+(** Fire the budget with reason {!Cancelled} (first firing wins; no-op on
+    an already-fired budget or on {!unlimited}).  Async-signal-safe. *)
+val cancel : t -> unit
+
+(** [None] while the budget is live, [Some reason] once fired.  Checking
+    the deadline is what trips it, so polling is required for deadlines to
+    take effect. *)
+val status : t -> reason option
+
+(** [exhausted t] = [status t <> None]. *)
+val exhausted : t -> bool
+
+(** Raise {!Exhausted} if the budget has fired, else return unit.  The
+    standard poll point for kernels that unwind by exception. *)
+val check : t -> unit
+
+val reason_to_string : reason -> string

@@ -17,7 +17,13 @@
    A pool of size 1 spawns no domains and runs everything inline on the
    caller; [default_domains] also collapses to 1 when
    [Domain.recommended_domain_count () = 1].  The [ASC_DOMAINS] environment
-   variable overrides the default size (min 1). *)
+   variable overrides the default size (min 1).
+
+   Fail-fast: once a task has raised, or the pool's [budget] has fired,
+   remaining unclaimed task indices are skipped — their result slots keep
+   whatever the caller initialised them to — and [run] re-raises on the
+   submitter as soon as the job drains.  A fired budget surfaces as
+   [Budget.Exhausted]. *)
 
 (* One parallel-for invocation. *)
 type job = {
@@ -30,6 +36,7 @@ type job = {
 
 type t = {
   size : int; (* domains participating, including the submitter *)
+  budget : Budget.t; (* polled between tasks; fired => skip + Exhausted *)
   mutable workers : unit Domain.t array;
   mutex : Mutex.t;
   wake : Condition.t; (* job arrival (workers) and job completion (submitter) *)
@@ -53,17 +60,29 @@ let default_domains () =
 
 (* Claim task indices until the job is drained; the last finisher wakes the
    submitter.  Any exception is kept (first writer wins) and re-raised on
-   the submitting domain. *)
+   the submitting domain.  Once [failed] holds an exception — from a task
+   or from the pool budget firing — remaining claimed indices are *skipped*
+   (their result slots keep the caller's initial value): a poisoned or
+   cancelled 1000-task job drains in the time of the tasks already in
+   flight, not of all 1000. *)
 let drain pool job =
   let continue_ = ref true in
   while !continue_ do
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.total then continue_ := false
     else begin
-      (try job.f i
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
+      (if Atomic.get job.failed <> None then ()
+       else
+         match Budget.status pool.budget with
+         | Some reason ->
+             ignore
+               (Atomic.compare_and_set job.failed None
+                  (Some (Budget.Exhausted reason, Printexc.get_callstack 0)))
+         | None -> (
+             try job.f i
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set job.failed None (Some (e, bt)))));
       if Atomic.fetch_and_add job.completed 1 = job.total - 1 then begin
         Mutex.lock pool.mutex;
         Condition.broadcast pool.wake;
@@ -86,13 +105,14 @@ let rec worker_loop pool seen_generation =
     worker_loop pool generation
   end
 
-let create ?domains () =
+let create ?(budget = Budget.unlimited) ?domains () =
   let size =
     match domains with Some n -> max 1 n | None -> default_domains ()
   in
   let pool =
     {
       size;
+      budget;
       workers = [||];
       mutex = Mutex.create ();
       wake = Condition.create ();
@@ -124,9 +144,16 @@ let run_sequential n f =
   done
 
 let run t n f =
-  if n > 0 then
+  if n > 0 then begin
+    Budget.check t.budget;
     if t.size = 1 || t.stopped || n = 1 || not (Atomic.compare_and_set t.in_task false true)
-    then run_sequential n f
+    then
+      (* Inline fallback keeps the same cancellation contract as the
+         parallel path: poll between tasks. *)
+      for i = 0 to n - 1 do
+        Budget.check t.budget;
+        f i
+      done
     else begin
       let job =
         {
@@ -157,6 +184,7 @@ let run t n f =
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
     end
+  end
 
 let run_opt pool n f =
   match pool with Some p -> run p n f | None -> run_sequential n f

@@ -9,14 +9,24 @@
 
     A pool of size 1 spawns no domains and runs everything inline; nested
     [run] calls from inside a task also degrade to inline execution rather
-    than deadlock. *)
+    than deadlock.
+
+    Fail-fast: once a task raises, or the pool's budget fires, remaining
+    unclaimed tasks are {e skipped} (their result slots keep the caller's
+    initial values) and the exception is re-raised on the submitter as soon
+    as in-flight tasks finish. *)
 
 type t
 
-(** [create ?domains ()] spawns a pool of [domains] total participants
-    (including the submitting domain), so [domains - 1] worker domains.
-    Default: [default_domains ()]. *)
-val create : ?domains:int -> unit -> t
+(** [create ?budget ?domains ()] spawns a pool of [domains] total
+    participants (including the submitting domain), so [domains - 1]
+    worker domains.  Default: [default_domains ()].
+
+    [budget] (default {!Budget.unlimited}) is polled between tasks by every
+    participant; once it fires, {!run} skips the remaining tasks and raises
+    {!Budget.Exhausted} on the submitter.  The budget belongs to the
+    pool's creator — tasks only ever observe it through this polling. *)
+val create : ?budget:Budget.t -> ?domains:int -> unit -> t
 
 (** Pool size (total participating domains; 1 means fully sequential). *)
 val size : t -> int
@@ -27,9 +37,11 @@ val size : t -> int
 val default_domains : unit -> int
 
 (** [run t n f] executes [f 0 .. f (n-1)] across the pool and returns when
-    all have finished.  The first task exception (if any) is re-raised on
-    the submitting domain after the job drains.  Must not be called
-    concurrently from two domains. *)
+    the job has drained.  The first task exception (if any) is re-raised on
+    the submitting domain; tasks not yet claimed when it was captured are
+    skipped.  Raises {!Budget.Exhausted} without claiming any task if the
+    pool budget has already fired.  Must not be called concurrently from
+    two domains. *)
 val run : t -> int -> (int -> unit) -> unit
 
 (** [run_opt pool n f]: [run] through [Some pool], plain sequential loop on

@@ -1,0 +1,79 @@
+(* Malformed-`.bench` corpus: every [parse_fail] branch of Bench_io fires,
+   with the right line number, and the hardened rejections (duplicate
+   definitions, combinational self-loops) do too. *)
+
+module Bench_io = Asc_netlist.Bench_io
+module Circuit = Asc_netlist.Circuit
+
+let parse text = Bench_io.parse_string ~name:"corpus" text
+
+(* Each corpus entry: a label, the text, the line the error must name, and
+   a substring the message must contain. *)
+let corpus =
+  [
+    ("empty argument", "INPUT(a)\ng = AND(a, )\n", 2, "empty argument");
+    ("bad character in argument", "INPUT(a)\ng = AND(a, b c)\n", 2, "bad character");
+    ("missing open paren", "INPUT a\n", 1, "expected '('");
+    ("missing close paren", "INPUT(a\n", 1, "expected ')'");
+    ("unknown gate kind", "INPUT(a)\ng = FROB(a)\n", 2, "unknown gate kind");
+    (* INPUT on the right of '=' is a declaration, not a gate kind. *)
+    ("input as gate kind", "g = INPUT(a)\n", 1, "unknown gate kind");
+    ("missing signal name", "INPUT(a)\n = AND(a, a)\n", 2, "missing signal name");
+    ("missing signal in declaration", "INPUT()\n", 1, "missing signal");
+    ("unknown declaration", "WIBBLE(a)\n", 1, "unknown declaration");
+    ("duplicate input", "INPUT(a)\nINPUT(a)\n", 2, "duplicate definition");
+    ("duplicate gate", "INPUT(a)\ng = NOT(a)\ng = BUF(a)\n", 3, "duplicate definition");
+    ("input redefined as gate", "INPUT(a)\na = NOT(a)\n", 2, "duplicate definition");
+    ("undefined signal", "INPUT(a)\nOUTPUT(z)\ng = AND(a, b)\n", 2, "undefined signal");
+    ("illegal arity", "INPUT(a)\nINPUT(b)\ng = NOT(a, b)\n", 3, "illegal arity");
+    ("self-loop on NOT", "INPUT(a)\ng = NOT(g)\nOUTPUT(g)\n", 2, "self-loop");
+    ( "self-loop on AND",
+      "INPUT(a)\ng = AND(a, g)\nOUTPUT(g)\n",
+      2,
+      "combinational self-loop" );
+  ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_corpus () =
+  List.iter
+    (fun (label, text, want_line, want_msg) ->
+      match parse text with
+      | _ -> Alcotest.failf "%s: expected Parse_error" label
+      | exception Bench_io.Parse_error { line; message } ->
+          Alcotest.(check int) (label ^ ": line") want_line line;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S mentions %S" label message want_msg)
+            true
+            (contains ~needle:want_msg message))
+    corpus
+
+(* The positive counterpart of the self-loop rejection: a DFF feeding
+   itself is a legal one-bit state machine. *)
+let test_dff_self_loop_legal () =
+  let c = parse "INPUT(a)\nq = DFF(q)\no = AND(a, q)\nOUTPUT(o)\n" in
+  Alcotest.(check int) "one flip-flop" 1 (Circuit.n_dffs c);
+  Alcotest.(check int) "one input" 1 (Circuit.n_inputs c)
+
+(* Rejections must not depend on statement order: a self-loop is caught
+   even when other statements reference the gate first. *)
+let test_self_loop_late () =
+  match parse "INPUT(a)\nOUTPUT(z)\nz = BUF(g)\ng = OR(a, g)\n" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Bench_io.Parse_error { line; _ } ->
+      Alcotest.(check int) "reported on the defining line" 4 line
+
+let suite =
+  [
+    ( "bench-corpus",
+      [
+        Alcotest.test_case "malformed inputs are rejected with line numbers" `Quick
+          test_corpus;
+        Alcotest.test_case "DFF self-loop stays legal" `Quick test_dff_self_loop_legal;
+        Alcotest.test_case "self-loop caught regardless of order" `Quick
+          test_self_loop_late;
+      ] );
+  ]

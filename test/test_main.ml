@@ -32,4 +32,6 @@ let () =
          Test_small_units.suite;
          Test_final.suite;
          Test_parallel.suite;
+         Test_bench_corpus.suite;
+         Test_robustness.suite;
        ])

@@ -1,0 +1,336 @@
+(* Tests for the robustness layer: Budget semantics, the pool's fail-fast
+   and cancellation behaviour, graceful kernel degradation, checkpoint
+   (de)serialization, and the headline guarantee — interrupt a pipeline
+   run mid-iteration, resume from the checkpoint, and get a result
+   bit-identical to the uninterrupted run, at 1 and 4 domains. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Pipeline = Asc_core.Pipeline
+module Checkpoint = Asc_core.Checkpoint
+module Scan_test = Asc_scan.Scan_test
+
+let with_pool ?budget n f =
+  let pool = Domain_pool.create ?budget ~domains:n () in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () -> f pool)
+
+(* --- Budget unit tests ---------------------------------------------- *)
+
+let test_budget_basic () =
+  Alcotest.(check bool) "unlimited never fires" false (Budget.exhausted Budget.unlimited);
+  Budget.cancel Budget.unlimited;
+  Alcotest.(check bool) "unlimited survives cancel" false
+    (Budget.exhausted Budget.unlimited);
+  let b = Budget.create () in
+  Alcotest.(check bool) "fresh token is live" false (Budget.exhausted b);
+  Budget.check b;
+  Budget.cancel b;
+  Alcotest.(check bool) "cancelled" true
+    (Budget.status b = Some Budget.Cancelled);
+  (match Budget.check b with
+  | () -> Alcotest.fail "check must raise once fired"
+  | exception Budget.Exhausted Budget.Cancelled -> ()
+  | exception Budget.Exhausted _ -> Alcotest.fail "wrong reason");
+  (match Budget.create ~timeout:0.0 () with
+  | _ -> Alcotest.fail "timeout 0 must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_budget_deadline () =
+  let b = Budget.create ~timeout:0.005 () in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "deadline fired" true
+    (Budget.status b = Some Budget.Deadline);
+  (* First firing wins: a later cancel cannot rewrite the reason. *)
+  Budget.cancel b;
+  Alcotest.(check bool) "reason latched" true
+    (Budget.status b = Some Budget.Deadline)
+
+(* --- Domain_pool: fail-fast and cancellation ------------------------- *)
+
+(* Regression: a poisoned task must abandon the job promptly, not drain
+   all 1000 remaining tasks first.  Count executions, not wall time. *)
+let test_pool_fail_fast () =
+  with_pool 4 (fun pool ->
+      let executed = Atomic.make 0 in
+      (match
+         Domain_pool.run pool 1000 (fun i ->
+             ignore (Atomic.fetch_and_add executed 1);
+             if i = 3 then failwith "poison")
+       with
+      | () -> Alcotest.fail "expected the poison to propagate"
+      | exception Failure msg -> Alcotest.(check string) "message" "poison" msg);
+      let n = Atomic.get executed in
+      Alcotest.(check bool)
+        (Printf.sprintf "only %d of 1000 tasks ran" n)
+        true (n < 100))
+
+let test_pool_budget_cancellation () =
+  let budget = Budget.create () in
+  with_pool ~budget 4 (fun pool ->
+      let executed = Atomic.make 0 in
+      (* Fires mid-job: the first task cancels, the rest are skipped. *)
+      (match
+         Domain_pool.run pool 1000 (fun _ ->
+             Budget.cancel budget;
+             ignore (Atomic.fetch_and_add executed 1))
+       with
+      | () -> Alcotest.fail "expected Exhausted"
+      | exception Budget.Exhausted Budget.Cancelled -> ());
+      Alcotest.(check bool) "tasks were skipped" true (Atomic.get executed < 100);
+      (* Already fired on entry: nothing runs at all. *)
+      match Domain_pool.run pool 8 (fun _ -> Alcotest.fail "must not run") with
+      | () -> Alcotest.fail "expected Exhausted"
+      | exception Budget.Exhausted Budget.Cancelled -> ())
+
+(* --- Graceful kernel degradation ------------------------------------- *)
+
+let cancelled_budget () =
+  let b = Budget.create () in
+  Budget.cancel b;
+  b
+
+let test_podem_aborts () =
+  let c = Asc_circuits.Registry.get "s27" in
+  let faults = Asc_fault.Collapse.reps (Asc_fault.Collapse.run c) in
+  let podem = Asc_atpg.Podem.create c in
+  let budget = cancelled_budget () in
+  Array.iter
+    (fun f ->
+      match Asc_atpg.Podem.run ~budget podem f with
+      | Asc_atpg.Podem.Aborted -> ()
+      | _ -> Alcotest.fail "exhausted budget must yield Aborted")
+    faults
+
+let test_seq_tgen_degrades () =
+  let c = Asc_circuits.Registry.get "s27" in
+  let faults = Asc_fault.Collapse.reps (Asc_fault.Collapse.run c) in
+  let rng = Rng.of_name ~seed:3 "robust/seq-tgen" in
+  let r =
+    Asc_atpg.Seq_tgen.generate ~budget:(cancelled_budget ()) c ~faults ~rng
+  in
+  (* The growth loop must not run; only the non-empty-T0 fallback segment
+     (at most one max_seg_len chunk) may be committed. *)
+  Alcotest.(check bool) "fallback T0 only" true
+    (Array.length r.seq > 0
+    && Array.length r.seq <= Asc_atpg.Seq_tgen.default_config.max_seg_len)
+
+let test_run_bounded_partial_at_t0 () =
+  let c = Asc_circuits.Registry.get "s27" in
+  let prepared = Pipeline.prepare c in
+  match Pipeline.run_bounded ~budget:(cancelled_budget ()) prepared with
+  | Pipeline.Complete _ -> Alcotest.fail "expected Partial"
+  | Pipeline.Partial p ->
+      Alcotest.(check bool) "reason" true (p.p_reason = Budget.Cancelled);
+      Alcotest.(check string) "stage" "t0-generation"
+        (Pipeline.stage_to_string p.p_stage);
+      Alcotest.(check int) "no iterations" 0 (List.length p.p_iterations)
+
+(* --- Checkpoint (de)serialization ------------------------------------ *)
+
+let synthetic_snapshot () =
+  {
+    Pipeline.snap_circuit = "synthetic";
+    snap_pis = 3;
+    snap_ffs = 4;
+    snap_seed = 7;
+    snap_t0 = "directed/120";
+    snap_comb_size = 5;
+    snap_t0_length = 120;
+    snap_f0_count = 42;
+    snap_iter = 2;
+    snap_selected = Bitvec.of_list 5 [ 1; 3 ];
+    snap_seq = [| [| true; false; true |]; [| false; false; true |] |];
+    snap_best =
+      Some
+        (Scan_test.create
+           ~si:[| true; false; false; true |]
+           ~seq:[| [| false; true; false |] |]);
+    snap_iterations =
+      [
+        { Pipeline.si_index = 2; u_so = 9; len_after_omission = 7; detected_count = 40 };
+        { Pipeline.si_index = 1; u_so = 12; len_after_omission = 9; detected_count = 37 };
+      ];
+  }
+
+let test_checkpoint_roundtrip () =
+  let s = synthetic_snapshot () in
+  let s' = Checkpoint.of_string (Checkpoint.to_string s) in
+  Alcotest.(check string) "circuit" s.snap_circuit s'.snap_circuit;
+  Alcotest.(check int) "iter" s.snap_iter s'.snap_iter;
+  Alcotest.(check int) "t0len" s.snap_t0_length s'.snap_t0_length;
+  Alcotest.(check int) "f0count" s.snap_f0_count s'.snap_f0_count;
+  Alcotest.(check bool) "selected" true (Bitvec.equal s.snap_selected s'.snap_selected);
+  Alcotest.(check bool) "seq" true (s.snap_seq = s'.snap_seq);
+  Alcotest.(check bool) "tau" true
+    (match (s.snap_best, s'.snap_best) with
+    | Some a, Some b -> Scan_test.equal a b
+    | None, None -> true
+    | _ -> false);
+  Alcotest.(check bool) "iteration log" true (s.snap_iterations = s'.snap_iterations);
+  (* And through a file, including overwrite-in-place. *)
+  let path = Filename.temp_file "asc-ckpt" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Checkpoint.write_file path s;
+      Checkpoint.write_file path s;
+      let s'' = Checkpoint.read_file path in
+      Alcotest.(check int) "file roundtrip iter" s.snap_iter s''.snap_iter)
+
+(* Replace the first occurrence of [needle] in [hay] (test-local; the
+   corpus lines are unique within a checkpoint). *)
+let replace ~needle ~by hay =
+  let nl = String.length needle in
+  let rec find i =
+    if i + nl > String.length hay then Alcotest.failf "missing %S" needle
+    else if String.sub hay i nl = needle then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub hay 0 i ^ by ^ String.sub hay (i + nl) (String.length hay - i - nl)
+
+let test_checkpoint_corrupt () =
+  let good = Checkpoint.to_string (synthetic_snapshot ()) in
+  let cases =
+    [
+      ("not a checkpoint", "hello\nworld\n");
+      ("future version", "checkpoint v99\n");
+      ("missing seq block", "checkpoint v1\ncircuit x 1 1\nseed 1\nt0 d/1\ncomb 1\n");
+      ("bad bits", replace ~needle:"selected 01010" ~by:"selected 0a010" good);
+      ("truncated block", String.sub good 0 (String.length good - 20));
+      ("selected/comb mismatch", replace ~needle:"comb 5" ~by:"comb 6" good);
+    ]
+  in
+  List.iter
+    (fun (label, text) ->
+      match Checkpoint.of_string text with
+      | _ -> Alcotest.failf "%s: expected Corrupt" label
+      | exception Checkpoint.Corrupt _ -> ())
+    cases
+
+let test_checkpoint_incompatible () =
+  let c = Asc_circuits.Registry.get "s27" in
+  let config = Pipeline.default_config in
+  let prepared = Pipeline.prepare ~config c in
+  let s = synthetic_snapshot () in
+  match Checkpoint.validate prepared ~config s with
+  | () -> Alcotest.fail "expected Incompatible"
+  | exception Checkpoint.Incompatible msg ->
+      Alcotest.(check bool) "names the field" true
+        (String.length msg > 0)
+
+(* --- Interrupt / resume determinism ---------------------------------- *)
+
+(* The headline guarantee: cancel a run at an iteration boundary, resume
+   from the snapshot it checkpointed, and the final test set and N_cyc
+   are bit-identical to the uninterrupted run — for 1 and 4 domains. *)
+let check_resume_deterministic name =
+  let c = Asc_circuits.Registry.get name in
+  let t0_source = Pipeline.Directed (Asc_circuits.Registry.t0_budget name) in
+  let config = Asc_core.Experiments.config_for ~seed:1 ~t0_source in
+  let prepared = Pipeline.prepare ~config c in
+  let reference =
+    match Pipeline.run_bounded ~config prepared with
+    | Pipeline.Complete r -> r
+    | Pipeline.Partial _ -> Alcotest.fail "reference run must complete"
+  in
+  Alcotest.(check bool)
+    (name ^ ": needs a second iteration to be a meaningful test")
+    true
+    (List.length reference.iterations >= 2);
+  (* Interrupt: the checkpoint callback records the snapshot, then fires
+     the budget; the loop unwinds at the next iteration's poll. *)
+  let budget = Budget.create () in
+  let recorded = ref None in
+  let outcome =
+    Pipeline.run_bounded ~budget ~config
+      ~on_checkpoint:(fun snap ->
+        if !recorded = None then begin
+          recorded := Some snap;
+          Budget.cancel budget
+        end)
+      prepared
+  in
+  let partial =
+    match outcome with
+    | Pipeline.Partial p -> p
+    | Pipeline.Complete _ -> Alcotest.fail "cancelled run must be Partial"
+  in
+  Alcotest.(check bool) (name ^ ": partial carries the best test so far") true
+    (Array.length partial.p_tests > 0 && Bitvec.count partial.p_detected > 0);
+  let snap = match !recorded with Some s -> s | None -> Alcotest.fail "no checkpoint" in
+  (* Resume, sequentially and under 1- and 4-domain pools. *)
+  let check_resumed label resumed =
+    Alcotest.(check bool) (name ^ " " ^ label ^ ": test count") true
+      (Array.length resumed.Pipeline.final_tests
+      = Array.length reference.final_tests);
+    Alcotest.(check bool) (name ^ " " ^ label ^ ": tests bit-identical") true
+      (Array.for_all2 Scan_test.equal reference.final_tests resumed.final_tests);
+    Alcotest.(check int) (name ^ " " ^ label ^ ": N_cyc") reference.cycles_final
+      resumed.cycles_final;
+    Alcotest.(check bool) (name ^ " " ^ label ^ ": coverage") true
+      (Bitvec.equal reference.final_detected resumed.final_detected);
+    Alcotest.(check bool) (name ^ " " ^ label ^ ": iteration log") true
+      (reference.iterations = resumed.iterations)
+  in
+  let resume_with pool =
+    match Pipeline.run_bounded ?pool ~config ~resume:snap prepared with
+    | Pipeline.Complete r -> r
+    | Pipeline.Partial _ -> Alcotest.fail "resumed run must complete"
+  in
+  check_resumed "sequential resume" (resume_with None);
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          check_resumed
+            (Printf.sprintf "resume (%d domains)" domains)
+            (resume_with (Some pool))))
+    [ 1; 4 ];
+  (* A checkpoint that has been through the file format resumes the same. *)
+  let snap' = Checkpoint.of_string (Checkpoint.to_string snap) in
+  Checkpoint.validate prepared ~config snap';
+  check_resumed "resume via serialized checkpoint"
+    (match Pipeline.run_bounded ~config ~resume:snap' prepared with
+    | Pipeline.Complete r -> r
+    | Pipeline.Partial _ -> Alcotest.fail "resumed run must complete")
+
+let test_resume_s298 () = check_resume_deterministic "s298"
+let test_resume_s344 () = check_resume_deterministic "s344"
+
+let test_resume_rejects_mismatch () =
+  let c = Asc_circuits.Registry.get "s27" in
+  let config = Pipeline.default_config in
+  let prepared = Pipeline.prepare ~config c in
+  match Pipeline.run_bounded ~config ~resume:(synthetic_snapshot ()) prepared with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "robustness",
+      [
+        Alcotest.test_case "budget latches a single reason" `Quick test_budget_basic;
+        Alcotest.test_case "deadline fires and wins" `Quick test_budget_deadline;
+        Alcotest.test_case "pool abandons a poisoned job promptly" `Quick
+          test_pool_fail_fast;
+        Alcotest.test_case "pool honours budget cancellation" `Quick
+          test_pool_budget_cancellation;
+        Alcotest.test_case "podem returns Aborted on exhausted budget" `Quick
+          test_podem_aborts;
+        Alcotest.test_case "seq_tgen degrades to committed prefix" `Quick
+          test_seq_tgen_degrades;
+        Alcotest.test_case "run_bounded reports Partial at t0 stage" `Quick
+          test_run_bounded_partial_at_t0;
+        Alcotest.test_case "checkpoint round-trips" `Quick test_checkpoint_roundtrip;
+        Alcotest.test_case "corrupt checkpoints are rejected" `Quick
+          test_checkpoint_corrupt;
+        Alcotest.test_case "incompatible checkpoints are rejected" `Quick
+          test_checkpoint_incompatible;
+        Alcotest.test_case "resume rejects mismatched snapshots" `Quick
+          test_resume_rejects_mismatch;
+        Alcotest.test_case "interrupt/resume is bit-identical on s298" `Slow
+          test_resume_s298;
+        Alcotest.test_case "interrupt/resume is bit-identical on s344" `Slow
+          test_resume_s344;
+      ] );
+  ]
