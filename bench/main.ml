@@ -34,13 +34,14 @@ type options = {
   mutable ablations : bool;
   mutable domains : int option; (* --domains N: pool size for fault simulation *)
   mutable json : string option; (* --json FILE: machine-readable summary *)
+  mutable trace : string option; (* --trace FILE: Chrome trace of the battery *)
 }
 
 let parse_args () =
   let o =
     { circuits = default_circuits; quick = false; seed = 1; dynamic = true;
       at_speed = true; micro = false; ablations = false; domains = None;
-      json = None }
+      json = None; trace = None }
   in
   let rec go = function
     | [] -> ()
@@ -59,6 +60,9 @@ let parse_args () =
         go rest
     | "--json" :: file :: rest ->
         o.json <- Some file;
+        go rest
+    | "--trace" :: file :: rest ->
+        o.trace <- Some file;
         go rest
     | "--no-dynamic" :: rest ->
         o.dynamic <- false;
@@ -89,7 +93,7 @@ let parse_args () =
 
 (* --- Full table regeneration ------------------------------------------- *)
 
-let run_tables o pool =
+let run_tables o pool tel =
   let total = List.length o.circuits in
   let timings = ref [] in
   let runs =
@@ -98,7 +102,10 @@ let run_tables o pool =
         let with_dynamic = o.dynamic && List.mem name dynamic_circuits in
         let t0 = Unix.gettimeofday () in
         Printf.printf "[%2d/%d] %-8s ...%!" (i + 1) total name;
-        let r = Asc_core.Experiments.run_circuit ?pool ~seed:o.seed ~with_dynamic name in
+        let r =
+          Asc_core.Experiments.run_circuit ?pool ?tel ~seed:o.seed ~with_dynamic
+            name
+        in
         let dt = Unix.gettimeofday () -. t0 in
         Printf.printf " %.1fs (atpg %.1fs)\n%!" dt r.prepare_seconds;
         timings := (name, dt, r.prepare_seconds) :: !timings;
@@ -126,7 +133,33 @@ type fsim_result = {
   fs_seconds_1 : float;
   fs_seconds_n : float;
   fs_speedup : float;
+  fs_loads : Asc_util.Telemetry.load list; (* per-domain, N-domain run only *)
+  fs_imbalance : float;
 }
+
+(* Per-domain utilization of a pooled benchmark run, from the task-claim
+   spans the pool records into [tel]: the busiest domain's busy seconds
+   over the mean (1.0 = perfect balance), plus each domain's share of the
+   parallel window. *)
+let drain_loads tel =
+  match tel with
+  | None -> ([], 1.0)
+  | Some tel ->
+      let loads = Asc_util.Telemetry.(pool_loads (drain tel)) in
+      (loads, Asc_util.Telemetry.imbalance loads)
+
+let print_loads loads imbalance =
+  if loads <> [] then
+    let utils = List.map (fun (l : Asc_util.Telemetry.load) -> l.l_util) loads in
+    Printf.printf
+      "  pool utilization: mean %.2f, min %.2f, imbalance %.2fx (tasks: %s)\n%!"
+      (Asc_util.Stats.mean_f utils)
+      (fst (Asc_util.Stats.min_max_f utils))
+      imbalance
+      (String.concat " "
+         (List.map
+            (fun (l : Asc_util.Telemetry.load) -> string_of_int l.l_tasks)
+            loads))
 
 let fsim_bench ~seed ~domains names =
   let gates name =
@@ -168,14 +201,15 @@ let fsim_bench ~seed ~domains names =
     (!result, !best)
   in
   let detected_1, seconds_1 = time_best (fun () -> detect ()) in
-  let detected_n, seconds_n =
+  let (detected_n, seconds_n), (loads, imbalance) =
     if domains > 1 then begin
-      let pool = Asc_util.Domain_pool.create ~domains () in
+      let tel = Asc_util.Telemetry.create () in
+      let pool = Asc_util.Domain_pool.create ~tel ~domains () in
       let r = time_best (fun () -> detect ~pool ()) in
       Asc_util.Domain_pool.shutdown pool;
-      r
+      (r, drain_loads (Some tel))
     end
-    else time_best (fun () -> detect ())
+    else (time_best (fun () -> detect ()), ([], 1.0))
   in
   let r =
     {
@@ -188,6 +222,8 @@ let fsim_bench ~seed ~domains names =
       fs_seconds_1 = seconds_1;
       fs_seconds_n = seconds_n;
       fs_speedup = seconds_1 /. seconds_n;
+      fs_loads = loads;
+      fs_imbalance = imbalance;
     }
   in
   Printf.printf
@@ -196,6 +232,7 @@ let fsim_bench ~seed ~domains names =
     r.fs_circuit r.fs_faults r.fs_tests r.fs_seq_len r.fs_seconds_1 domains
     r.fs_seconds_n r.fs_speedup r.fs_detected_1 r.fs_detected_n
     (if r.fs_detected_1 = r.fs_detected_n then "identical" else "MISMATCH");
+  print_loads r.fs_loads r.fs_imbalance;
   r
 
 (* --- ATPG (test-generation) phase speedup -------------------------------- *)
@@ -215,6 +252,8 @@ type atpg_result = {
   at_seconds_1 : float;
   at_seconds_n : float;
   at_speedup : float;
+  at_loads : Asc_util.Telemetry.load list; (* per-domain, N-domain run only *)
+  at_imbalance : float;
 }
 
 let atpg_bench ~seed ~domains names =
@@ -245,14 +284,15 @@ let atpg_bench ~seed ~domains names =
     (!result, !best)
   in
   let (detected_1, tests_1), seconds_1 = time_best (fun () -> generate ()) in
-  let (detected_n, tests_n), seconds_n =
+  let ((detected_n, tests_n), seconds_n), (loads, imbalance) =
     if domains > 1 then begin
-      let pool = Asc_util.Domain_pool.create ~domains () in
+      let tel = Asc_util.Telemetry.create () in
+      let pool = Asc_util.Domain_pool.create ~tel ~domains () in
       let r = time_best (fun () -> generate ~pool ()) in
       Asc_util.Domain_pool.shutdown pool;
-      r
+      (r, drain_loads (Some tel))
     end
-    else time_best (fun () -> generate ())
+    else (time_best (fun () -> generate ()), ([], 1.0))
   in
   let r =
     {
@@ -265,6 +305,8 @@ let atpg_bench ~seed ~domains names =
       at_seconds_1 = seconds_1;
       at_seconds_n = seconds_n;
       at_speedup = seconds_1 /. seconds_n;
+      at_loads = loads;
+      at_imbalance = imbalance;
     }
   in
   Printf.printf
@@ -275,76 +317,90 @@ let atpg_bench ~seed ~domains names =
     (if r.at_detected_1 = r.at_detected_n && r.at_tests_1 = r.at_tests_n then
        "identical"
      else "MISMATCH");
+  print_loads r.at_loads r.at_imbalance;
   r
 
 (* --- JSON summary -------------------------------------------------------- *)
 
 let json_summary o ~domains ~timings ~fsim ~atpg =
-  let b = Buffer.create 1024 in
-  let circuit_entries =
-    List.map
-      (fun (name, dt, atpg_dt) ->
-        Printf.sprintf
-          {|    { "name": "%s", "seconds": %.3f, "atpg_seconds": %.3f }|} name dt
-          atpg_dt)
-      timings
+  let module J = Asc_util.Json in
+  let loads_json loads =
+    J.List
+      (List.map
+         (fun (l : Asc_util.Telemetry.load) ->
+           J.Obj
+             [
+               ("domain", J.Int l.l_dom);
+               ("tasks", J.Int l.l_tasks);
+               ("busy_seconds", J.Float l.l_busy);
+               ("utilization", J.Float l.l_util);
+             ])
+         loads)
   in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf {|  "bench": "asc",%s|} "\n");
-  Buffer.add_string b
-    (Printf.sprintf {|  "mode": "%s",%s|} (if o.quick then "quick" else "full") "\n");
-  Buffer.add_string b (Printf.sprintf {|  "seed": %d,%s|} o.seed "\n");
-  Buffer.add_string b (Printf.sprintf {|  "domains": %d,%s|} domains "\n");
-  Buffer.add_string b
-    (Printf.sprintf "  \"circuits\": [\n%s\n  ],\n" (String.concat ",\n" circuit_entries));
-  (match fsim with
-  | None -> Buffer.add_string b "  \"fsim\": null,\n"
-  | Some f ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "  \"fsim\": {\n\
-           \    \"circuit\": \"%s\",\n\
-           \    \"faults\": %d,\n\
-           \    \"tests\": %d,\n\
-           \    \"seq_len\": %d,\n\
-           \    \"detected_domains_1\": %d,\n\
-           \    \"detected_domains_n\": %d,\n\
-           \    \"seconds_domains_1\": %.4f,\n\
-           \    \"seconds_domains_n\": %.4f,\n\
-           \    \"speedup\": %.3f\n\
-           \  },\n"
-           f.fs_circuit f.fs_faults f.fs_tests f.fs_seq_len f.fs_detected_1
-           f.fs_detected_n f.fs_seconds_1 f.fs_seconds_n f.fs_speedup));
-  (match atpg with
-  | None -> Buffer.add_string b "  \"atpg\": null\n"
-  | Some a ->
-      Buffer.add_string b
-        (Printf.sprintf
-           "  \"atpg\": {\n\
-           \    \"circuit\": \"%s\",\n\
-           \    \"faults\": %d,\n\
-           \    \"tests_domains_1\": %d,\n\
-           \    \"tests_domains_n\": %d,\n\
-           \    \"detected_domains_1\": %d,\n\
-           \    \"detected_domains_n\": %d,\n\
-           \    \"seconds_domains_1\": %.4f,\n\
-           \    \"seconds_domains_n\": %.4f,\n\
-           \    \"speedup\": %.3f\n\
-           \  }\n"
-           a.at_circuit a.at_faults a.at_tests_1 a.at_tests_n a.at_detected_1
-           a.at_detected_n a.at_seconds_1 a.at_seconds_n a.at_speedup));
-  Buffer.add_string b "}\n";
-  let json = Buffer.contents b in
+  let doc =
+    J.Obj
+      [
+        ("bench", J.Str "asc");
+        ("mode", J.Str (if o.quick then "quick" else "full"));
+        ("seed", J.Int o.seed);
+        ("domains", J.Int domains);
+        ( "circuits",
+          J.List
+            (List.map
+               (fun (name, dt, atpg_dt) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("seconds", J.Float dt);
+                     ("atpg_seconds", J.Float atpg_dt);
+                   ])
+               timings) );
+        ( "fsim",
+          match fsim with
+          | None -> J.Null
+          | Some f ->
+              J.Obj
+                [
+                  ("circuit", J.Str f.fs_circuit);
+                  ("faults", J.Int f.fs_faults);
+                  ("tests", J.Int f.fs_tests);
+                  ("seq_len", J.Int f.fs_seq_len);
+                  ("detected_domains_1", J.Int f.fs_detected_1);
+                  ("detected_domains_n", J.Int f.fs_detected_n);
+                  ("seconds_domains_1", J.Float f.fs_seconds_1);
+                  ("seconds_domains_n", J.Float f.fs_seconds_n);
+                  ("speedup", J.Float f.fs_speedup);
+                  ("loads", loads_json f.fs_loads);
+                  ("imbalance", J.Float f.fs_imbalance);
+                ] );
+        ( "atpg",
+          match atpg with
+          | None -> J.Null
+          | Some a ->
+              J.Obj
+                [
+                  ("circuit", J.Str a.at_circuit);
+                  ("faults", J.Int a.at_faults);
+                  ("tests_domains_1", J.Int a.at_tests_1);
+                  ("tests_domains_n", J.Int a.at_tests_n);
+                  ("detected_domains_1", J.Int a.at_detected_1);
+                  ("detected_domains_n", J.Int a.at_detected_n);
+                  ("seconds_domains_1", J.Float a.at_seconds_1);
+                  ("seconds_domains_n", J.Float a.at_seconds_n);
+                  ("speedup", J.Float a.at_speedup);
+                  ("loads", loads_json a.at_loads);
+                  ("imbalance", J.Float a.at_imbalance);
+                ] );
+      ]
+  in
   (match o.json with
   | Some file -> (
       try
-        let oc = open_out file in
-        output_string oc json;
-        close_out oc;
+        J.write_file file doc;
         Printf.printf "wrote %s\n%!" file
       with Sys_error msg -> Printf.eprintf "cannot write JSON summary: %s\n%!" msg)
   | None -> ());
-  print_string json
+  print_endline (J.to_string doc)
 
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
@@ -441,11 +497,20 @@ let () =
       | Some n -> n
       | None -> Asc_util.Domain_pool.default_domains ()
     in
+    let tel = Option.map (fun _ -> Asc_util.Telemetry.create ()) o.trace in
     let pool =
-      if domains > 1 then Some (Asc_util.Domain_pool.create ~domains ()) else None
+      if domains > 1 then Some (Asc_util.Domain_pool.create ?tel ~domains ())
+      else None
     in
-    let timings = run_tables o pool in
+    let timings = run_tables o pool tel in
     (match pool with Some p -> Asc_util.Domain_pool.shutdown p | None -> ());
+    (* The trace covers the table battery, not the speedup re-runs below
+       (those drain their own handles for the utilization report). *)
+    (match (tel, o.trace) with
+    | Some tel, Some file ->
+        Asc_util.Telemetry.write_trace file (Asc_util.Telemetry.drain tel);
+        Printf.printf "wrote trace to %s\n%!" file
+    | _ -> ());
     (* The fault-simulation phase comparison runs whenever a domain count
        was requested explicitly — it is the per-PR perf-regression signal
        the CI quick-bench job records. *)

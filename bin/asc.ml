@@ -78,13 +78,13 @@ let domains_arg =
 (* Resolve the --domains flag to an optional pool; [None] keeps every
    simulation on the calling domain.  [budget] makes the pool fail fast
    once the run's deadline or a signal fires. *)
-let make_pool ?budget domains =
+let make_pool ?budget ?tel domains =
   let n =
     match domains with
     | Some n -> n
     | None -> Asc_util.Domain_pool.default_domains ()
   in
-  if n > 1 then Some (Asc_util.Domain_pool.create ?budget ~domains:n ()) else None
+  if n > 1 then Some (Asc_util.Domain_pool.create ?budget ?tel ~domains:n ()) else None
 
 (* SIGINT/SIGTERM flip the run's budget; the pipeline unwinds at the next
    cancellation point and exits with {!exit_partial}.  Best effort: on
@@ -209,33 +209,58 @@ let json_arg =
   let doc = "Also write a machine-readable run summary to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
 
+(* Version of the run-summary document written by --json.  Bump on any
+   field rename or semantic change so downstream consumers can dispatch. *)
+let json_schema = 1
+
 let emit_json path ~circuit ~status ~reason ~stage ~iterations ~tests ~cycles
-    ~detected ~targets =
-  let opt = function None -> "null" | Some s -> Printf.sprintf "%S" s in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"circuit\": %S,\n\
-    \  \"status\": %S,\n\
-    \  \"reason\": %s,\n\
-    \  \"stage\": %s,\n\
-    \  \"iterations\": %d,\n\
-    \  \"tests\": %d,\n\
-    \  \"cycles\": %d,\n\
-    \  \"detected\": %d,\n\
-    \  \"targets\": %d\n\
-     }\n"
-    circuit status (opt reason) (opt stage) iterations tests cycles detected targets;
-  close_out oc
+    ~detected ~targets ~metrics =
+  let module J = Asc_util.Json in
+  let opt = function None -> J.Null | Some s -> J.Str s in
+  J.write_file path
+    (J.Obj
+       ([
+          ("schema", J.Int json_schema);
+          ("circuit", J.Str circuit);
+          ("status", J.Str status);
+          ("reason", opt reason);
+          ("stage", opt stage);
+          ("iterations", J.Int iterations);
+          ("tests", J.Int tests);
+          ("cycles", J.Int cycles);
+          ("detected", J.Int detected);
+          ("targets", J.Int targets);
+        ]
+       @ match metrics with None -> [] | Some m -> [ ("metrics", m) ]))
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run to $(docv) (one \
+     track per worker domain; open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let counters_arg =
+  let doc = "Print the engine's event counters after the run." in
+  Arg.(value & flag & info [ "counters" ] ~doc)
 
 let run_cmd =
-  let run name t0 seed domains timeout checkpoint resume json verbose =
+  let run name t0 seed domains timeout checkpoint resume json trace counters
+      verbose =
     guard @@ fun () ->
     setup_logs verbose;
     check_name name;
     let budget = Budget.create ?timeout () in
     install_signal_handlers budget;
-    let pool = make_pool ~budget domains in
+    (* Telemetry rides along whenever some consumer asked for it; it is
+       read-only with respect to results (bit-identical output either
+       way), so flipping it on costs only the recording overhead. *)
+    let tel =
+      if trace <> None || counters || json <> None then
+        Some (Asc_util.Telemetry.create ())
+      else None
+    in
+    let pool = make_pool ~budget ?tel domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let t0_source = t0_source_of_flag name t0 in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
@@ -244,7 +269,7 @@ let run_cmd =
          [prepare]; that surfaces as [Exhausted] before any snapshot
          exists, so there is no partial test set to report. *)
       try
-        let prepared = Pipeline.prepare ?pool ~budget ~config c in
+        let prepared = Pipeline.prepare ?pool ~budget ?tel ~config c in
         let resume_snap =
           Option.map
             (fun path ->
@@ -254,13 +279,31 @@ let run_cmd =
             resume
         in
         let on_checkpoint =
-          Option.map (fun path snap -> Checkpoint.write_file path snap) checkpoint
+          Option.map (fun path snap -> Checkpoint.write_file ?tel path snap) checkpoint
         in
         Some
           ( prepared,
-            Pipeline.run_bounded ?pool ~budget ~config ?resume:resume_snap
+            Pipeline.run_bounded ?pool ~budget ?tel ~config ?resume:resume_snap
               ?on_checkpoint prepared )
       with Budget.Exhausted _ -> None
+    in
+    let snap = Option.map Asc_util.Telemetry.drain tel in
+    let metrics = Option.map Asc_util.Telemetry.metrics_json snap in
+    let report_telemetry () =
+      Option.iter
+        (fun (s : Asc_util.Telemetry.snapshot) ->
+          Option.iter
+            (fun path ->
+              Asc_util.Telemetry.write_trace path s;
+              Printf.printf "wrote trace to %s\n" path)
+            trace;
+          if counters then begin
+            print_string "counters:\n";
+            List.iter
+              (fun (k, v) -> Printf.printf "  %-20s %d\n" k v)
+              s.Asc_util.Telemetry.counters
+          end)
+        snap
     in
     match ran with
     | None ->
@@ -275,8 +318,9 @@ let run_cmd =
           (fun path ->
             emit_json path ~circuit:name ~status:"partial" ~reason:(Some reason)
               ~stage:(Some "prepare") ~iterations:0 ~tests:0 ~cycles:0 ~detected:0
-              ~targets:0)
+              ~targets:0 ~metrics)
           json;
+        report_telemetry ();
         exit exit_partial
     | Some (prepared, outcome) -> (
         Printf.printf "circuit %s: %d target faults, |C| = %d\n" name
@@ -309,8 +353,10 @@ let run_cmd =
                   ~tests:(Array.length r.final_tests)
                   ~cycles:r.cycles_final
                   ~detected:(Bv.count r.final_detected)
-                  ~targets:(Bv.count prepared.targets))
-              json
+                  ~targets:(Bv.count prepared.targets)
+                  ~metrics)
+              json;
+            report_telemetry ()
         | Pipeline.Partial p ->
             let reason = Budget.reason_to_string p.p_reason in
             let stage = Pipeline.stage_to_string p.p_stage in
@@ -330,14 +376,17 @@ let run_cmd =
                   ~tests:(Array.length p.p_tests)
                   ~cycles:p.p_cycles
                   ~detected:(Bv.count p.p_detected)
-                  ~targets:(Bv.count prepared.targets))
+                  ~targets:(Bv.count prepared.targets)
+                  ~metrics)
               json;
+            report_telemetry ();
             exit exit_partial)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
     Term.(
       const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ timeout_arg
-      $ checkpoint_arg $ resume_arg $ json_arg $ verbose_arg)
+      $ checkpoint_arg $ resume_arg $ json_arg $ trace_arg $ counters_arg
+      $ verbose_arg)
 
 let baseline_cmd =
   let run name seed domains verbose =

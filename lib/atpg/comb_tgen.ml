@@ -55,8 +55,11 @@ type candidate =
    still returns a well-formed (if weaker) result after the budget fires —
    the cooperative unwind happens at the caller's next poll point.  (A pool
    carrying its own fired budget raises out of [generate] instead.) *)
-let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults ~rng
-    =
+let generate ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_config) c ~faults
+    ~rng =
+  Telemetry.span tel "tgen:comb"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let n_faults = Array.length faults in
   let n_pis = Circuit.n_inputs c and n_ffs = Circuit.n_dffs c in
   let detected = Bitvec.create n_faults in
@@ -78,7 +81,7 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
     let only = undetected () in
     if Bitvec.is_empty only then fruitless := config.random_patience
     else begin
-      let mat = Comb_fsim.detect_matrix ?pool ~only c ~patterns:batch ~faults in
+      let mat = Comb_fsim.detect_matrix ?pool ?tel ~only c ~patterns:batch ~faults in
       (* Keep, within the batch, only patterns that add coverage. *)
       let added = ref false in
       Array.iteri
@@ -113,12 +116,16 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
   in
   Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
       let start, count = ranges.(ci) in
+      Telemetry.span tel "podem:chunk"
+        ~args:[ ("faults", string_of_int count) ]
+      @@ fun () ->
       let podem = Podem.create c in
       for k = start to start + count - 1 do
         let fi = todo.(k) in
         cands.(k) <-
           (match
-             Podem.run ~backtrack_limit:config.backtrack_limit ~budget podem faults.(fi)
+             Podem.run ~backtrack_limit:config.backtrack_limit ~budget ?tel podem
+               faults.(fi)
            with
           | Podem.Redundant -> Cand_redundant
           | Podem.Aborted -> Cand_aborted
@@ -136,8 +143,9 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
       (Array.to_list
          (Array.map (function Cand_fills ps -> ps | _ -> [||]) cands))
   in
+  Telemetry.add tel Telemetry.Tgen_candidates (Array.length all_fills);
   let fill_rows =
-    Comb_fsim.detect_matrix ?pool ~only:remaining c ~patterns:all_fills ~faults
+    Comb_fsim.detect_matrix ?pool ?tel ~only:remaining c ~patterns:all_fills ~faults
   in
   (* Sequential greedy merge in fault-index order: a fault fortuitously
      detected by an earlier accepted fill contributes nothing (its
@@ -175,7 +183,7 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
   (* Reverse-order compaction: walk the tests newest-first and keep only
      those still contributing coverage. *)
   let tests = Array.of_list (List.rev !kept) in
-  let mat = Comb_fsim.detect_matrix ?pool ~only:detected c ~patterns:tests ~faults in
+  let mat = Comb_fsim.detect_matrix ?pool ?tel ~only:detected c ~patterns:tests ~faults in
   let still_needed = Bitvec.copy detected in
   let final = ref [] in
   for p = Array.length tests - 1 downto 0 do
@@ -186,4 +194,6 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
       final := tests.(p) :: !final
     end
   done;
-  { tests = Array.of_list !final; detected; redundant; aborted }
+  let result = { tests = Array.of_list !final; detected; redundant; aborted } in
+  Telemetry.add tel Telemetry.Tgen_commits (Array.length result.tests);
+  result

@@ -30,10 +30,13 @@ val default_config : config
 (** [budget] makes the generator degrade gracefully: a fired budget stops
     the random phase and makes PODEM return [Aborted] promptly, but the
     result record is still well-formed (unless a pool carrying its own
-    fired budget raises {!Asc_util.Budget.Exhausted} out of a sweep). *)
+    fired budget raises {!Asc_util.Budget.Exhausted} out of a sweep).
+    [tel] records a span per PODEM chunk plus decision / candidate /
+    commit counters; it never affects the generated set. *)
 val generate :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

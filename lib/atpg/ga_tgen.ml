@@ -82,8 +82,11 @@ let commit_states good visited segment =
    fired budget ends the evolution loop — unwinding out of the fitness
    co-simulation via [Budget.Exhausted] — and the committed prefix is
    returned as the sequence. *)
-let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults
-    ~rng =
+let generate ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_config) c
+    ~faults ~rng =
+  Telemetry.span tel "tgen:ga"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   (* A fault-free mirror for state-novelty accounting. *)
@@ -117,7 +120,8 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
      novelty count is evaluated against a throwaway copy of [visited] so
      candidates don't spoil each other. *)
   let fitness ind =
-    let detections = Seq_fsim.inc3_peek ?pool ~budget inc ind in
+    Telemetry.incr tel Telemetry.Tgen_candidates;
+    let detections = Seq_fsim.inc3_peek ?pool ~budget ?tel inc ind in
     let novelty = count_novel_states good (Hashtbl.copy visited) ind in
     (detections, novelty)
   in
@@ -151,7 +155,8 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
       done;
       match !best with
       | Some ((detections, novelty), ind) when detections > 0 || novelty > 0 ->
-          let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget inc ind in
+          let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget ?tel inc ind in
+          Telemetry.incr tel Telemetry.Tgen_commits;
           commit_states good visited ind;
           segments := ind :: !segments;
           if detections > 0 then fruitless := 0

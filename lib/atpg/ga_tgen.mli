@@ -25,10 +25,12 @@ type result = {
 (** [pool] parallelises the per-individual fault co-simulation across
     domains; the generated sequence is identical for any domain count.
     [budget] (wall-clock) degrades gracefully: once fired, evolution stops
-    and the committed prefix is returned. *)
+    and the committed prefix is returned.  [tel] records a ["tgen:ga"]
+    span plus candidate/commit counters; it never affects the sequence. *)
 val generate :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

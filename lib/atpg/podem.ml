@@ -325,7 +325,7 @@ let cube_of t =
    means "untestable under the fixed assignment".  [budget] is polled once
    per decision-loop round: a fired deadline or cancellation yields
    [Aborted] — a graceful "don't know", never a bogus [Redundant]. *)
-let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed = []) t
+let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?tel ?(fixed = []) t
     (fault : Fault.t) =
   Array.fill t.asn 0 (Array.length t.asn) vx;
   List.iter
@@ -337,6 +337,8 @@ let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed =
   (* Decision stack: (input gate, current value, alternative tried?). *)
   let stack = ref [] in
   let backtracks = ref 0 in
+  let decisions = ref 0 in
+  let polls = ref 0 in
   let result = ref None in
   imply t fault;
   (* Backtrack: flip the deepest untried decision; [false] when the search
@@ -364,6 +366,7 @@ let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed =
   in
   (try
      while !result = None do
+       incr polls;
        if Asc_util.Budget.exhausted budget then result := Some Aborted
        else if detected t fault then result := Some (Test (cube_of t))
        else begin
@@ -377,6 +380,7 @@ let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed =
                  if !backtracks >= backtrack_limit then result := Some Aborted
                  else if not (backtrack ()) then result := Some Redundant
              | Some (pi, pv) ->
+                 incr decisions;
                  let v = if pv then v1 else v0 in
                  t.asn.(pi) <- v;
                  stack := (pi, v, false) :: !stack;
@@ -384,4 +388,14 @@ let run ?(backtrack_limit = 200) ?(budget = Asc_util.Budget.unlimited) ?(fixed =
        end
      done
    with Stack_overflow -> result := Some Aborted);
-  match !result with Some r -> r | None -> Aborted
+  let r = match !result with Some r -> r | None -> Aborted in
+  (let module Tel = Asc_util.Telemetry in
+   Tel.add tel Tel.Podem_decisions !decisions;
+   Tel.add tel Tel.Podem_backtracks !backtracks;
+   Tel.add tel Tel.Budget_polls !polls;
+   Tel.incr tel
+     (match r with
+     | Test _ -> Tel.Podem_tests
+     | Redundant -> Tel.Podem_redundant
+     | Aborted -> Tel.Podem_aborts));
+  r

@@ -19,10 +19,13 @@ val create : Asc_netlist.Circuit.t -> t
     gates (PIs / flip-flops); with it, [Redundant] only means "untestable
     under the fixed assignment".  [budget] is polled once per decision
     round; once fired the search returns {!Aborted} (never a spurious
-    {!Redundant}) instead of raising. *)
+    {!Redundant}) instead of raising.  [tel] counts decisions, backtracks,
+    budget polls and the outcome (test / redundant / aborted); it never
+    affects the search. *)
 val run :
   ?backtrack_limit:int ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?fixed:(int * bool) list ->
   t ->
   Asc_fault.Fault.t ->

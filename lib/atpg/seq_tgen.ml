@@ -37,8 +37,11 @@ type result = {
    the generator degrade gracefully: a fired budget stops the growth loop —
    unwinding out of the co-simulation kernels via [Budget.Exhausted] — and
    the sequence committed so far is returned. *)
-let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~faults
-    ~rng =
+let generate ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_config) c
+    ~faults ~rng =
+  Telemetry.span tel "tgen:seq"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let n_pis = Circuit.n_inputs c in
   let inc = Seq_fsim.inc3_create c faults in
   let segments = ref [] in
@@ -67,10 +70,11 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
         end
       in
       let candidates = Array.init (max 1 config.candidates) make_candidate in
+      Telemetry.add tel Telemetry.Tgen_candidates (Array.length candidates);
       let best = ref (-1) and best_gain = ref 0 in
       Array.iteri
         (fun k seg ->
-          let gain = Seq_fsim.inc3_peek ?pool ~budget inc seg in
+          let gain = Seq_fsim.inc3_peek ?pool ~budget ?tel inc seg in
           if gain > !best_gain then begin
             best := k;
             best_gain := gain
@@ -78,7 +82,8 @@ let generate ?pool ?(budget = Budget.unlimited) ?(config = default_config) c ~fa
         candidates;
       if !best >= 0 then begin
         let seg = candidates.(!best) in
-        let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget inc seg in
+        let (_ : int) = Seq_fsim.inc3_commit ?pool ~budget ?tel inc seg in
+        Telemetry.incr tel Telemetry.Tgen_commits;
         segments := seg :: !segments;
         last_vector := seg.(Array.length seg - 1);
         fruitless := 0

@@ -26,10 +26,12 @@ type result = {
     domains; the generated sequence is identical for any domain count.
     [budget] (wall-clock, distinct from [config.budget]'s length cap)
     degrades gracefully: once fired, growth stops and the sequence
-    committed so far is returned. *)
+    committed so far is returned.  [tel] records a ["tgen:seq"] span plus
+    candidate/commit counters; it never affects the sequence. *)
 val generate :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

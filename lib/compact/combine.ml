@@ -30,11 +30,11 @@ type config = { max_sweeps : int; max_attempts : int }
 
 let default_config = { max_sweeps = 6; max_attempts = 60_000 }
 
-let run ?pool ?budget ?(config = default_config) c (tests : Scan_test.t array) ~faults ~targets =
+let run ?pool ?budget ?tel ?(config = default_config) c (tests : Scan_test.t array) ~faults ~targets =
   let n = Array.length tests in
   if n = 0 then { tests; combinations = 0; attempts = 0 }
   else begin
-    let mat = Asc_scan.Tset.detection_matrix ?pool ?budget ~only:targets c tests ~faults in
+    let mat = Asc_scan.Tset.detection_matrix ?pool ?budget ?tel ~only:targets c tests ~faults in
     (* Restrict every row to the target faults. *)
     for i = 0 to n - 1 do
       Bitvec.inter_into ~into:(Bitmat.row mat i) targets
@@ -62,14 +62,14 @@ let run ?pool ?budget ?(config = default_config) c (tests : Scan_test.t array) ~
       let combined = Scan_test.combine current.(i) current.(j) in
       let subset = Array.of_list risk in
       if
-        Asc_fault.Seq_fsim.verify_required ?pool ?budget c ~si:combined.si ~seq:combined.seq
+        Asc_fault.Seq_fsim.verify_required ?pool ?budget ?tel c ~si:combined.si ~seq:combined.seq
           ~faults ~subset
       then begin
         (* Re-derive row i over everything the two tests used to detect
            (the combined test may detect more; that only helps and is left
            uncounted, keeping the bookkeeping conservative). *)
         let union = Bitvec.union (Bitmat.row mat i) (Bitmat.row mat j) in
-        let row' = Scan_test.detect ?pool ?budget ~only:union c combined ~faults in
+        let row' = Scan_test.detect ?pool ?budget ?tel ~only:union c combined ~faults in
         Bitvec.iter_set (fun f -> counts.(f) <- counts.(f) - 1) (Bitmat.row mat i);
         Bitvec.iter_set (fun f -> counts.(f) <- counts.(f) - 1) (Bitmat.row mat j);
         Bitvec.iter_set (fun f -> counts.(f) <- counts.(f) + 1) row';

@@ -33,7 +33,7 @@ type result = {
   checks : int; (* simulations spent *)
 }
 
-let run ?pool ?budget ?(config = default_config) c (test : Scan_test.t) ~faults ~required =
+let run ?pool ?budget ?tel ?(config = default_config) c (test : Scan_test.t) ~faults ~required =
   let required = Array.of_list (Bitvec.to_list required) in
   if Array.length required = 0 then { test; omitted = 0; checks = 0 }
   else begin
@@ -43,7 +43,7 @@ let run ?pool ?budget ?(config = default_config) c (test : Scan_test.t) ~faults 
     (* Earliest PO detection time per required fault under the current
        test; [max_int] for faults that rely on the scan-out. *)
     let po_time =
-      let p = Seq_fsim.profile ?pool ?budget c ~si:test.si ~seq:test.seq ~faults ~subset:required in
+      let p = Seq_fsim.profile ?pool ?budget ?tel c ~si:test.si ~seq:test.seq ~faults ~subset:required in
       Array.copy p.po_time
     in
     let budget_left () = !checks < config.max_checks && !work < config.max_work in
@@ -70,13 +70,13 @@ let run ?pool ?budget ?(config = default_config) c (test : Scan_test.t) ~faults 
         let groups = (Array.length subset + Word.width - 1) / Word.width in
         work := !work + (groups * new_len * n_gates);
         let ok =
-          Seq_fsim.verify_required ?pool ?budget c ~si:candidate.si ~seq:candidate.seq ~faults
+          Seq_fsim.verify_required ?pool ?budget ?tel c ~si:candidate.si ~seq:candidate.seq ~faults
             ~subset
         in
         if ok then begin
           (* Refresh the detection times of the re-verified faults. *)
           let prof =
-            Seq_fsim.profile ?pool ?budget c ~si:candidate.si ~seq:candidate.seq ~faults ~subset
+            Seq_fsim.profile ?pool ?budget ?tel c ~si:candidate.si ~seq:candidate.seq ~faults ~subset
           in
           work := !work + (groups * new_len * n_gates);
           current := candidate;

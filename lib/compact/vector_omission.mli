@@ -22,6 +22,7 @@ type result = {
 val run :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   Asc_scan.Scan_test.t ->

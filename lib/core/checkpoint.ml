@@ -222,7 +222,11 @@ let validate (p : Pipeline.prepared) ~(config : Pipeline.config)
     (string_of_int (Array.length p.comb_tests))
 
 (* Atomic write: the previous checkpoint survives a crash mid-write. *)
-let write_file path (s : Pipeline.snapshot) =
+let write_file ?tel path (s : Pipeline.snapshot) =
+  let module Tel = Asc_util.Telemetry in
+  Tel.span tel "checkpoint:write" ~args:[ ("iter", string_of_int s.snap_iter) ]
+  @@ fun () ->
+  Tel.incr tel Tel.Checkpoint_writes;
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   (try output_string oc (to_string s)

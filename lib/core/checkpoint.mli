@@ -18,5 +18,8 @@ val of_string : string -> Pipeline.snapshot
 (** Check a loaded snapshot against the run about to resume from it. *)
 val validate : Pipeline.prepared -> config:Pipeline.config -> Pipeline.snapshot -> unit
 
-val write_file : string -> Pipeline.snapshot -> unit
+(** [tel] records a ["checkpoint:write"] span and bumps the
+    [Checkpoint_writes] counter. *)
+val write_file : ?tel:Asc_util.Telemetry.t -> string -> Pipeline.snapshot -> unit
+
 val read_file : string -> Pipeline.snapshot

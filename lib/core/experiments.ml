@@ -23,16 +23,17 @@ let dynamic_cycles (d : Asc_compact.Dynamic_baseline.result) c =
 
 let config_for ~seed ~t0_source = { Pipeline.default_config with seed; t0_source }
 
-let run_circuit ?pool ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000) name =
+let run_circuit ?pool ?tel ?(seed = 1) ?(with_dynamic = false) ?(random_t0_len = 1000)
+    name =
   let c = Asc_circuits.Registry.get ~seed name in
   let budget = Asc_circuits.Registry.t0_budget name in
   let base_config = config_for ~seed ~t0_source:(Pipeline.Directed budget) in
   let t_prepare = Unix.gettimeofday () in
-  let prepared = Pipeline.prepare ?pool ~config:base_config c in
+  let prepared = Pipeline.prepare ?pool ?tel ~config:base_config c in
   let prepare_seconds = Unix.gettimeofday () -. t_prepare in
-  let directed = Pipeline.run ?pool ~config:base_config prepared in
+  let directed = Pipeline.run ?pool ?tel ~config:base_config prepared in
   let random =
-    Pipeline.run ?pool
+    Pipeline.run ?pool ?tel
       ~config:(config_for ~seed ~t0_source:(Pipeline.Random_seq random_t0_len))
       prepared
   in

@@ -21,6 +21,7 @@ val config_for : seed:int -> t0_source:Pipeline.t0_source -> Pipeline.config
 
 val run_circuit :
   ?pool:Asc_util.Domain_pool.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?seed:int ->
   ?with_dynamic:bool ->
   ?random_t0_len:int ->

@@ -16,6 +16,7 @@ type scan_in_choice = {
 val select_scan_in :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->
   candidates:Asc_sim.Pattern.t array ->
@@ -39,6 +40,7 @@ type scan_out_policy = Earliest | Max_detection
 val select_scan_out :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?policy:scan_out_policy ->
   Asc_netlist.Circuit.t ->
   faults:Asc_fault.Fault.t array ->

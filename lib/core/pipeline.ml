@@ -61,12 +61,15 @@ type prepared = {
   aborted : Bitvec.t;
 }
 
-let prepare ?pool ?budget ?(config = default_config) c =
+let prepare ?pool ?budget ?tel ?(config = default_config) c =
+  Telemetry.span tel "prepare" ~args:[ ("circuit", Circuit.name c) ]
+  @@ fun () ->
   let collapse = Asc_fault.Collapse.run c in
   let faults = Asc_fault.Collapse.reps collapse in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/comb") in
   let gen =
-    Asc_atpg.Comb_tgen.generate ?pool ?budget ~config:config.comb_tgen c ~faults ~rng
+    Asc_atpg.Comb_tgen.generate ?pool ?budget ?tel ~config:config.comb_tgen c ~faults
+      ~rng
   in
   let n = Array.length faults in
   let targets = Bitvec.init n (fun i -> not (Bitvec.get gen.redundant i)) in
@@ -103,7 +106,7 @@ type result = {
   cycles_final : int;
 }
 
-let make_t0 ?pool ?budget config (p : prepared) =
+let make_t0 ?pool ?budget ?tel config (p : prepared) =
   let c = p.circuit in
   let rng = Rng.of_name ~seed:config.seed (Circuit.name c ^ "/t0") in
   match config.t0_source with
@@ -111,10 +114,12 @@ let make_t0 ?pool ?budget config (p : prepared) =
       Asc_atpg.Random_tgen.generate rng ~n_pis:(Circuit.n_inputs c) ~len
   | Directed budget' ->
       let cfg = { Asc_atpg.Seq_tgen.default_config with budget = budget' } in
-      (Asc_atpg.Seq_tgen.generate ?pool ?budget ~config:cfg c ~faults:p.faults ~rng).seq
+      (Asc_atpg.Seq_tgen.generate ?pool ?budget ?tel ~config:cfg c ~faults:p.faults ~rng)
+        .seq
   | Genetic budget' ->
       let cfg = { Asc_atpg.Ga_tgen.default_config with budget = budget' } in
-      (Asc_atpg.Ga_tgen.generate ?pool ?budget ~config:cfg c ~faults:p.faults ~rng).seq
+      (Asc_atpg.Ga_tgen.generate ?pool ?budget ?tel ~config:cfg c ~faults:p.faults ~rng)
+        .seq
 
 (* --- Robustness layer: snapshots, partial results ---------------------- *)
 
@@ -165,8 +170,8 @@ type outcome = Complete of result | Partial of partial
    best iterate's detection set) is recomputed on resume by the same
    deterministic simulations the uninterrupted run used, so a resumed run
    replays the remaining iterations and Phases 3–4 bit-identically. *)
-let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?resume
-    ?on_checkpoint (p : prepared) =
+let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_config)
+    ?resume ?on_checkpoint (p : prepared) =
   let c = p.circuit in
   if Array.length p.comb_tests = 0 then
     invalid_arg
@@ -259,26 +264,29 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?r
           current_seq := s.snap_seq;
           current_f0 :=
             Bitvec.inter
-              (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:!current_seq ~faults)
+              (Seq_fsim.detect_no_scan ?pool ~budget ?tel c ~seq:!current_seq ~faults)
               p.targets;
           tau :=
             Option.map
               (fun t ->
                 ( t,
                   Bitvec.inter
-                    (Scan_test.detect ?pool ~budget ~only:p.targets c t ~faults)
+                    (Scan_test.detect ?pool ~budget ?tel ~only:p.targets c t ~faults)
                     p.targets ))
               s.snap_best
       | None ->
-          let t0 = make_t0 ?pool ~budget config p in
-          Budget.check budget;
-          let f0 =
-            Bitvec.inter (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:t0 ~faults) p.targets
-          in
-          current_seq := t0;
-          current_f0 := f0;
-          t0_length := Array.length t0;
-          f0_count := Bitvec.count f0);
+          Telemetry.span tel "t0-generation" (fun () ->
+              let t0 = make_t0 ?pool ~budget ?tel config p in
+              Budget.check budget;
+              let f0 =
+                Bitvec.inter
+                  (Seq_fsim.detect_no_scan ?pool ~budget ?tel c ~seq:t0 ~faults)
+                  p.targets
+              in
+              current_seq := t0;
+              current_f0 := f0;
+              t0_length := Array.length t0;
+              f0_count := Bitvec.count f0));
       `Ok
     with Budget.Exhausted reason -> `Exhausted reason
   in
@@ -292,26 +300,30 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?r
           while not !stop do
             Budget.check budget;
             incr iter;
+            Telemetry.span tel "phase1+2"
+              ~args:[ ("iter", string_of_int !iter) ]
+            @@ fun () ->
             let choice =
               timed "select_scan_in" (fun () ->
-                  Phase1.select_scan_in ?pool ~budget c ~faults ~candidates:p.comb_tests
-                    ~t0:!current_seq ~f0:!current_f0 ~targets:p.targets ~selected)
+                  Phase1.select_scan_in ?pool ~budget ?tel c ~faults
+                    ~candidates:p.comb_tests ~t0:!current_seq ~f0:!current_f0
+                    ~targets:p.targets ~selected)
             in
             let so =
               timed "select_scan_out" (fun () ->
-                  Phase1.select_scan_out ?pool ~budget ~policy:config.scan_out_policy c
-                    ~faults
+                  Phase1.select_scan_out ?pool ~budget ?tel
+                    ~policy:config.scan_out_policy c ~faults
                     ~si:p.comb_tests.(choice.index).state
                     ~t0:!current_seq ~f_si:choice.f_si ~targets:p.targets)
             in
             let om =
               timed "vector_omission" (fun () ->
-                  Asc_compact.Vector_omission.run ?pool ~budget ~config:config.omission c
-                    so.test ~faults ~required:so.f_so)
+                  Asc_compact.Vector_omission.run ?pool ~budget ?tel
+                    ~config:config.omission c so.test ~faults ~required:so.f_so)
             in
             let f_c =
               Bitvec.inter
-                (Scan_test.detect ?pool ~budget ~only:p.targets c om.test ~faults)
+                (Scan_test.detect ?pool ~budget ?tel ~only:p.targets c om.test ~faults)
                 p.targets
             in
             Log.debug (fun m ->
@@ -350,7 +362,7 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?r
               current_seq := om.test.seq;
               current_f0 :=
                 Bitvec.inter
-                  (Seq_fsim.detect_no_scan ?pool ~budget c ~seq:!current_seq ~faults)
+                  (Seq_fsim.detect_no_scan ?pool ~budget ?tel c ~seq:!current_seq ~faults)
                   p.targets;
               (* Iteration boundary: the only checkpoint point — resuming
                  here replays the rest of the run bit-identically. *)
@@ -370,33 +382,44 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?r
           let after_phase3 = ref None in
           try
             (* --- Phase 3: complete the coverage -------------------- *)
-            let undetected = Bitvec.diff p.targets f_seq in
-            let matrix =
-              Asc_fault.Comb_fsim.detect_matrix ?pool ~budget ~only:undetected c
-                ~patterns:p.comb_tests ~faults
-            in
-            let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
-            let added =
-              Array.of_list
-                (List.map (fun j -> Scan_test.of_pattern p.comb_tests.(j)) cover.selected)
-            in
-            let initial_tests = Array.append [| tau_seq |] added in
-            let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
-            let detected_initial =
-              List.fold_left
-                (fun acc j -> Bitvec.union acc (Bitmat.row matrix j))
-                f_seq cover.selected
+            let initial_tests, cycles_initial, detected_initial, cover, added =
+              Telemetry.span tel "phase3" @@ fun () ->
+              let undetected = Bitvec.diff p.targets f_seq in
+              let matrix =
+                Asc_fault.Comb_fsim.detect_matrix ?pool ~budget ?tel ~only:undetected c
+                  ~patterns:p.comb_tests ~faults
+              in
+              let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
+              let added =
+                Array.of_list
+                  (List.map
+                     (fun j -> Scan_test.of_pattern p.comb_tests.(j))
+                     cover.selected)
+              in
+              let initial_tests = Array.append [| tau_seq |] added in
+              let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
+              let detected_initial =
+                List.fold_left
+                  (fun acc j -> Bitvec.union acc (Bitmat.row matrix j))
+                  f_seq cover.selected
+              in
+              (initial_tests, cycles_initial, detected_initial, cover, added)
             in
             after_phase3 := Some (initial_tests, cycles_initial, detected_initial, cover, added);
             (* --- Phase 4: static compaction of the result ----------- *)
-            let combined =
-              Asc_compact.Combine.run ?pool ~budget ~config:config.combine c initial_tests
-                ~faults ~targets:p.targets
-            in
-            let final_tests = combined.tests in
-            let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
-            let final_detected =
-              Asc_scan.Tset.coverage ?pool ~budget ~only:p.targets c final_tests ~faults
+            let final_tests, cycles_final, final_detected =
+              Telemetry.span tel "phase4" @@ fun () ->
+              let combined =
+                Asc_compact.Combine.run ?pool ~budget ?tel ~config:config.combine c
+                  initial_tests ~faults ~targets:p.targets
+              in
+              let final_tests = combined.tests in
+              let cycles_final = Asc_scan.Time_model.cycles_of_tests c final_tests in
+              let final_detected =
+                Asc_scan.Tset.coverage ?pool ~budget ?tel ~only:p.targets c final_tests
+                  ~faults
+              in
+              (final_tests, cycles_final, final_detected)
             in
             Complete
               {
@@ -428,8 +451,8 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?(config = default_config) ?r
                     p_cycles = cycles;
                   })))
 
-let run ?pool ?(config = default_config) (p : prepared) =
-  match run_bounded ?pool ~config p with
+let run ?pool ?tel ?(config = default_config) (p : prepared) =
+  match run_bounded ?pool ?tel ~config p with
   | Complete r -> r
   | Partial pr ->
       (* Only reachable through a pool whose own budget fired (the explicit

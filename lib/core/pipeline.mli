@@ -42,10 +42,13 @@ type prepared = {
     parallelises combinational test generation (the PODEM phase chunks
     target faults across domains, each chunk with private ATPG state); the
     [prepared] record is bit-identical for any domain count.  [budget]
-    degrades the ATPG gracefully (see {!Asc_atpg.Comb_tgen.generate}). *)
+    degrades the ATPG gracefully (see {!Asc_atpg.Comb_tgen.generate}).
+    [tel] records a ["prepare"] span plus engine counters; telemetry
+    never affects the result. *)
 val prepare :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   Asc_netlist.Circuit.t ->
   prepared
@@ -56,6 +59,7 @@ val prepare :
 val make_t0 :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   config ->
   prepared ->
   bool array array
@@ -88,7 +92,12 @@ type result = {
     identical for any domain count.  Raises {!Asc_util.Budget.Exhausted}
     if the pool carries a budget that fires mid-run (prefer
     {!run_bounded} for interruptible runs). *)
-val run : ?pool:Asc_util.Domain_pool.t -> ?config:config -> prepared -> result
+val run :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?tel:Asc_util.Telemetry.t ->
+  ?config:config ->
+  prepared ->
+  result
 
 (** {2 Deadline-aware execution (see docs/ROBUSTNESS.md)} *)
 
@@ -148,10 +157,17 @@ type outcome = Complete of result | Partial of partial
     snapshot: the remaining iterations and Phases 3–4 replay exactly, so
     the final result is bit-identical to an uninterrupted run for any
     domain count.  Raises [Invalid_argument] if the snapshot does not
-    match this (circuit, seed, T0 source, |C|). *)
+    match this (circuit, seed, T0 source, |C|).
+
+    [tel] records one span per phase (["t0-generation"], ["phase1+2"] with
+    an [iter] argument per round, ["phase3"], ["phase4"]) plus the engine
+    counters of every kernel it reaches; {!Asc_util.Telemetry.metrics_json}
+    turns the drained snapshot into the per-phase wall-time breakdown.
+    Telemetry never affects the outcome. *)
 val run_bounded :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?config:config ->
   ?resume:snapshot ->
   ?on_checkpoint:(snapshot -> unit) ->

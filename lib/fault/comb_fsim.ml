@@ -83,7 +83,14 @@ let sweep_groups ?pool groups ~chunk ~merge ~empty =
 
 (* Detection matrix: rows are patterns, columns are faults.  [only]
    restricts the simulated fault indices (default: all). *)
-let detect_matrix ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
+let detect_matrix ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~faults =
+  Telemetry.span tel "fsim:matrix"
+    ~args:
+      [
+        ("patterns", string_of_int (Array.length patterns));
+        ("faults", string_of_int (Array.length faults));
+      ]
+  @@ fun () ->
   let n_faults = Array.length faults in
   let mat = Bitmat.create (Array.length patterns) n_faults in
   let groups = pack c patterns in
@@ -94,12 +101,15 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
     let rows =
       Array.init (last.base + last.count - base0) (fun _ -> Bitvec.create n_faults)
     in
+    let sims = ref 0 and hits = ref 0 in
     for gi = start to start + count - 1 do
       Budget.check budget;
       let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =
+        incr sims;
         let det = detect_word engine group good faults.(fi) in
+        hits := !hits + Word.popcount det;
         Word.iter_set (fun lane -> Bitvec.set rows.(group.base - base0 + lane) fi) det
       in
       match only with
@@ -109,6 +119,11 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
           done
       | Some mask -> Bitvec.iter_set simulate mask
     done;
+    Telemetry.add tel Telemetry.Faults_simulated !sims;
+    Telemetry.add tel Telemetry.Faulty_cycles !sims;
+    Telemetry.add tel Telemetry.Good_cycles count;
+    Telemetry.add tel Telemetry.Fault_detections !hits;
+    Telemetry.add tel Telemetry.Budget_polls count;
     rows
   in
   sweep_groups ?pool groups ~chunk ~empty:[||] ~merge:(fun (start, _) rows ->
@@ -121,20 +136,30 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
    already detected by an earlier group is skipped; across domains the
    skip applies within each chunk only (results are identical, some
    redundant simulation is traded for wall-clock). *)
-let detect_union ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
+let detect_union ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~faults =
+  Telemetry.span tel "fsim:union"
+    ~args:
+      [
+        ("patterns", string_of_int (Array.length patterns));
+        ("faults", string_of_int (Array.length faults));
+      ]
+  @@ fun () ->
   let n_faults = Array.length faults in
   let det = Bitvec.create n_faults in
   let groups = pack c patterns in
   let chunk (start, count) =
     let engine = Engine2.create c [] in
     let local = Bitvec.create n_faults in
+    let sims = ref 0 in
     for gi = start to start + count - 1 do
       Budget.check budget;
       let group = groups.(gi) in
       let good = good_of_group engine group in
       let simulate fi =
-        if (not (Bitvec.get local fi)) && detect_word engine group good faults.(fi) <> 0
-        then Bitvec.set local fi
+        if not (Bitvec.get local fi) then begin
+          incr sims;
+          if detect_word engine group good faults.(fi) <> 0 then Bitvec.set local fi
+        end
       in
       match only with
       | None ->
@@ -143,6 +168,11 @@ let detect_union ?pool ?(budget = Budget.unlimited) ?only c ~patterns ~faults =
           done
       | Some mask -> Bitvec.iter_set simulate mask
     done;
+    Telemetry.add tel Telemetry.Faults_simulated !sims;
+    Telemetry.add tel Telemetry.Faulty_cycles !sims;
+    Telemetry.add tel Telemetry.Good_cycles count;
+    Telemetry.add tel Telemetry.Fault_detections (Bitvec.count local);
+    Telemetry.add tel Telemetry.Budget_polls count;
     local
   in
   sweep_groups ?pool groups ~chunk ~empty:(Bitvec.create n_faults)

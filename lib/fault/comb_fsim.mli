@@ -9,10 +9,12 @@
     simulated (others are left undetected).  [pool] chunks the pattern
     groups across worker domains; results are identical for any domain
     count.  [budget] is polled per pattern group (raises
-    {!Asc_util.Budget.Exhausted} once fired). *)
+    {!Asc_util.Budget.Exhausted} once fired).  [tel] records a span per
+    call plus engine counters; telemetry never affects results. *)
 val detect_matrix :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->
@@ -23,6 +25,7 @@ val detect_matrix :
 val detect_union :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   patterns:Asc_sim.Pattern.t array ->

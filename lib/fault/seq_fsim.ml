@@ -114,8 +114,9 @@ let state_diff engine (good : good) boundary =
 
 (* Detection word of one fault group over the whole test, with an early
    exit once every lane has seen a PO difference; the scan-out (final
-   state) difference is folded in only when the early exit did not fire. *)
-let detect_group engine ~si ~sw ~good ~len (group : group) =
+   state) difference is folded in only when the early exit did not fire.
+   [cycles] accumulates the evaluated time units (telemetry). *)
+let detect_group engine ~si ~sw ~good ~len ~cycles (group : group) =
   Engine2.set_overrides engine group.overrides;
   Engine2.set_state_bools engine si;
   let det = ref 0 in
@@ -126,6 +127,7 @@ let detect_group engine ~si ~sw ~good ~len (group : group) =
     Engine2.capture engine;
     incr t
   done;
+  cycles := !cycles + !t;
   if !t = len && !det <> group.lanes then det := !det lor state_diff engine good len;
   !det land group.lanes
 
@@ -142,30 +144,46 @@ let sweep_groups ?pool c groups ~chunk ~merge ~empty =
 
 (* Which of [faults] does the scan test (si, seq) detect?  [only] restricts
    the simulated fault indices. *)
-let detect ?pool ?(budget = Budget.unlimited) ?only c ~si ~seq ~faults =
+let detect ?pool ?(budget = Budget.unlimited) ?tel ?only c ~si ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
   if Array.length subset = 0 then result
-  else begin
-    let sw = seq_words c seq in
-    let len = Array.length seq in
-    let good = good_run c ~si ~seq in
-    let groups = make_groups faults subset in
-    let chunk engine (start, count) =
-      let hits = ref [] in
-      for gi = start to start + count - 1 do
-        Budget.check budget;
-        let group = groups.(gi) in
-        let d = detect_group engine ~si ~sw ~good ~len group in
-        Word.iter_set (fun lane -> hits := group.members.(lane) :: !hits) d
-      done;
-      !hits
-    in
-    sweep_groups ?pool c groups ~chunk ~empty:[]
-      ~merge:(fun _range hits -> List.iter (Bitvec.set result) hits);
-    result
-  end
+  else
+    Telemetry.span tel "fsim:detect"
+      ~args:
+        [
+          ("faults", string_of_int (Array.length subset));
+          ("len", string_of_int (Array.length seq));
+        ]
+      (fun () ->
+        let sw = seq_words c seq in
+        let len = Array.length seq in
+        let good = good_run c ~si ~seq in
+        Telemetry.add tel Telemetry.Good_cycles len;
+        let groups = make_groups faults subset in
+        let chunk engine (start, count) =
+          let hits = ref [] and nhits = ref 0 and lanes = ref 0 and cycles = ref 0 in
+          for gi = start to start + count - 1 do
+            Budget.check budget;
+            let group = groups.(gi) in
+            let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
+            lanes := !lanes + Array.length group.members;
+            Word.iter_set
+              (fun lane ->
+                hits := group.members.(lane) :: !hits;
+                incr nhits)
+              d
+          done;
+          Telemetry.add tel Telemetry.Faults_simulated !lanes;
+          Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+          Telemetry.add tel Telemetry.Fault_detections !nhits;
+          Telemetry.add tel Telemetry.Budget_polls count;
+          !hits
+        in
+        sweep_groups ?pool c groups ~chunk ~empty:[]
+          ~merge:(fun _range hits -> List.iter (Bitvec.set result) hits);
+        result)
 
 (* Detection-time profile over a fault subset.
 
@@ -180,10 +198,18 @@ type profile = {
   state_diff_at : Bitvec.t array;
 }
 
-let profile ?pool ?(budget = Budget.unlimited) c ~si ~seq ~faults ~subset =
+let profile ?pool ?(budget = Budget.unlimited) ?tel c ~si ~seq ~faults ~subset =
+  Telemetry.span tel "fsim:profile"
+    ~args:
+      [
+        ("faults", string_of_int (Array.length subset));
+        ("len", string_of_int (Array.length seq));
+      ]
+  @@ fun () ->
   let len = Array.length seq in
   let sw = seq_words c seq in
   let good = good_run c ~si ~seq in
+  Telemetry.add tel Telemetry.Good_cycles len;
   let total = Array.length subset in
   let po_time = Array.make total max_int in
   let state_diff_at = Array.make total (Bitvec.create len) in
@@ -195,6 +221,9 @@ let profile ?pool ?(budget = Budget.unlimited) c ~si ~seq ~faults ~subset =
     let span = min total ((gstart + gcount) * Word.width) - base0 in
     let po = Array.make span max_int in
     let sdiff = Array.init span (fun _ -> Bitvec.create len) in
+    Telemetry.add tel Telemetry.Faults_simulated span;
+    Telemetry.add tel Telemetry.Faulty_cycles (gcount * len);
+    Telemetry.add tel Telemetry.Budget_polls gcount;
     for gi = gstart to gstart + gcount - 1 do
       Budget.check budget;
       let group = groups.(gi) in
@@ -250,7 +279,14 @@ type cand_group = {
   good_final : int array; (* fault-free final state words *)
 }
 
-let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults ~subset =
+let candidate_detections ?pool ?(budget = Budget.unlimited) ?tel c ~sis ~seq ~faults ~subset =
+  Telemetry.span tel "fsim:candidates"
+    ~args:
+      [
+        ("candidates", string_of_int (Array.length sis));
+        ("faults", string_of_int (Array.length subset));
+      ]
+  @@ fun () ->
   let n_candidates = Array.length sis in
   let n_ff = Circuit.n_dffs c in
   let n_po = Circuit.n_outputs c in
@@ -286,8 +322,10 @@ let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults 
         let good_final = Array.init n_ff (Engine2.state_word engine0) in
         { cbase; cfull; init_words; good_po; good_final })
   in
-  (* One fault at a time, injected in every candidate lane. *)
-  let detect_candidates engine fi cg =
+  Telemetry.add tel Telemetry.Good_cycles (n_cgroups * len);
+  (* One fault at a time, injected in every candidate lane.  [cycles]
+     accumulates evaluated time units for the chunk's telemetry. *)
+  let detect_candidates engine ~cycles fi cg =
     Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
     Engine2.set_state_words engine cg.init_words;
     let det = ref 0 in
@@ -301,6 +339,7 @@ let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults 
       Engine2.capture engine;
       incr t
     done;
+    cycles := !cycles + !t;
     if !t = len && !det <> cg.cfull then
       for i = 0 to n_ff - 1 do
         det := !det lor (Engine2.state_word engine i lxor cg.good_final.(i))
@@ -314,11 +353,21 @@ let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults 
       let start, count = ranges.(ci) in
       let engine = Engine2.create c [] in
       let dets = Array.make_matrix count n_cgroups 0 in
+      let cycles = ref 0 and nhits = ref 0 in
       for k = 0 to count - 1 do
         Budget.check budget;
         let fi = subset.(start + k) in
-        Array.iteri (fun cgi cg -> dets.(k).(cgi) <- detect_candidates engine fi cg) cgroups
+        Array.iteri
+          (fun cgi cg ->
+            let d = detect_candidates engine ~cycles fi cg in
+            nhits := !nhits + Word.popcount d;
+            dets.(k).(cgi) <- d)
+          cgroups
       done;
+      Telemetry.add tel Telemetry.Faults_simulated count;
+      Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+      Telemetry.add tel Telemetry.Fault_detections !nhits;
+      Telemetry.add tel Telemetry.Budget_polls count;
       parts.(ci) <- dets);
   Array.iteri
     (fun ci dets ->
@@ -338,86 +387,110 @@ let candidate_detections ?pool ?(budget = Budget.unlimited) c ~sis ~seq ~faults 
 (* Verification: does (si, seq) detect *every* fault index in [subset]?
    Any failing group stops the sweep: sequentially via the loop condition,
    across domains via a shared flag checked between groups. *)
-let verify_required ?pool ?(budget = Budget.unlimited) c ~si ~seq ~faults ~subset =
+let verify_required ?pool ?(budget = Budget.unlimited) ?tel c ~si ~seq ~faults ~subset =
   if Array.length subset = 0 then true
-  else begin
-    let sw = seq_words c seq in
-    let len = Array.length seq in
-    let good = good_run c ~si ~seq in
-    let groups = make_groups faults subset in
-    let failed = Atomic.make false in
-    let chunk engine (start, count) =
-      let gi = ref start in
-      while (not (Atomic.get failed)) && !gi < start + count do
-        Budget.check budget;
-        let group = groups.(!gi) in
-        let d = detect_group engine ~si ~sw ~good ~len group in
-        if d <> group.lanes then Atomic.set failed true;
-        incr gi
-      done
-    in
-    sweep_groups ?pool c groups ~chunk ~empty:() ~merge:(fun _ () -> ());
-    not (Atomic.get failed)
-  end
+  else
+    Telemetry.span tel "fsim:verify"
+      ~args:[ ("faults", string_of_int (Array.length subset)) ]
+      (fun () ->
+        let sw = seq_words c seq in
+        let len = Array.length seq in
+        let good = good_run c ~si ~seq in
+        Telemetry.add tel Telemetry.Good_cycles len;
+        let groups = make_groups faults subset in
+        let failed = Atomic.make false in
+        let chunk engine (start, count) =
+          let gi = ref start in
+          let lanes = ref 0 and cycles = ref 0 and polls = ref 0 in
+          while (not (Atomic.get failed)) && !gi < start + count do
+            Budget.check budget;
+            incr polls;
+            let group = groups.(!gi) in
+            let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
+            lanes := !lanes + Array.length group.members;
+            if d <> group.lanes then Atomic.set failed true;
+            incr gi
+          done;
+          Telemetry.add tel Telemetry.Faults_simulated !lanes;
+          Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+          Telemetry.add tel Telemetry.Budget_polls !polls
+        in
+        sweep_groups ?pool c groups ~chunk ~empty:() ~merge:(fun _ () -> ());
+        not (Atomic.get failed))
 
 (* --- 3-valued, unknown initial state ("without scan") ------------------ *)
 
 (* A fault counts as detected only when the fault-free value at a PO is a
    binary value and the faulty value is the complementary binary value. *)
-let detect_no_scan ?pool ?(budget = Budget.unlimited) ?only c ~seq ~faults =
+let detect_no_scan ?pool ?(budget = Budget.unlimited) ?tel ?only c ~seq ~faults =
   let n = Array.length faults in
   let result = Bitvec.create n in
   let subset = subset_of_only n only in
   if Array.length subset = 0 then result
-  else begin
-    let len = Array.length seq in
-    let sw = seq_words c seq in
-    let n_po = Circuit.n_outputs c in
-    (* Fault-free 3-valued run from the all-X state. *)
-    let good = Engine3.create c [] in
-    Engine3.set_state_x good;
-    let good_po = Array.make len [||] in
-    for t = 0 to len - 1 do
-      Engine3.eval_binary good ~pi_words:sw.(t);
-      good_po.(t) <- Array.init n_po (Engine3.po_word good);
-      Engine3.capture good
-    done;
-    let groups = make_groups faults subset in
-    let detect_group3 engine (group : group) =
-      Engine3.set_overrides engine group.overrides;
-      Engine3.set_state_x engine;
-      let det = ref 0 in
-      let t = ref 0 in
-      while !det <> group.lanes && !t < len do
-        Engine3.eval_binary engine ~pi_words:sw.(!t);
-        for i = 0 to n_po - 1 do
-          let gz, go = good_po.(!t).(i) in
-          let fz, fo = Engine3.po_word engine i in
-          det := !det lor ((gz land fo) lor (go land fz))
+  else
+    Telemetry.span tel "fsim:detect-no-scan"
+      ~args:
+        [
+          ("faults", string_of_int (Array.length subset));
+          ("len", string_of_int (Array.length seq));
+        ]
+      (fun () ->
+        let len = Array.length seq in
+        let sw = seq_words c seq in
+        let n_po = Circuit.n_outputs c in
+        (* Fault-free 3-valued run from the all-X state. *)
+        let good = Engine3.create c [] in
+        Engine3.set_state_x good;
+        let good_po = Array.make len [||] in
+        for t = 0 to len - 1 do
+          Engine3.eval_binary good ~pi_words:sw.(t);
+          good_po.(t) <- Array.init n_po (Engine3.po_word good);
+          Engine3.capture good
         done;
-        Engine3.capture engine;
-        incr t
-      done;
-      !det land group.lanes
-    in
-    let ng = Array.length groups in
-    let ranges = Domain_pool.split ~n:ng ~pieces:(Domain_pool.chunk_count pool ng) in
-    let parts = Array.make (Array.length ranges) [] in
-    Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
-        let start, count = ranges.(ci) in
-        let engine = Engine3.create c [] in
-        let hits = ref [] in
-        for gi = start to start + count - 1 do
-          Budget.check budget;
-          let group = groups.(gi) in
-          Word.iter_set
-            (fun lane -> hits := group.members.(lane) :: !hits)
-            (detect_group3 engine group)
-        done;
-        parts.(ci) <- !hits);
-    Array.iter (List.iter (Bitvec.set result)) parts;
-    result
-  end
+        Telemetry.add tel Telemetry.Good_cycles len;
+        let groups = make_groups faults subset in
+        let detect_group3 engine ~cycles (group : group) =
+          Engine3.set_overrides engine group.overrides;
+          Engine3.set_state_x engine;
+          let det = ref 0 in
+          let t = ref 0 in
+          while !det <> group.lanes && !t < len do
+            Engine3.eval_binary engine ~pi_words:sw.(!t);
+            for i = 0 to n_po - 1 do
+              let gz, go = good_po.(!t).(i) in
+              let fz, fo = Engine3.po_word engine i in
+              det := !det lor ((gz land fo) lor (go land fz))
+            done;
+            Engine3.capture engine;
+            incr t
+          done;
+          cycles := !cycles + !t;
+          !det land group.lanes
+        in
+        let ng = Array.length groups in
+        let ranges = Domain_pool.split ~n:ng ~pieces:(Domain_pool.chunk_count pool ng) in
+        let parts = Array.make (Array.length ranges) [] in
+        Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+            let start, count = ranges.(ci) in
+            let engine = Engine3.create c [] in
+            let hits = ref [] and nhits = ref 0 and lanes = ref 0 and cycles = ref 0 in
+            for gi = start to start + count - 1 do
+              Budget.check budget;
+              let group = groups.(gi) in
+              lanes := !lanes + Array.length group.members;
+              Word.iter_set
+                (fun lane ->
+                  hits := group.members.(lane) :: !hits;
+                  incr nhits)
+                (detect_group3 engine ~cycles group)
+            done;
+            Telemetry.add tel Telemetry.Faults_simulated !lanes;
+            Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+            Telemetry.add tel Telemetry.Fault_detections !nhits;
+            Telemetry.add tel Telemetry.Budget_polls count;
+            parts.(ci) <- !hits);
+        Array.iter (List.iter (Bitvec.set result)) parts;
+        result)
 
 (* --- Incremental 3-valued co-simulation (for sequence generation) ------ *)
 
@@ -572,14 +645,16 @@ let inc3_sweep ?pool t ~(f : int -> int) =
 
 (* Evaluate a candidate segment without committing: number of newly
    detected faults.  Engine states are saved and restored. *)
-let inc3_peek ?pool ?(budget = Budget.unlimited) t (segment : seq) =
+let inc3_peek ?pool ?(budget = Budget.unlimited) ?tel t (segment : seq) =
   let sw = seq_words t.c3 segment in
   let saved_good = Engine3.state_words t.good3 in
   let good_po, any_known = good_segment t sw in
   let z, o = saved_good in
   Engine3.set_state_words t.good3 ~z ~o;
+  Telemetry.add tel Telemetry.Good_cycles (Array.length segment);
   if not any_known then 0
   else begin
+    let seg_len = Array.length segment in
     let dets =
       inc3_sweep ?pool t ~f:(fun gi ->
           (* Polled before the engine is touched: a raise here leaves the
@@ -588,6 +663,7 @@ let inc3_peek ?pool ?(budget = Budget.unlimited) t (segment : seq) =
           Budget.check budget;
           if undetected_lanes t gi = 0 then 0
           else begin
+            Telemetry.add tel Telemetry.Faulty_cycles seg_len;
             let saved = Engine3.state_words t.engines.(gi) in
             let d = run_segment t gi ~sw ~good_po in
             let z, o = saved in
@@ -604,10 +680,13 @@ let inc3_peek ?pool ?(budget = Budget.unlimited) t (segment : seq) =
    completion so the incremental state stays consistent.  (A pool with its
    own budget may still abort the sweep mid-commit; callers must then stop
    using [t], which the generators do — they unwind without committing.) *)
-let inc3_commit ?pool ?(budget = Budget.unlimited) t (segment : seq) =
+let inc3_commit ?pool ?(budget = Budget.unlimited) ?tel t (segment : seq) =
   Budget.check budget;
   let sw = seq_words t.c3 segment in
   let good_po, _ = good_segment t sw in
+  Telemetry.add tel Telemetry.Good_cycles (Array.length segment);
+  Telemetry.add tel Telemetry.Faulty_cycles
+    (Array.length t.groups3 * Array.length segment);
   (* Even fully-detected groups must advance their state. *)
   let dets = inc3_sweep ?pool t ~f:(fun gi -> run_segment t gi ~sw ~good_po) in
   let newly = ref 0 in
@@ -632,4 +711,5 @@ let inc3_commit ?pool ?(budget = Budget.unlimited) t (segment : seq) =
     && capacity > 2 * Word.width
     && undetected_count * 2 < capacity
   then inc3_compact t;
+  Telemetry.add tel Telemetry.Fault_detections !newly;
   !newly

@@ -15,7 +15,12 @@
 
     Every entry point also takes an optional [budget]
     ({!Asc_util.Budget.t}), polled once per fault group; a fired budget
-    raises {!Asc_util.Budget.Exhausted} at the next group boundary. *)
+    raises {!Asc_util.Budget.Exhausted} at the next group boundary.
+
+    An optional [tel] ({!Asc_util.Telemetry.t}) records a span per entry
+    call plus engine counters (faults swept, good/faulty cycles,
+    detections, budget polls) at chunk granularity.  Telemetry never
+    affects results. *)
 
 type seq = bool array array
 (** A primary-input sequence: [L] vectors of [n_pis] values. *)
@@ -33,6 +38,7 @@ val good_final_state : Asc_netlist.Circuit.t -> good -> bool array
 val detect :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
@@ -53,6 +59,7 @@ type profile = {
 val profile :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -70,6 +77,7 @@ val profile_detected_at : profile -> u:int -> Asc_util.Bitvec.t
 val candidate_detections :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   Asc_netlist.Circuit.t ->
   sis:bool array array ->
   seq:seq ->
@@ -82,6 +90,7 @@ val candidate_detections :
 val verify_required :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   Asc_netlist.Circuit.t ->
   si:bool array ->
   seq:seq ->
@@ -94,6 +103,7 @@ val verify_required :
 val detect_no_scan :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   seq:seq ->
@@ -118,11 +128,21 @@ val inc3_length : inc3 -> int
     engine stays private to one task); the count is identical for any
     domain count. *)
 val inc3_peek :
-  ?pool:Asc_util.Domain_pool.t -> ?budget:Asc_util.Budget.t -> inc3 -> seq -> int
+  ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
+  inc3 ->
+  seq ->
+  int
 
 (** Append a segment; returns the number of newly detected faults.  Same
     [pool] contract as {!inc3_peek}.  The budget is polled on entry only,
     so a commit that starts runs to completion (unless aborted by the
     pool's own budget, after which the [inc3] must be discarded). *)
 val inc3_commit :
-  ?pool:Asc_util.Domain_pool.t -> ?budget:Asc_util.Budget.t -> inc3 -> seq -> int
+  ?pool:Asc_util.Domain_pool.t ->
+  ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
+  inc3 ->
+  seq ->
+  int

@@ -46,8 +46,8 @@ let omit_span t ~p ~count =
   { t with seq = Array.init (len - count) (fun i -> if i < p then t.seq.(i) else t.seq.(i + count)) }
 
 (* Detection through the sequential fault simulator. *)
-let detect ?pool ?budget ?only c t ~faults =
-  Seq_fsim.detect ?pool ?budget ?only c ~si:t.si ~seq:t.seq ~faults
+let detect ?pool ?budget ?tel ?only c t ~faults =
+  Seq_fsim.detect ?pool ?budget ?tel ?only c ~si:t.si ~seq:t.seq ~faults
 
 (* The expected fault-free scan-out vector SO. *)
 let scan_out c t =

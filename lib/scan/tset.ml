@@ -14,7 +14,7 @@ let pattern_of_test (t : Scan_test.t) : Pattern.t = { pis = t.seq.(0); state = t
 
 (* Detection matrix: rows are tests, columns are fault indices.  [only]
    restricts the simulated faults. *)
-let detection_matrix ?pool ?budget ?only c (tests : Scan_test.t array) ~faults =
+let detection_matrix ?pool ?budget ?tel ?only c (tests : Scan_test.t array) ~faults =
   let n_tests = Array.length tests in
   let mat = Bitmat.create n_tests (Array.length faults) in
   (* Batch every length-one test through the combinational path. *)
@@ -25,7 +25,7 @@ let detection_matrix ?pool ?budget ?only c (tests : Scan_test.t array) ~faults =
   let short = Array.of_list (List.rev !short) in
   if Array.length short > 0 then begin
     let patterns = Array.map snd short in
-    let short_mat = Comb_fsim.detect_matrix ?pool ?budget ?only c ~patterns ~faults in
+    let short_mat = Comb_fsim.detect_matrix ?pool ?budget ?tel ?only c ~patterns ~faults in
     Array.iteri
       (fun row (test_index, _) -> Bitmat.set_row mat test_index (Bitmat.row short_mat row))
       short
@@ -33,20 +33,20 @@ let detection_matrix ?pool ?budget ?only c (tests : Scan_test.t array) ~faults =
   Array.iteri
     (fun i t ->
       if Scan_test.length t > 1 then
-        Bitmat.set_row mat i (Scan_test.detect ?pool ?budget ?only c t ~faults))
+        Bitmat.set_row mat i (Scan_test.detect ?pool ?budget ?tel ?only c t ~faults))
     tests;
   mat
 
 (* Union coverage of a test set. *)
-let coverage ?pool ?budget ?only c tests ~faults =
-  Bitmat.column_union (detection_matrix ?pool ?budget ?only c tests ~faults)
+let coverage ?pool ?budget ?tel ?only c tests ~faults =
+  Bitmat.column_union (detection_matrix ?pool ?budget ?tel ?only c tests ~faults)
 
 (* N-detect profile: how many tests of the set detect each fault.  A
    standard quality metric for unmodelled/delay defects — faults detected
    by several different tests are likelier to be caught when the actual
    defect behaves unlike the model. *)
-let detection_counts ?pool ?budget ?only c tests ~faults =
-  Bitmat.column_counts (detection_matrix ?pool ?budget ?only c tests ~faults)
+let detection_counts ?pool ?budget ?tel ?only c tests ~faults =
+  Bitmat.column_counts (detection_matrix ?pool ?budget ?tel ?only c tests ~faults)
 
 (* Number of faults detected by at least [n] tests. *)
 let n_detect_count counts ~n =

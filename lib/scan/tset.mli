@@ -4,6 +4,7 @@
 val detection_matrix :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -13,6 +14,7 @@ val detection_matrix :
 val coverage :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->
@@ -23,6 +25,7 @@ val coverage :
 val detection_counts :
   ?pool:Asc_util.Domain_pool.t ->
   ?budget:Asc_util.Budget.t ->
+  ?tel:Asc_util.Telemetry.t ->
   ?only:Asc_util.Bitvec.t ->
   Asc_netlist.Circuit.t ->
   Scan_test.t array ->

@@ -37,6 +37,7 @@ type job = {
 type t = {
   size : int; (* domains participating, including the submitter *)
   budget : Budget.t; (* polled between tasks; fired => skip + Exhausted *)
+  tel : Telemetry.t option; (* task claim/run spans, one track per domain *)
   mutable workers : unit Domain.t array;
   mutex : Mutex.t;
   wake : Condition.t; (* job arrival (workers) and job completion (submitter) *)
@@ -72,17 +73,24 @@ let drain pool job =
     if i >= job.total then continue_ := false
     else begin
       (if Atomic.get job.failed <> None then ()
-       else
+       else begin
+         Telemetry.incr pool.tel Telemetry.Budget_polls;
          match Budget.status pool.budget with
          | Some reason ->
              ignore
                (Atomic.compare_and_set job.failed None
                   (Some (Budget.Exhausted reason, Printexc.get_callstack 0)))
          | None -> (
-             try job.f i
+             try
+               Telemetry.incr pool.tel Telemetry.Pool_tasks;
+               Telemetry.span pool.tel
+                 ~args:[ ("task", string_of_int i) ]
+                 Telemetry.pool_task_name
+                 (fun () -> job.f i)
              with e ->
                let bt = Printexc.get_raw_backtrace () in
-               ignore (Atomic.compare_and_set job.failed None (Some (e, bt)))));
+               ignore (Atomic.compare_and_set job.failed None (Some (e, bt))))
+       end);
       if Atomic.fetch_and_add job.completed 1 = job.total - 1 then begin
         Mutex.lock pool.mutex;
         Condition.broadcast pool.wake;
@@ -105,7 +113,7 @@ let rec worker_loop pool seen_generation =
     worker_loop pool generation
   end
 
-let create ?(budget = Budget.unlimited) ?domains () =
+let create ?(budget = Budget.unlimited) ?tel ?domains () =
   let size =
     match domains with Some n -> max 1 n | None -> default_domains ()
   in
@@ -113,6 +121,7 @@ let create ?(budget = Budget.unlimited) ?domains () =
     {
       size;
       budget;
+      tel;
       workers = [||];
       mutex = Mutex.create ();
       wake = Condition.create ();

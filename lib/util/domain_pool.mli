@@ -25,8 +25,14 @@ type t
     [budget] (default {!Budget.unlimited}) is polled between tasks by every
     participant; once it fires, {!run} skips the remaining tasks and raises
     {!Budget.Exhausted} on the submitter.  The budget belongs to the
-    pool's creator — tasks only ever observe it through this polling. *)
-val create : ?budget:Budget.t -> ?domains:int -> unit -> t
+    pool's creator — tasks only ever observe it through this polling.
+
+    [tel] records a {!Telemetry.pool_task_name} span (and a [Pool_tasks]
+    count) around every task claimed on a parallel job, on the claiming
+    domain's track — the raw material for per-domain utilization.  Inline
+    execution (size-1 pools, nested runs) records no task spans: its work
+    is attributed to whatever span encloses the submitter. *)
+val create : ?budget:Budget.t -> ?tel:Telemetry.t -> ?domains:int -> unit -> t
 
 (** Pool size (total participating domains; 1 means fully sequential). *)
 val size : t -> int

@@ -1,0 +1,99 @@
+(* Minimal JSON serialization.
+
+   One escaping/printing path shared by every JSON producer in the tree
+   (the CLI's --json summaries, the bench harness, the telemetry trace
+   writer), replacing hand-built Printf templates.  Writer only — the
+   test suite carries its own small parser for validating emitted files.
+
+   Numbers: [Float] prints with enough digits to round-trip ("%.17g"
+   would be noisy; "%g" loses precision) — we use "%.6f"-style fixed
+   rendering for typical telemetry magnitudes via [Printf "%.12g"],
+   which is exact for every float the toolchain emits (seconds,
+   ratios).  NaN and infinities have no JSON spelling; they are mapped
+   to [null] rather than producing an unparseable file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to buf f =
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+(* [indent < 0] means compact (single line, no spaces after separators). *)
+let rec value_to buf ~indent ~level v =
+  let nl k =
+    if indent >= 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * k) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> float_to buf f
+  | Str s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          value_to buf ~indent ~level:(level + 1) item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          escape_to buf k;
+          Buffer.add_string buf (if indent >= 0 then ": " else ":");
+          value_to buf ~indent ~level:(level + 1) item)
+        fields;
+      nl level;
+      Buffer.add_char buf '}'
+
+let to_string ?(compact = false) v =
+  let buf = Buffer.create 1024 in
+  value_to buf ~indent:(if compact then -1 else 2) ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?compact oc v =
+  output_string oc (to_string ?compact v);
+  output_char oc '\n'
+
+let write_file ?compact path v =
+  let oc = open_out path in
+  (try to_channel ?compact oc v
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,23 @@
+(** Minimal JSON serialization — the one escaping/printing path shared by
+    every JSON producer in the tree (CLI summaries, bench output, trace
+    files).  Writer only.
+
+    Non-finite floats have no JSON spelling and are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render with 2-space indentation, or on one line with [~compact:true]. *)
+val to_string : ?compact:bool -> t -> string
+
+(** [to_string] plus a trailing newline, to a channel. *)
+val to_channel : ?compact:bool -> out_channel -> t -> unit
+
+(** Write to [path] (truncating), with a trailing newline. *)
+val write_file : ?compact:bool -> string -> t -> unit

@@ -32,6 +32,7 @@ let () =
          Test_small_units.suite;
          Test_final.suite;
          Test_parallel.suite;
+         Test_telemetry.suite;
          Test_bench_corpus.suite;
          Test_robustness.suite;
        ])

@@ -209,6 +209,42 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent ~num:1 ~den:2);
   Alcotest.(check (float 1e-9)) "percent zero den" 0.0 (Stats.percent ~num:1 ~den:0)
 
+let test_stats_float () =
+  Alcotest.(check (float 1e-9)) "sum_f" 6.0 (Stats.sum_f [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean_f" 2.0 (Stats.mean_f [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean_f empty" 0.0 (Stats.mean_f []);
+  let lo, hi = Stats.min_max_f [ 2.5; 0.5; 1.0 ] in
+  Alcotest.(check (float 1e-9)) "min_max_f lo" 0.5 lo;
+  Alcotest.(check (float 1e-9)) "min_max_f hi" 2.5 hi;
+  Alcotest.(check (float 1e-9)) "median_f odd" 1.0 (Stats.median_f [ 2.5; 0.5; 1.0 ]);
+  Alcotest.(check (float 1e-9)) "median_f even" 1.5 (Stats.median_f [ 2.0; 1.0 ])
+
+let test_stats_stddev () =
+  (* Population stddev of {2,4,4,4,5,5,7,9} is exactly 2. *)
+  Alcotest.(check (float 1e-9)) "stddev"
+    2.0
+    (Stats.stddev [ 2; 4; 4; 4; 5; 5; 7; 9 ]);
+  Alcotest.(check (float 1e-9)) "stddev_f constant" 0.0
+    (Stats.stddev_f [ 3.0; 3.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev_f singleton" 0.0 (Stats.stddev_f [ 42.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev_f empty" 0.0 (Stats.stddev_f [])
+
+let test_stats_percentile () =
+  let l = [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile_f ~p:0.0 l);
+  Alcotest.(check (float 1e-9)) "p100 = max" 4.0 (Stats.percentile_f ~p:100.0 l);
+  Alcotest.(check (float 1e-9)) "p50 = median" (Stats.median_f l)
+    (Stats.percentile_f ~p:50.0 l);
+  (* Linear interpolation between closest ranks: rank 0.75 of [1;2;3;4]. *)
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 1.75
+    (Stats.percentile_f ~p:25.0 l);
+  Alcotest.(check (float 1e-9)) "int variant" 1.75 (Stats.percentile ~p:25.0 [ 4; 1; 3; 2 ]);
+  Alcotest.check_raises "empty list" (Invalid_argument "Stats.percentile_f: empty list")
+    (fun () -> ignore (Stats.percentile_f ~p:50.0 []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile_f: p must be in [0, 100] (got 101)")
+    (fun () -> ignore (Stats.percentile_f ~p:101.0 [ 1.0 ]))
+
 let test_table () =
   let t =
     Table.create ~caption:"Demo"
@@ -251,6 +287,9 @@ let suite =
         qtest prop_rng_word_width;
         Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
         Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "stats float variants" `Quick test_stats_float;
+        Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
         Alcotest.test_case "table" `Quick test_table;
         Alcotest.test_case "table group mismatch" `Quick test_table_group_mismatch;
       ] );
