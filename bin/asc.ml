@@ -12,6 +12,7 @@ module Checkpoint = Asc_core.Checkpoint
 let exit_input = 1 (* malformed netlist / test set / checkpoint *)
 let exit_usage = 2 (* unknown circuit, bad flag value *)
 let exit_partial = 3 (* deadline or signal interrupted the run *)
+let exit_killed = 137 (* ASC_CHAOS simulated a hard crash (mirrors SIGKILL) *)
 
 let die code fmt =
   Printf.ksprintf
@@ -33,7 +34,23 @@ let guard f =
   | Checkpoint.Corrupt { line; message } ->
       die exit_input "corrupt checkpoint at line %d: %s" line message
   | Checkpoint.Incompatible message -> die exit_input "incompatible checkpoint: %s" message
+  | Asc_util.Chaos.Killed { point; occurrence } ->
+      die exit_killed "chaos: simulated crash at %s#%d" point occurrence
+  | Asc_util.Chaos.Injected { point; occurrence } ->
+      die exit_input "chaos: injected fault at %s#%d" point occurrence
   | Sys_error message -> die exit_input "%s" message
+
+(* The ASC_CHAOS fault-injection schedule (docs/ROBUSTNESS.md): parsed
+   once per command so a malformed schedule is a usage error, not a
+   backtrace. *)
+let chaos_of_env ?tel () =
+  match Sys.getenv_opt Asc_util.Chaos.env_var with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> (
+      match Asc_util.Chaos.parse s with
+      | Ok rules -> Some (Asc_util.Chaos.create ?tel rules)
+      | Error msg -> die exit_usage "bad %s: %s" Asc_util.Chaos.env_var msg)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -49,14 +66,16 @@ let seed_arg =
 
 (* Validating converters: reject bad values at parse time instead of
    silently clamping them. *)
-let domain_count =
+let positive_int what =
   let parse s =
     match int_of_string_opt s with
     | Some n when n >= 1 -> Ok n
-    | Some n -> Error (`Msg (Printf.sprintf "domain count must be >= 1, got %d" n))
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
     | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+let domain_count = positive_int "domain count"
 
 let timeout_seconds =
   let parse s =
@@ -77,14 +96,17 @@ let domains_arg =
 
 (* Resolve the --domains flag to an optional pool; [None] keeps every
    simulation on the calling domain.  [budget] makes the pool fail fast
-   once the run's deadline or a signal fires. *)
-let make_pool ?budget ?tel domains =
+   once the run's deadline or a signal fires; [chaos] arms the pool's
+   injection points. *)
+let make_pool ?budget ?tel ?chaos domains =
   let n =
     match domains with
     | Some n -> n
     | None -> Asc_util.Domain_pool.default_domains ()
   in
-  if n > 1 then Some (Asc_util.Domain_pool.create ?budget ?tel ~domains:n ()) else None
+  if n > 1 then
+    Some (Asc_util.Domain_pool.create ?budget ?tel ?chaos ~domains:n ())
+  else None
 
 (* SIGINT/SIGTERM flip the run's budget; the pipeline unwinds at the next
    cancellation point and exits with {!exit_partial}.  Best effort: on
@@ -198,10 +220,23 @@ let checkpoint_arg =
   let doc = "Write a resumable snapshot to $(docv) at every iteration boundary." in
   Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"FILE")
 
+let checkpoint_keep_arg =
+  let doc =
+    "Total snapshots retained by $(b,--checkpoint): before each write the \
+     previous copies are promoted to $(i,FILE).1, $(i,FILE).2, ... so \
+     $(b,--resume) can fall back across them if the newest one is corrupt."
+  in
+  Arg.(
+    value
+    & opt (positive_int "checkpoint-keep") 1
+    & info [ "checkpoint-keep" ] ~doc ~docv:"N")
+
 let resume_arg =
   let doc =
     "Resume from a snapshot previously written by $(b,--checkpoint); the \
-     resumed run reproduces the uninterrupted result bit-identically."
+     resumed run reproduces the uninterrupted result bit-identically.  If \
+     $(docv) is corrupt or missing, the newest valid rotated copy \
+     ($(docv).1, $(docv).2, ...) is used instead."
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~doc ~docv:"FILE")
 
@@ -245,7 +280,7 @@ let counters_arg =
   Arg.(value & flag & info [ "counters" ] ~doc)
 
 let run_cmd =
-  let run name t0 seed domains timeout checkpoint resume json trace counters
+  let run name t0 seed domains timeout checkpoint keep resume json trace counters
       verbose =
     guard @@ fun () ->
     setup_logs verbose;
@@ -260,7 +295,8 @@ let run_cmd =
         Some (Asc_util.Telemetry.create ())
       else None
     in
-    let pool = make_pool ~budget ?tel domains in
+    let chaos = chaos_of_env ?tel () in
+    let pool = make_pool ~budget ?tel ?chaos domains in
     let c = Asc_circuits.Registry.get ~seed name in
     let t0_source = t0_source_of_flag name t0 in
     let config = Asc_core.Experiments.config_for ~seed ~t0_source in
@@ -273,13 +309,17 @@ let run_cmd =
         let resume_snap =
           Option.map
             (fun path ->
-              let s = Checkpoint.read_file path in
-              Checkpoint.validate prepared ~config s;
-              s)
+              let l = Checkpoint.load_latest_valid ?tel ?chaos path in
+              if l.Checkpoint.recovered then
+                Printf.eprintf "asc: recovered checkpoint from %s\n%!" l.source;
+              Checkpoint.validate prepared ~config l.snapshot;
+              l.snapshot)
             resume
         in
         let on_checkpoint =
-          Option.map (fun path snap -> Checkpoint.write_file ?tel path snap) checkpoint
+          Option.map
+            (fun path snap -> Checkpoint.write_file ?tel ?chaos ~keep path snap)
+            checkpoint
         in
         Some
           ( prepared,
@@ -385,8 +425,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
     Term.(
       const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ timeout_arg
-      $ checkpoint_arg $ resume_arg $ json_arg $ trace_arg $ counters_arg
-      $ verbose_arg)
+      $ checkpoint_arg $ checkpoint_keep_arg $ resume_arg $ json_arg $ trace_arg
+      $ counters_arg $ verbose_arg)
 
 let baseline_cmd =
   let run name seed domains verbose =
@@ -600,6 +640,10 @@ let () =
          ~doc:
            "when a $(b,--timeout) deadline or a SIGINT/SIGTERM interrupted the \
             run; partial results were reported."
+    :: Cmd.Exit.info exit_killed
+         ~doc:
+           "when an $(b,ASC_CHAOS) fault-injection schedule simulated a hard \
+            crash (mirrors a SIGKILL's shell status)."
     :: Cmd.Exit.defaults
   in
   let info = Cmd.info "asc" ~version:"1.0.0" ~doc ~exits in

@@ -2,7 +2,7 @@
 
    Format (one item per line, '#' comments, bit strings as in Tset_io):
 
-     checkpoint v1
+     checkpoint v2
      circuit <name> <n_pis> <n_ffs>
      seed <n>
      t0 <fingerprint>            # e.g. directed/1000
@@ -19,9 +19,19 @@
      si <bits>
      v <bits>
      endtau
+     crc <8 hex digits>          # CRC-32 of every byte before this line
+
+   v2 appends a CRC-32 trailer covering the raw bytes of everything
+   before the [crc] line, so a bit-flipped-but-grammatical file can never
+   load as a snapshot that differs from what was saved.  v1 files (no
+   trailer) still load; a v1 file carrying a [crc] line is rejected.
 
    Files are written atomically (temp file + rename), so a run killed
-   mid-write leaves the previous checkpoint intact. *)
+   mid-write leaves the previous checkpoint intact.  [write_file] adds
+   rotation ([keep] copies: <file>, <file>.1, …), bounded retry with
+   backoff on transient [Sys_error]s, and chaos injection points around
+   every syscall; [load_latest_valid] recovers by falling back across
+   rotated copies when the newest one is corrupt or missing. *)
 
 module Circuit = Asc_netlist.Circuit
 module Scan_test = Asc_scan.Scan_test
@@ -38,7 +48,7 @@ let to_string (s : Pipeline.snapshot) =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "# asc pipeline checkpoint (iteration %d)\n" s.snap_iter;
-  add "checkpoint v1\n";
+  add "checkpoint v2\n";
   add "circuit %s %d %d\n" s.snap_circuit s.snap_pis s.snap_ffs;
   add "seed %d\n" s.snap_seed;
   add "t0 %s\n" s.snap_t0;
@@ -65,14 +75,18 @@ let to_string (s : Pipeline.snapshot) =
       add "si %s\n" (Tset_io.bits_to_string t.si);
       Array.iter (fun v -> add "v %s\n" (Tset_io.bits_to_string v)) t.seq;
       add "endtau\n");
-  Buffer.contents buf
+  (* The trailer covers every byte emitted so far, comments included. *)
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "crc %s\n" (Asc_util.Crc.to_hex (Asc_util.Crc.crc32 body))
 
 (* Parser: single pass, mutable slots; [section] tracks whether v-lines
    belong to the header (none), the T_C block or the tau block. *)
 type section = Top | In_seq | In_tau
 
 let of_string text =
-  let version = ref false in
+  let lines = String.split_on_char '\n' text in
+  let version = ref None in
+  let crc_claim = ref None in
   let circuit = ref None in
   let seed = ref None
   and t0 = ref None
@@ -107,9 +121,15 @@ let of_string text =
         | Some k -> String.trim (String.sub s 0 k)
         | None -> s
       in
-      if s <> "" then
+      if s <> "" then begin
+        (* The CRC trailer covers every byte before it, so nothing may
+           follow it. *)
+        (match !crc_claim with
+        | Some (cl, _) when cl <> line -> fail line "content after crc trailer"
+        | _ -> ());
         match (String.split_on_char ' ' s, !section) with
-        | [ "checkpoint"; "v1" ], Top -> version := true
+        | [ "checkpoint"; "v1" ], Top -> version := Some 1
+        | [ "checkpoint"; "v2" ], Top -> version := Some 2
         | [ "checkpoint"; v ], Top -> fail line "unsupported checkpoint version %S" v
         | [ "circuit"; name; pis; ffs ], Top -> (
             if !circuit <> None then fail line "duplicate circuit";
@@ -160,10 +180,33 @@ let of_string text =
             if !tau_acc = [] then fail line "tau without vectors";
             tau := Some (Scan_test.create ~si ~seq:(Array.of_list (List.rev !tau_acc)));
             section := Top
-        | _, _ -> fail line "unrecognised line %S" s)
-    (String.split_on_char '\n' text);
+        | [ "crc"; v ], Top -> (
+            if !crc_claim <> None then fail line "duplicate crc trailer";
+            match Asc_util.Crc.of_hex v with
+            | Some n -> crc_claim := Some (line, n)
+            | None -> fail line "bad crc %S" v)
+        | _, _ -> fail line "unrecognised line %S" s
+      end)
+    lines;
   if !section <> Top then fail 0 "unterminated block";
-  if not !version then fail 0 "missing checkpoint version line";
+  (match (!version, !crc_claim) with
+  | None, _ -> fail 0 "missing checkpoint version line"
+  | Some 1, Some (line, _) -> fail line "crc trailer in a v1 checkpoint"
+  | Some 1, None -> ()
+  | Some 2, None -> fail 0 "missing crc trailer"
+  | Some 2, Some (crc_line, claimed) ->
+      (* The trailer covers the raw bytes of every line before it. *)
+      let offset =
+        let rec go i off = function
+          | [] -> off
+          | l :: tl -> if i = crc_line then off else go (i + 1) (off + String.length l + 1) tl
+        in
+        go 1 0 lines
+      in
+      let body = String.sub text 0 offset in
+      if Asc_util.Crc.crc32 body <> claimed then
+        fail crc_line "crc mismatch (corrupt checkpoint)"
+  | Some _, _ -> assert false);
   let req name r = match !r with Some x -> x | None -> fail 0 "missing %s" name in
   let snap_circuit, snap_pis, snap_ffs = req "circuit" circuit in
   let snap_seq = req "seq block" seq in
@@ -221,22 +264,82 @@ let validate (p : Pipeline.prepared) ~(config : Pipeline.config)
     (string_of_int s.snap_comb_size)
     (string_of_int (Array.length p.comb_tests))
 
-(* Atomic write: the previous checkpoint survives a crash mid-write. *)
-let write_file ?tel path (s : Pipeline.snapshot) =
-  let module Tel = Asc_util.Telemetry in
+module Chaos = Asc_util.Chaos
+module Tel = Asc_util.Telemetry
+
+(* One atomic write attempt: temp file + rename, chaos points around each
+   syscall.  Any failure removes the stray temp file before re-raising —
+   except [Chaos.Killed], which models a hard crash and must leave disk
+   state exactly as a SIGKILL would (the partial temp file stays; later
+   writes overwrite it, loads never look at it). *)
+let write_once ?chaos path text =
+  let tmp = path ^ ".tmp" in
+  try
+    Chaos.hit chaos Chaos.checkpoint_open;
+    let oc = open_out tmp in
+    (try
+       Chaos.hit chaos Chaos.checkpoint_output;
+       output_string oc text;
+       close_out oc
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       close_out_noerr oc;
+       Printexc.raise_with_backtrace e bt);
+    Chaos.hit chaos Chaos.checkpoint_rename;
+    Sys.rename tmp path
+  with
+  | Chaos.Killed _ as e -> raise e
+  | e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+(* Promote existing copies one suffix up: <file>.(k) -> <file>.(k+1), then
+   <file> -> <file>.1.  Each step is one atomic rename, so a crash at any
+   point leaves every snapshot intact under exactly one of the names that
+   [load_latest_valid] probes.  Re-running after a partial rotation is
+   harmless: already-promoted names no longer exist and are skipped. *)
+let rotate ?chaos path ~keep =
+  if keep > 1 && Sys.file_exists path then begin
+    for k = keep - 2 downto 1 do
+      let src = Printf.sprintf "%s.%d" path k in
+      if Sys.file_exists src then begin
+        Chaos.hit chaos Chaos.checkpoint_rotate;
+        Sys.rename src (Printf.sprintf "%s.%d" path (k + 1))
+      end
+    done;
+    Chaos.hit chaos Chaos.checkpoint_rotate;
+    Sys.rename path (path ^ ".1")
+  end
+
+let write_file ?tel ?chaos ?(keep = 1) ?(retries = 2) path (s : Pipeline.snapshot) =
+  if keep < 1 then invalid_arg "Checkpoint.write_file: keep must be >= 1";
+  if retries < 0 then invalid_arg "Checkpoint.write_file: retries must be >= 0";
   Tel.span tel "checkpoint:write" ~args:[ ("iter", string_of_int s.snap_iter) ]
   @@ fun () ->
-  Tel.incr tel Tel.Checkpoint_writes;
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try output_string oc (to_string s)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  let text = to_string s in
+  let rec attempt n =
+    match
+      if n = 0 then rotate ?chaos path ~keep;
+      write_once ?chaos path text
+    with
+    | () -> Tel.incr tel Tel.Checkpoint_writes
+    | exception (Chaos.Killed _ as e) -> raise e
+    | exception (Sys_error _ as e) ->
+        Tel.incr tel Tel.Checkpoint_write_failures;
+        if n >= retries then raise e
+        else begin
+          (* Linear backoff, short enough not to distort deadline-aware
+             runs: transient failures (ENOSPC racing a cleaner, NFS
+             hiccups) usually clear within a few milliseconds. *)
+          Unix.sleepf (0.002 *. float_of_int (n + 1));
+          attempt (n + 1)
+        end
+  in
+  attempt 0
 
-let read_file path =
+let read_file ?chaos path =
+  Chaos.hit chaos Chaos.checkpoint_read;
   let ic = open_in path in
   let text =
     try really_input_string ic (in_channel_length ic)
@@ -246,3 +349,37 @@ let read_file path =
   in
   close_in ic;
   of_string text
+
+type loaded = {
+  snapshot : Pipeline.snapshot;
+  source : string; (* the file the snapshot was read from *)
+  recovered : bool; (* a rotated copy, not the newest file *)
+}
+
+let load_latest_valid ?tel ?chaos path =
+  let rec rotated k =
+    let p = Printf.sprintf "%s.%d" path k in
+    if Sys.file_exists p then p :: rotated (k + 1) else []
+  in
+  let rec probe first_error = function
+    | [] -> (
+        match first_error with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> raise (Sys_error (path ^ ": no checkpoint found")))
+    | p :: rest -> (
+        match read_file ?chaos p with
+        | snapshot ->
+            let recovered = p <> path in
+            if recovered then Tel.incr tel Tel.Checkpoint_recoveries;
+            { snapshot; source = p; recovered }
+        | exception ((Corrupt _ | Sys_error _) as e) ->
+            (* Keep the newest file's error: if every copy is bad, that is
+               the most useful one to report. *)
+            let first_error =
+              match first_error with
+              | Some _ -> first_error
+              | None -> Some (e, Printexc.get_raw_backtrace ())
+            in
+            probe first_error rest)
+  in
+  probe None (path :: rotated 1)

@@ -365,8 +365,22 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
                   (Seq_fsim.detect_no_scan ?pool ~budget ?tel c ~seq:!current_seq ~faults)
                   p.targets;
               (* Iteration boundary: the only checkpoint point — resuming
-                 here replays the rest of the run bit-identically. *)
-              match on_checkpoint with Some f -> f (snapshot ()) | None -> ()
+                 here replays the rest of the run bit-identically.  A
+                 persistent write failure must not abort the run: losing a
+                 snapshot costs resume granularity, aborting loses the
+                 best-so-far test set the whole run built.  (Chaos.Killed
+                 models a hard crash and is deliberately not caught.) *)
+              match on_checkpoint with
+              | Some f -> (
+                  try f (snapshot ())
+                  with Sys_error msg ->
+                    (* Checkpoint.write_file already counted the failed
+                       attempts under Checkpoint_write_failures. *)
+                    Log.warn (fun m ->
+                        m "%s iter %d: checkpoint write failed (%s); continuing \
+                           without a snapshot"
+                          (Circuit.name c) !iter msg))
+              | None -> ()
             end
           done;
           `Ok

@@ -153,8 +153,11 @@ type outcome = Complete of result | Partial of partial
 
     [on_checkpoint] is called with a {!snapshot} at each iteration
     boundary the loop decides to continue past (so it fires at least once
-    whenever a second iteration starts).  [resume] restarts from such a
-    snapshot: the remaining iterations and Phases 3–4 replay exactly, so
+    whenever a second iteration starts).  A [Sys_error] raised by the
+    callback (a persistent checkpoint-write failure) {e degrades} the run
+    instead of aborting it: the failure is logged as a warning and the
+    computation continues without that snapshot.  [resume] restarts from
+    such a snapshot: the remaining iterations and Phases 3–4 replay exactly, so
     the final result is bit-identical to an uninterrupted run for any
     domain count.  Raises [Invalid_argument] if the snapshot does not
     match this (circuit, seed, T0 source, |C|).

@@ -1,0 +1,197 @@
+(* Deterministic fault injection for exercising failure paths.
+
+   A chaos handle follows the same ownership rule as [?pool]/[?budget]/
+   [?tel]: the top-level driver creates it (usually from the ASC_CHAOS
+   environment variable) and threads it downward as [?chaos : t option];
+   library code only calls [hit] at its named injection points.  The
+   disabled handle ([None]) costs a single branch — no lock, no lookup,
+   no allocation — so production runs pay nothing.
+
+   Injection is by *occurrence*: every call to [hit chaos point] bumps a
+   per-point counter under the handle's mutex, and a rule
+   [{point; occurrence = n; action}] fires exactly when the point is
+   reached for the n-th time.  Driver-side points (the checkpoint I/O
+   syscalls) are reached in a deterministic order, so a schedule replays
+   exactly; pool-side points ([pool.task], [pool.poll]) are reached in
+   task-claim order, which varies across runs on a multi-domain pool —
+   the rule still fires exactly once, but *which* task it poisons is
+   scheduling-dependent (the repository's determinism guarantees are
+   about results surviving such failures, not about which task fails).
+
+   Actions model the three failure classes the robustness layer must
+   survive:
+   - [Fail]   — a transient I/O error: raises [Sys_error], which the
+                checkpoint writer retries and the pipeline degrades on;
+   - [Kill]   — a hard crash mid-operation: raises [Killed], which no
+                library layer catches (cleanup handlers deliberately
+                re-raise it without running), so disk state is exactly
+                what a SIGKILL would leave behind;
+   - [Poison] — a task failure: raises [Injected], exercising the pool's
+                fail-fast drain and the submitter re-raise. *)
+
+type action = Fail | Kill | Poison
+
+type rule = { point : string; occurrence : int; action : action }
+
+exception Injected of { point : string; occurrence : int }
+
+exception Killed of { point : string; occurrence : int }
+
+type t = {
+  rules : rule list;
+  counts : (string, int ref) Hashtbl.t; (* per-point occurrence counters *)
+  mutex : Mutex.t; (* pool tasks hit points from any domain *)
+  injected : int Atomic.t;
+  tel : Telemetry.t option;
+}
+
+(* --- Injection-point catalogue (docs/ROBUSTNESS.md) -------------------- *)
+
+let checkpoint_open = "checkpoint.open"
+let checkpoint_output = "checkpoint.output"
+let checkpoint_rename = "checkpoint.rename"
+let checkpoint_rotate = "checkpoint.rotate"
+let checkpoint_read = "checkpoint.read"
+let pool_task = "pool.task"
+let pool_poll = "pool.poll"
+
+let all_points =
+  [
+    checkpoint_open; checkpoint_output; checkpoint_rename; checkpoint_rotate;
+    checkpoint_read; pool_task; pool_poll;
+  ]
+
+let create ?tel rules =
+  {
+    rules;
+    counts = Hashtbl.create 8;
+    mutex = Mutex.create ();
+    injected = Atomic.make 0;
+    tel;
+  }
+
+let hit chaos point =
+  match chaos with
+  | None -> ()
+  | Some t -> (
+      Mutex.lock t.mutex;
+      let r =
+        match Hashtbl.find_opt t.counts point with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add t.counts point r;
+            r
+      in
+      incr r;
+      let n = !r in
+      let rule =
+        List.find_opt (fun ru -> ru.point = point && ru.occurrence = n) t.rules
+      in
+      Mutex.unlock t.mutex;
+      match rule with
+      | None -> ()
+      | Some ru -> (
+          Atomic.incr t.injected;
+          Telemetry.incr t.tel Telemetry.Chaos_injections;
+          match ru.action with
+          | Fail ->
+              raise
+                (Sys_error
+                   (Printf.sprintf "chaos: injected transient failure at %s#%d"
+                      point n))
+          | Kill -> raise (Killed { point; occurrence = n })
+          | Poison -> raise (Injected { point; occurrence = n })))
+
+let injections t = Atomic.get t.injected
+
+let occurrences t point =
+  Mutex.lock t.mutex;
+  let n = match Hashtbl.find_opt t.counts point with Some r -> !r | None -> 0 in
+  Mutex.unlock t.mutex;
+  n
+
+(* --- Schedule syntax: "point@occurrence=action[,...]" ------------------- *)
+
+let action_to_string = function
+  | Fail -> "fail"
+  | Kill -> "kill"
+  | Poison -> "poison"
+
+let action_of_string = function
+  | "fail" -> Some Fail
+  | "kill" -> Some Kill
+  | "poison" -> Some Poison
+  | _ -> None
+
+let rule_to_string r =
+  Printf.sprintf "%s@%d=%s" r.point r.occurrence (action_to_string r.action)
+
+let to_string rules = String.concat "," (List.map rule_to_string rules)
+
+let parse_rule s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "%S: expected point@occurrence=action" s)
+  | Some at -> (
+      let point = String.sub s 0 at in
+      let rest = String.sub s (at + 1) (String.length s - at - 1) in
+      match String.index_opt rest '=' with
+      | None -> Error (Printf.sprintf "%S: expected point@occurrence=action" s)
+      | Some eq -> (
+          let occ = String.sub rest 0 eq in
+          let act = String.sub rest (eq + 1) (String.length rest - eq - 1) in
+          if point = "" then Error (Printf.sprintf "%S: empty point name" s)
+          else
+            match (int_of_string_opt occ, action_of_string act) with
+            | None, _ -> Error (Printf.sprintf "%S: bad occurrence %S" s occ)
+            | Some n, _ when n < 1 ->
+                Error (Printf.sprintf "%S: occurrence must be >= 1" s)
+            | _, None ->
+                Error
+                  (Printf.sprintf "%S: bad action %S (expected fail|kill|poison)"
+                     s act)
+            | Some occurrence, Some action -> Ok { point; occurrence; action }))
+
+let parse s =
+  let parts =
+    List.filter
+      (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  if parts = [] then Error "empty schedule"
+  else
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_rule part) with
+        | Error _, _ -> acc
+        | _, Error e -> Error e
+        | Ok rules, Ok r -> Ok (r :: rules))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let env_var = "ASC_CHAOS"
+
+let of_env ?tel () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> (
+      match parse s with
+      | Ok rules -> Some (create ?tel rules)
+      | Error msg ->
+          invalid_arg (Printf.sprintf "Chaos.of_env: bad %s: %s" env_var msg))
+
+(* Seeded random schedules for property tests: [n] rules drawn uniformly
+   over the given points, occurrences in [1, max_occurrence] and the given
+   action, reproducible from the seed. *)
+let random_rules ~seed ~points ~max_occurrence ~action n =
+  if points = [] then invalid_arg "Chaos.random_rules: no points";
+  if max_occurrence < 1 then invalid_arg "Chaos.random_rules: max_occurrence < 1";
+  let rng = Rng.of_name ~seed "chaos/schedule" in
+  let points = Array.of_list points in
+  List.init n (fun _ ->
+      {
+        point = points.(Rng.int rng (Array.length points));
+        occurrence = 1 + Rng.int rng max_occurrence;
+        action;
+      })

@@ -1,0 +1,105 @@
+(** Deterministic, replayable fault injection for exercising failure
+    paths (docs/ROBUSTNESS.md).
+
+    A chaos handle follows the ownership rule of {!Budget}, {!Domain_pool}
+    and {!Telemetry}: the top-level driver creates it — usually from the
+    [ASC_CHAOS] environment variable — and threads it downward as
+    [?chaos : t option]; library code only calls {!hit} at named
+    injection points.  The disabled handle ([None]) costs one branch: no
+    lock, no lookup, no allocation.
+
+    Injection is by {e occurrence}: each {!hit} bumps a per-point counter,
+    and a rule [point@n=action] fires exactly when [point] is reached for
+    the [n]-th time, so a schedule replays a failure at the same place
+    every run.  Driver-side points (checkpoint I/O) are reached in
+    deterministic order; pool-side points fire in task-claim order, so a
+    poisoned occurrence lands on a scheduling-dependent task — the
+    robustness guarantee under test is that {e results} survive the
+    failure, not which task fails. *)
+
+(** The three injected failure classes. *)
+type action =
+  | Fail  (** transient I/O error: raises [Sys_error] (retryable) *)
+  | Kill
+      (** hard crash: raises {!Killed}, which cleanup handlers re-raise
+          without running — disk state is exactly a SIGKILL's *)
+  | Poison  (** task failure: raises {!Injected} inside a pool task *)
+
+type rule = { point : string; occurrence : int; action : action }
+
+(** Raised by a [Poison] rule. *)
+exception Injected of { point : string; occurrence : int }
+
+(** Raised by a [Kill] rule.  Never caught by library code: it must
+    propagate to the driver like a crash. *)
+exception Killed of { point : string; occurrence : int }
+
+type t
+
+(** [create ?tel rules] arms a handle with a schedule.  [tel] gets a
+    [Chaos_injections] bump per fired rule. *)
+val create : ?tel:Telemetry.t -> rule list -> t
+
+(** [hit chaos point]: bump [point]'s occurrence counter and fire the
+    matching rule, if any.  [None] is a no-op.  Safe from any domain. *)
+val hit : t option -> string -> unit
+
+(** Rules fired so far. *)
+val injections : t -> int
+
+(** Times [point] has been reached (for sweeping schedules in tests). *)
+val occurrences : t -> string -> int
+
+(** {1 Injection-point catalogue} *)
+
+val checkpoint_open : string
+(** [open_out] of the checkpoint temp file. *)
+
+val checkpoint_output : string
+(** [output_string] of the serialized snapshot. *)
+
+val checkpoint_rename : string
+(** The atomic temp-file-into-place [Sys.rename]. *)
+
+val checkpoint_rotate : string
+(** Each rotation [Sys.rename] ([<file>] to [<file>.1], …). *)
+
+val checkpoint_read : string
+(** Checkpoint file reads (including each {!Checkpoint.load_latest_valid}
+    probe). *)
+
+val pool_task : string
+(** Immediately before a {!Domain_pool} task body runs. *)
+
+val pool_poll : string
+(** The pool's per-task budget poll site. *)
+
+val all_points : string list
+
+(** {1 Schedules}
+
+    Textual syntax (the [ASC_CHAOS] environment variable):
+    ["point@occurrence=action"] joined with commas, e.g.
+    ["checkpoint.output@2=kill,pool.task@5=poison"].  Actions are
+    [fail | kill | poison]. *)
+
+val parse : string -> (rule list, string) result
+
+val to_string : rule list -> string
+
+val env_var : string
+
+(** Read and parse {!env_var}; [None] when unset or blank.  Raises
+    [Invalid_argument] on a malformed schedule. *)
+val of_env : ?tel:Telemetry.t -> unit -> t option
+
+(** [random_rules ~seed ~points ~max_occurrence ~action n]: [n] rules
+    drawn reproducibly from [seed] — the seeded-schedule generator used
+    by the property tests. *)
+val random_rules :
+  seed:int ->
+  points:string list ->
+  max_occurrence:int ->
+  action:action ->
+  int ->
+  rule list

@@ -1,0 +1,32 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over strings.
+
+   Used as the checkpoint-trailer integrity check: CRC-32 detects every
+   single-bit error and every burst up to 32 bits, which is exactly the
+   corruption class a torn or bit-rotted checkpoint file exhibits.  The
+   value fits in 32 bits and is kept in a non-negative [int]. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let to_hex c = Printf.sprintf "%08x" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some n when n >= 0 && n <= 0xFFFFFFFF -> Some n
+    | _ -> None

@@ -38,6 +38,7 @@ type t = {
   size : int; (* domains participating, including the submitter *)
   budget : Budget.t; (* polled between tasks; fired => skip + Exhausted *)
   tel : Telemetry.t option; (* task claim/run spans, one track per domain *)
+  chaos : Chaos.t option; (* injection points: pool.poll, pool.task *)
   mutable workers : unit Domain.t array;
   mutex : Mutex.t;
   wake : Condition.t; (* job arrival (workers) and job completion (submitter) *)
@@ -81,8 +82,13 @@ let drain pool job =
                (Atomic.compare_and_set job.failed None
                   (Some (Budget.Exhausted reason, Printexc.get_callstack 0)))
          | None -> (
+             (* Chaos hits stay inside the try: an injected exception is a
+                task failure (captured, re-raised on the submitter), never
+                a dead worker domain. *)
              try
+               Chaos.hit pool.chaos Chaos.pool_poll;
                Telemetry.incr pool.tel Telemetry.Pool_tasks;
+               Chaos.hit pool.chaos Chaos.pool_task;
                Telemetry.span pool.tel
                  ~args:[ ("task", string_of_int i) ]
                  Telemetry.pool_task_name
@@ -113,7 +119,7 @@ let rec worker_loop pool seen_generation =
     worker_loop pool generation
   end
 
-let create ?(budget = Budget.unlimited) ?tel ?domains () =
+let create ?(budget = Budget.unlimited) ?tel ?chaos ?domains () =
   let size =
     match domains with Some n -> max 1 n | None -> default_domains ()
   in
@@ -122,6 +128,7 @@ let create ?(budget = Budget.unlimited) ?tel ?domains () =
       size;
       budget;
       tel;
+      chaos;
       workers = [||];
       mutex = Mutex.create ();
       wake = Condition.create ();
@@ -158,9 +165,11 @@ let run t n f =
     if t.size = 1 || t.stopped || n = 1 || not (Atomic.compare_and_set t.in_task false true)
     then
       (* Inline fallback keeps the same cancellation contract as the
-         parallel path: poll between tasks. *)
+         parallel path: poll between tasks, same injection points. *)
       for i = 0 to n - 1 do
+        Chaos.hit t.chaos Chaos.pool_poll;
         Budget.check t.budget;
+        Chaos.hit t.chaos Chaos.pool_task;
         f i
       done
     else begin

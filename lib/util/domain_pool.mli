@@ -31,8 +31,14 @@ type t
     count) around every task claimed on a parallel job, on the claiming
     domain's track — the raw material for per-domain utilization.  Inline
     execution (size-1 pools, nested runs) records no task spans: its work
-    is attributed to whatever span encloses the submitter. *)
-val create : ?budget:Budget.t -> ?tel:Telemetry.t -> ?domains:int -> unit -> t
+    is attributed to whatever span encloses the submitter.
+
+    [chaos] arms the {!Chaos.pool_poll} and {!Chaos.pool_task} injection
+    points, hit once per claimed task (parallel and inline paths alike).
+    An injected exception behaves exactly like a task failure: captured,
+    remaining tasks skipped, re-raised on the submitter. *)
+val create :
+  ?budget:Budget.t -> ?tel:Telemetry.t -> ?chaos:Chaos.t -> ?domains:int -> unit -> t
 
 (** Pool size (total participating domains; 1 means fully sequential). *)
 val size : t -> int

@@ -38,6 +38,9 @@ type counter =
   | Podem_tests
   | Budget_polls
   | Checkpoint_writes
+  | Checkpoint_write_failures  (** failed checkpoint write attempts *)
+  | Checkpoint_recoveries  (** loads that fell back to a rotated copy *)
+  | Chaos_injections  (** faults injected by an armed Chaos handle *)
   | Pool_tasks  (** pool tasks claimed (parallel jobs only) *)
   | Tgen_candidates  (** candidate segments scored by a T0 generator *)
   | Tgen_commits  (** candidate segments committed *)
@@ -54,9 +57,12 @@ let counter_index = function
   | Podem_tests -> 8
   | Budget_polls -> 9
   | Checkpoint_writes -> 10
-  | Pool_tasks -> 11
-  | Tgen_candidates -> 12
-  | Tgen_commits -> 13
+  | Checkpoint_write_failures -> 11
+  | Checkpoint_recoveries -> 12
+  | Chaos_injections -> 13
+  | Pool_tasks -> 14
+  | Tgen_candidates -> 15
+  | Tgen_commits -> 16
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -70,6 +76,9 @@ let counter_name = function
   | Podem_tests -> "podem_tests"
   | Budget_polls -> "budget_polls"
   | Checkpoint_writes -> "checkpoint_writes"
+  | Checkpoint_write_failures -> "checkpoint_write_failures"
+  | Checkpoint_recoveries -> "checkpoint_recoveries"
+  | Chaos_injections -> "chaos_injections"
   | Pool_tasks -> "pool_tasks"
   | Tgen_candidates -> "tgen_candidates"
   | Tgen_commits -> "tgen_commits"
@@ -78,7 +87,8 @@ let all_counters =
   [
     Faults_simulated; Good_cycles; Faulty_cycles; Fault_detections;
     Podem_decisions; Podem_backtracks; Podem_aborts; Podem_redundant;
-    Podem_tests; Budget_polls; Checkpoint_writes; Pool_tasks;
+    Podem_tests; Budget_polls; Checkpoint_writes; Checkpoint_write_failures;
+    Checkpoint_recoveries; Chaos_injections; Pool_tasks;
     Tgen_candidates; Tgen_commits;
   ]
 

@@ -37,6 +37,9 @@ type counter =
   | Podem_tests
   | Budget_polls  (** budget poll points reached by instrumented kernels *)
   | Checkpoint_writes
+  | Checkpoint_write_failures  (** failed checkpoint write attempts *)
+  | Checkpoint_recoveries  (** checkpoint loads that fell back to a rotated copy *)
+  | Chaos_injections  (** faults injected by an armed {!Chaos} handle *)
   | Pool_tasks  (** pool tasks claimed (parallel jobs only) *)
   | Tgen_candidates  (** candidate segments scored by a T0 generator *)
   | Tgen_commits  (** candidate segments committed *)

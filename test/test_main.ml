@@ -35,4 +35,5 @@ let () =
          Test_telemetry.suite;
          Test_bench_corpus.suite;
          Test_robustness.suite;
+         Test_chaos.suite;
        ])

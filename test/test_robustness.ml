@@ -189,16 +189,36 @@ let replace ~needle ~by hay =
   let i = find 0 in
   String.sub hay 0 i ^ by ^ String.sub hay (i + nl) (String.length hay - i - nl)
 
+(* Strip a v2 checkpoint's [crc] trailer, returning the covered body. *)
+let strip_crc text =
+  match String.rindex_opt (String.trim text) '\n' with
+  | Some i when String.length text > i + 4 && String.sub text (i + 1) 4 = "crc " ->
+      String.sub text 0 (i + 1)
+  | _ -> Alcotest.fail "expected a crc trailer"
+
+(* Recompute the trailer after a deliberate body edit, so the edit reaches
+   the semantic checks instead of tripping the CRC first. *)
+let restamp body = body ^ "crc " ^ Crc.to_hex (Crc.crc32 body) ^ "\n"
+
 let test_checkpoint_corrupt () =
   let good = Checkpoint.to_string (synthetic_snapshot ()) in
+  let body = strip_crc good in
+  let edit ~needle ~by = restamp (replace ~needle ~by body) in
   let cases =
     [
       ("not a checkpoint", "hello\nworld\n");
       ("future version", "checkpoint v99\n");
       ("missing seq block", "checkpoint v1\ncircuit x 1 1\nseed 1\nt0 d/1\ncomb 1\n");
-      ("bad bits", replace ~needle:"selected 01010" ~by:"selected 0a010" good);
+      ("bad bits", edit ~needle:"selected 01010" ~by:"selected 0a010");
       ("truncated block", String.sub good 0 (String.length good - 20));
-      ("selected/comb mismatch", replace ~needle:"comb 5" ~by:"comb 6" good);
+      ("selected/comb mismatch", edit ~needle:"comb 5" ~by:"comb 6");
+      (* v2 integrity: the trailer is mandatory, covers every body byte,
+         and must not decorate a v1 file. *)
+      ("v2 without its trailer", body);
+      ("crc mismatch", replace ~needle:"selected 01010" ~by:"selected 01011" good);
+      ("flipped trailer", replace ~needle:"crc " ~by:"crc 0" good);
+      ("v1 with a trailer", replace ~needle:"checkpoint v2" ~by:"checkpoint v1" good);
+      ("content after trailer", good ^ "trailing\n");
     ]
   in
   List.iter
@@ -207,6 +227,95 @@ let test_checkpoint_corrupt () =
       | _ -> Alcotest.failf "%s: expected Corrupt" label
       | exception Checkpoint.Corrupt _ -> ())
     cases
+
+(* Backward compatibility: a v1 file (no trailer) still loads. *)
+let test_checkpoint_v1_loads () =
+  let s = synthetic_snapshot () in
+  let v1 =
+    replace ~needle:"checkpoint v2" ~by:"checkpoint v1"
+      (strip_crc (Checkpoint.to_string s))
+  in
+  let s' = Checkpoint.of_string v1 in
+  Alcotest.(check int) "v1 iter" s.snap_iter s'.snap_iter;
+  Alcotest.(check bool) "v1 selected" true
+    (Bitvec.equal s.snap_selected s'.snap_selected)
+
+(* --- Durability property: no corruption loads a differing snapshot ----- *)
+
+let snapshot_equal (a : Pipeline.snapshot) (b : Pipeline.snapshot) =
+  a.snap_circuit = b.snap_circuit && a.snap_pis = b.snap_pis
+  && a.snap_ffs = b.snap_ffs && a.snap_seed = b.snap_seed
+  && a.snap_t0 = b.snap_t0 && a.snap_comb_size = b.snap_comb_size
+  && a.snap_t0_length = b.snap_t0_length && a.snap_f0_count = b.snap_f0_count
+  && a.snap_iter = b.snap_iter
+  && Bitvec.equal a.snap_selected b.snap_selected
+  && a.snap_seq = b.snap_seq
+  && (match (a.snap_best, b.snap_best) with
+     | Some x, Some y -> Scan_test.equal x y
+     | None, None -> true
+     | _ -> false)
+  && a.snap_iterations = b.snap_iterations
+
+let random_snapshot rng =
+  let pis = 1 + Rng.int rng 6 in
+  let ffs = 1 + Rng.int rng 6 in
+  let comb = 1 + Rng.int rng 8 in
+  let bits n = Array.init n (fun _ -> Rng.int rng 2 = 1) in
+  let seq len = Array.init len (fun _ -> bits pis) in
+  {
+    Pipeline.snap_circuit = Printf.sprintf "rand%d" (Rng.int rng 100);
+    snap_pis = pis;
+    snap_ffs = ffs;
+    snap_seed = Rng.int rng 10_000;
+    snap_t0 = Printf.sprintf "directed/%d" (1 + Rng.int rng 500);
+    snap_comb_size = comb;
+    snap_t0_length = Rng.int rng 1000;
+    snap_f0_count = Rng.int rng 1000;
+    snap_iter = Rng.int rng 30;
+    snap_selected =
+      Bitvec.of_list comb
+        (List.filter (fun _ -> Rng.int rng 2 = 0) (List.init comb Fun.id));
+    snap_seq = seq (1 + Rng.int rng 4);
+    snap_best =
+      (if Rng.int rng 2 = 0 then None
+       else Some (Scan_test.create ~si:(bits ffs) ~seq:(seq (1 + Rng.int rng 3))));
+    snap_iterations =
+      List.init (Rng.int rng 4) (fun i ->
+          {
+            Pipeline.si_index = Rng.int rng comb;
+            u_so = Rng.int rng 50;
+            len_after_omission = Rng.int rng 50;
+            detected_count = i + Rng.int rng 100;
+          });
+  }
+
+(* For 40 random snapshots: the serialized form round-trips exactly, and
+   neither random truncation nor a single flipped bit can ever load as a
+   snapshot that differs from what was saved. *)
+let test_checkpoint_durability_property () =
+  let rng = Rng.of_name ~seed:11 "robust/durability" in
+  for _ = 1 to 40 do
+    let s = random_snapshot rng in
+    let text = Checkpoint.to_string s in
+    Alcotest.(check bool) "round-trips exactly" true
+      (snapshot_equal s (Checkpoint.of_string text));
+    let check_mutant label mutant =
+      match Checkpoint.of_string mutant with
+      | s' ->
+          Alcotest.(check bool) (label ^ ": loaded a differing snapshot") true
+            (snapshot_equal s s')
+      | exception Checkpoint.Corrupt _ -> ()
+    in
+    for _ = 1 to 12 do
+      (* Truncation at a random byte boundary. *)
+      check_mutant "truncation" (String.sub text 0 (Rng.int rng (String.length text)));
+      (* Single bit flip at a random position. *)
+      let i = Rng.int rng (String.length text) in
+      let b = Bytes.of_string text in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+      check_mutant "bit flip" (Bytes.to_string b)
+    done
+  done
 
 let test_checkpoint_incompatible () =
   let c = Asc_circuits.Registry.get "s27" in
@@ -324,6 +433,10 @@ let suite =
         Alcotest.test_case "checkpoint round-trips" `Quick test_checkpoint_roundtrip;
         Alcotest.test_case "corrupt checkpoints are rejected" `Quick
           test_checkpoint_corrupt;
+        Alcotest.test_case "v1 checkpoints still load" `Quick
+          test_checkpoint_v1_loads;
+        Alcotest.test_case "no corruption loads a differing snapshot" `Quick
+          test_checkpoint_durability_property;
         Alcotest.test_case "incompatible checkpoints are rejected" `Quick
           test_checkpoint_incompatible;
         Alcotest.test_case "resume rejects mismatched snapshots" `Quick

@@ -1,5 +1,8 @@
-(* Tests for the toolchain conveniences: the VCD writer and the test-set
-   audit. *)
+(* Tests for the toolchain conveniences: the VCD writer, the test-set
+   audit, and the CLI's input-failure contract — every file-opening flag
+   must exit 1 with a one-line `asc:` message, never a backtrace; a
+   malformed ASC_CHAOS schedule is a usage error (2); an unwritable
+   --checkpoint degrades (0). *)
 
 open Asc_util
 module Circuit = Asc_netlist.Circuit
@@ -91,6 +94,126 @@ let test_audit_duplicates_and_useless () =
         (report.scan_outs.(i) = Scan_test.scan_out c t))
     [| t1; t2; t3 |]
 
+(* --- CLI input-failure contract --------------------------------------- *)
+
+(* The test binary lives in _build/default/test/; the dune deps field
+   pins the CLI binary next door in _build/default/bin/. *)
+let asc_exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/asc.exe"
+
+(* Run the CLI, returning (exit code, stderr lines). *)
+let run_asc ?(env = "") args =
+  let err = Filename.temp_file "asc-cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove err with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s %s >/dev/null 2>%s" env
+          (Filename.quote asc_exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote err)
+      in
+      let code =
+        match Unix.system cmd with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED n | Unix.WSTOPPED n -> -n
+      in
+      let ic = open_in err in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      ( code,
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text) ))
+
+(* An input failure must be exit 1 and exactly one `asc:` line — the
+   guard caught the exception; no OCaml backtrace leaked. *)
+let check_input_failure label args =
+  let code, lines = run_asc args in
+  Alcotest.(check int) (label ^ ": exit code") 1 code;
+  (match lines with
+  | [ line ] ->
+      Alcotest.(check bool) (label ^ ": one-line asc: message") true
+        (String.length line > 4 && String.sub line 0 4 = "asc:")
+  | _ ->
+      Alcotest.failf "%s: expected one stderr line, got %d: %s" label
+        (List.length lines) (String.concat " | " lines))
+
+let missing = "/nonexistent-asc-test/nope"
+
+let test_cli_missing_inputs () =
+  if not (Sys.file_exists asc_exe) then
+    Alcotest.skip ()
+  else begin
+    check_input_failure "--resume" [ "run"; "s27"; "--resume"; missing ];
+    check_input_failure "--json" [ "run"; "s27"; "--json"; missing ^ "/out.json" ];
+    check_input_failure "--trace"
+      [ "run"; "s27"; "--trace"; missing ^ "/trace.json"; "--domains"; "1" ];
+    check_input_failure "verify-tests" [ "verify-tests"; "s27"; missing ];
+    check_input_failure "audit" [ "audit"; "s27"; missing ];
+    check_input_failure "import" [ "import"; missing ];
+    check_input_failure "export" [ "export"; "s27"; missing ^ "/c.bench" ]
+  end
+
+let test_cli_corrupt_resume () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let path = Filename.temp_file "asc-cli" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out path in
+        output_string oc "this is not a checkpoint\n";
+        close_out oc;
+        check_input_failure "corrupt --resume" [ "run"; "s27"; "--resume"; path ])
+  end
+
+let test_cli_bad_chaos_schedule () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let code, lines = run_asc ~env:"ASC_CHAOS=gibberish" [ "run"; "s27" ] in
+    Alcotest.(check int) "bad ASC_CHAOS: exit code" 2 code;
+    match lines with
+    | [ line ] ->
+        Alcotest.(check bool) "mentions ASC_CHAOS" true
+          (contains line "ASC_CHAOS")
+    | _ -> Alcotest.failf "expected one stderr line, got %d" (List.length lines)
+  end
+
+(* An unwritable --checkpoint target degrades the run instead of failing
+   it: warnings on stderr, exit 0. *)
+let test_cli_checkpoint_degrades () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let code, _ = run_asc [ "run"; "s27"; "--checkpoint"; missing ^ "/ck.txt" ] in
+    Alcotest.(check int) "unwritable --checkpoint still exits 0" 0 code
+  end
+
+(* A simulated crash exits like a SIGKILLed process would. *)
+let test_cli_chaos_kill_exit_code () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let ck = Filename.temp_file "asc-cli" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ ck; ck ^ ".tmp"; ck ^ ".1" ])
+      (fun () ->
+        Sys.remove ck;
+        let code, lines =
+          run_asc ~env:"ASC_CHAOS=checkpoint.output@1=kill"
+            [ "run"; "s298"; "--checkpoint"; ck; "--domains"; "1" ]
+        in
+        Alcotest.(check int) "exit mirrors SIGKILL" 137 code;
+        match lines with
+        | [ line ] ->
+            Alcotest.(check bool) "names the injection site" true
+              (contains line "checkpoint.output")
+        | _ -> Alcotest.failf "expected one stderr line, got %d" (List.length lines))
+  end
+
 let suite =
   [
     ( "tools",
@@ -98,5 +221,15 @@ let suite =
         Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
         Alcotest.test_case "vcd first cycle" `Quick test_vcd_first_cycle_values;
         Alcotest.test_case "audit" `Quick test_audit_duplicates_and_useless;
+        Alcotest.test_case "cli: missing inputs exit 1 with one line" `Quick
+          test_cli_missing_inputs;
+        Alcotest.test_case "cli: corrupt --resume exits 1" `Quick
+          test_cli_corrupt_resume;
+        Alcotest.test_case "cli: bad ASC_CHAOS is a usage error" `Quick
+          test_cli_bad_chaos_schedule;
+        Alcotest.test_case "cli: unwritable --checkpoint degrades" `Quick
+          test_cli_checkpoint_degrades;
+        Alcotest.test_case "cli: chaos kill exits 137" `Slow
+          test_cli_chaos_kill_exit_code;
       ] );
   ]
