@@ -35,13 +35,14 @@ type options = {
   mutable domains : int option; (* --domains N: pool size for fault simulation *)
   mutable json : string option; (* --json FILE: machine-readable summary *)
   mutable trace : string option; (* --trace FILE: Chrome trace of the battery *)
+  mutable sim_kernel : Asc_sim.Sim_kernel.which option; (* --sim-kernel *)
 }
 
 let parse_args () =
   let o =
     { circuits = default_circuits; quick = false; seed = 1; dynamic = true;
       at_speed = true; micro = false; ablations = false; domains = None;
-      json = None; trace = None }
+      json = None; trace = None; sim_kernel = None }
   in
   let rec go = function
     | [] -> ()
@@ -57,6 +58,13 @@ let parse_args () =
         go rest
     | "--domains" :: n :: rest ->
         o.domains <- Some (max 1 (int_of_string n));
+        go rest
+    | "--sim-kernel" :: which :: rest ->
+        (match Asc_sim.Sim_kernel.of_string which with
+        | Some k -> o.sim_kernel <- Some k
+        | None ->
+            Printf.eprintf "unknown --sim-kernel %S (levelized|reference)\n" which;
+            exit 2);
         go rest
     | "--json" :: file :: rest ->
         o.json <- Some file;
@@ -235,6 +243,139 @@ let fsim_bench ~seed ~domains names =
   print_loads r.fs_loads r.fs_imbalance;
   r
 
+(* --- Levelized-kernel speedup -------------------------------------------- *)
+
+(* The acceptance benchmark of the levelized cone kernel: s1423's
+   uncollapsed universe over random scan tests, reference (interpretive,
+   1 domain) vs levelized at 1 domain and at the requested pool size.
+   Caches are cleared inside every repetition, so the numbers are
+   cold-trace; detection counts must agree bit for bit across all three
+   configurations.  Kernel-side telemetry (good/faulty cycles, cone
+   gates, trace-cache traffic) comes from the levelized pooled run. *)
+type kernel_result = {
+  k_circuit : string;
+  k_faults : int;
+  k_seq_len : int;
+  k_tests : int;
+  k_detected_ref : int;
+  k_detected_lv1 : int;
+  k_detected_lvn : int;
+  k_seconds_ref : float;
+  k_seconds_lv1 : float;
+  k_seconds_lvn : float;
+  k_speedup_1 : float; (* reference / levelized, 1 domain *)
+  k_speedup_n : float; (* reference / levelized, N domains *)
+  k_good_cycles : int;
+  k_faulty_cycles : int;
+  k_cone_gates : int;
+  k_cache_hits : int;
+  k_cache_misses : int;
+  k_loads : Asc_util.Telemetry.load list;
+  k_imbalance : float;
+}
+
+let kernel_bench ~seed ~domains =
+  let module SK = Asc_sim.Sim_kernel in
+  let name = "s1423" in
+  let c = Asc_circuits.Registry.get ~seed name in
+  let collapse = Asc_fault.Collapse.run c in
+  let faults = Asc_fault.Collapse.universe collapse in
+  let rng = Asc_util.Rng.of_name ~seed (name ^ "/kernel-bench") in
+  let n_tests = 4 and len = 256 in
+  let tests =
+    Array.init n_tests (fun _ ->
+        let si = Asc_util.Rng.bool_array rng (Asc_netlist.Circuit.n_dffs c) in
+        let seq =
+          Array.init len (fun _ ->
+              Asc_util.Rng.bool_array rng (Asc_netlist.Circuit.n_inputs c))
+        in
+        (si, seq))
+  in
+  let detect ?pool ?tel () =
+    Array.fold_left
+      (fun acc (si, seq) ->
+        acc
+        + Asc_util.Bitvec.count
+            (Asc_fault.Seq_fsim.detect ?pool ?tel c ~si ~seq ~faults))
+      0 tests
+  in
+  (* Each configuration starts from a cold trace cache; repetitions 2-3
+     then run warm, which is the shape of real compaction loops (the
+     same tests are re-simulated many times).  [time_best] therefore
+     reports the steady-state per-call cost. *)
+  let time_best f =
+    Asc_fault.Seq_fsim.clear_trace_cache ();
+    let best = ref infinity and result = ref 0 in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := f ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!result, !best)
+  in
+  let saved = SK.current () in
+  SK.set SK.Reference;
+  let detected_ref, seconds_ref = time_best (fun () -> detect ()) in
+  SK.set SK.Levelized;
+  let detected_lv1, seconds_lv1 = time_best (fun () -> detect ()) in
+  let tel = Asc_util.Telemetry.create () in
+  let detected_lvn, seconds_lvn =
+    if domains > 1 then begin
+      let pool = Asc_util.Domain_pool.create ~tel ~domains () in
+      let r = time_best (fun () -> detect ~pool ~tel ()) in
+      Asc_util.Domain_pool.shutdown pool;
+      r
+    end
+    else time_best (fun () -> detect ~tel ())
+  in
+  (* One drain: the snapshot holds both the pool loads and the engine
+     counters of all three repetitions of the [tel]-carrying run. *)
+  let snap = Asc_util.Telemetry.drain tel in
+  let loads = Asc_util.Telemetry.pool_loads snap in
+  let imbalance = Asc_util.Telemetry.imbalance loads in
+  SK.set saved;
+  let counter = Asc_util.Telemetry.counter_value snap in
+  let r =
+    {
+      k_circuit = name;
+      k_faults = Array.length faults;
+      k_seq_len = len;
+      k_tests = n_tests;
+      k_detected_ref = detected_ref;
+      k_detected_lv1 = detected_lv1;
+      k_detected_lvn = detected_lvn;
+      k_seconds_ref = seconds_ref;
+      k_seconds_lv1 = seconds_lv1;
+      k_seconds_lvn = seconds_lvn;
+      k_speedup_1 = seconds_ref /. seconds_lv1;
+      k_speedup_n = seconds_ref /. seconds_lvn;
+      k_good_cycles = counter "good_cycles";
+      k_faulty_cycles = counter "faulty_cycles";
+      k_cone_gates = counter "cone_gates_evaluated";
+      k_cache_hits = counter "trace_cache_hits";
+      k_cache_misses = counter "trace_cache_misses";
+      k_loads = loads;
+      k_imbalance = imbalance;
+    }
+  in
+  Printf.printf
+    "kernel bench (%s, %d faults, %d tests x %d vectors): reference %.3fs, \
+     levelized 1 domain %.3fs (%.2fx), %d domains %.3fs (%.2fx); detected \
+     %d / %d / %d (%s)\n%!"
+    r.k_circuit r.k_faults r.k_tests r.k_seq_len r.k_seconds_ref r.k_seconds_lv1
+    r.k_speedup_1 domains r.k_seconds_lvn r.k_speedup_n r.k_detected_ref
+    r.k_detected_lv1 r.k_detected_lvn
+    (if r.k_detected_ref = r.k_detected_lv1 && r.k_detected_lv1 = r.k_detected_lvn
+     then "identical"
+     else "MISMATCH");
+  Printf.printf
+    "  over 3 reps: good cycles %d, faulty cycles %d, cone gates %d, trace \
+     cache %d hits / %d misses\n%!"
+    r.k_good_cycles r.k_faulty_cycles r.k_cone_gates r.k_cache_hits
+    r.k_cache_misses;
+  print_loads r.k_loads r.k_imbalance;
+  r
+
 (* --- ATPG (test-generation) phase speedup -------------------------------- *)
 
 (* Same shape as the fault-simulation comparison, for the other parallel
@@ -322,7 +463,7 @@ let atpg_bench ~seed ~domains names =
 
 (* --- JSON summary -------------------------------------------------------- *)
 
-let json_summary o ~domains ~timings ~fsim ~atpg =
+let json_summary o ~domains ~timings ~fsim ~atpg ~kernel =
   let module J = Asc_util.Json in
   let loads_json loads =
     J.List
@@ -341,6 +482,7 @@ let json_summary o ~domains ~timings ~fsim ~atpg =
     J.Obj
       [
         ("bench", J.Str "asc");
+        ("schema", J.Int 2);
         ("mode", J.Str (if o.quick then "quick" else "full"));
         ("seed", J.Int o.seed);
         ("domains", J.Int domains);
@@ -372,6 +514,32 @@ let json_summary o ~domains ~timings ~fsim ~atpg =
                   ("speedup", J.Float f.fs_speedup);
                   ("loads", loads_json f.fs_loads);
                   ("imbalance", J.Float f.fs_imbalance);
+                ] );
+        ( "kernel",
+          match kernel with
+          | None -> J.Null
+          | Some k ->
+              J.Obj
+                [
+                  ("circuit", J.Str k.k_circuit);
+                  ("faults", J.Int k.k_faults);
+                  ("tests", J.Int k.k_tests);
+                  ("seq_len", J.Int k.k_seq_len);
+                  ("detected_reference", J.Int k.k_detected_ref);
+                  ("detected_levelized_1", J.Int k.k_detected_lv1);
+                  ("detected_levelized_n", J.Int k.k_detected_lvn);
+                  ("seconds_reference", J.Float k.k_seconds_ref);
+                  ("seconds_levelized_1", J.Float k.k_seconds_lv1);
+                  ("seconds_levelized_n", J.Float k.k_seconds_lvn);
+                  ("speedup_domains_1", J.Float k.k_speedup_1);
+                  ("speedup_domains_n", J.Float k.k_speedup_n);
+                  ("good_cycles", J.Int k.k_good_cycles);
+                  ("faulty_cycles", J.Int k.k_faulty_cycles);
+                  ("cone_gates_evaluated", J.Int k.k_cone_gates);
+                  ("trace_cache_hits", J.Int k.k_cache_hits);
+                  ("trace_cache_misses", J.Int k.k_cache_misses);
+                  ("loads", loads_json k.k_loads);
+                  ("imbalance", J.Float k.k_imbalance);
                 ] );
         ( "atpg",
           match atpg with
@@ -486,6 +654,7 @@ let run_micro () =
 
 let () =
   let o = parse_args () in
+  (match o.sim_kernel with Some k -> Asc_sim.Sim_kernel.set k | None -> ());
   if o.micro then run_micro ()
   else if o.ablations then
     Ablations.run_all ~seed:o.seed
@@ -521,5 +690,14 @@ let () =
             Some (atpg_bench ~seed:o.seed ~domains o.circuits) )
       | None -> (None, None)
     in
-    json_summary o ~domains ~timings ~fsim ~atpg
+    (* The kernel acceptance benchmark runs whenever a machine-readable
+       summary is requested (the perf-trajectory job) or a domain count
+       was given explicitly. *)
+    let kernel =
+      match (o.domains, o.json) with
+      | Some domains, _ -> Some (kernel_bench ~seed:o.seed ~domains)
+      | None, Some _ -> Some (kernel_bench ~seed:o.seed ~domains)
+      | None, None -> None
+    in
+    json_summary o ~domains ~timings ~fsim ~atpg ~kernel
   end

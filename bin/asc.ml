@@ -94,6 +94,35 @@ let domains_arg =
   in
   Arg.(value & opt (some domain_count) None & info [ "domains" ] ~doc ~docv:"N")
 
+let sim_kernel_conv =
+  let parse s =
+    match Asc_sim.Sim_kernel.of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown kernel %S (expected levelized or reference)"
+                s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Asc_sim.Sim_kernel.to_string k) in
+  Arg.conv (parse, print)
+
+let sim_kernel_arg =
+  let doc =
+    "Simulation kernel: $(b,levelized) (default; cone-limited event-driven) \
+     or $(b,reference) (interpretive full sweep — the bit-identical escape \
+     hatch for bisection and equivalence checks).  Also settable via the \
+     ASC_SIM_KERNEL environment variable."
+  in
+  Arg.(
+    value
+    & opt (some sim_kernel_conv) None
+    & info [ "sim-kernel" ] ~doc ~docv:"KERNEL")
+
+let apply_sim_kernel = function
+  | Some k -> Asc_sim.Sim_kernel.set k
+  | None -> ()
+
 (* Resolve the --domains flag to an optional pool; [None] keeps every
    simulation on the calling domain.  [budget] makes the pool fail fast
    once the run's deadline or a signal fires; [chaos] arms the pool's
@@ -280,11 +309,12 @@ let counters_arg =
   Arg.(value & flag & info [ "counters" ] ~doc)
 
 let run_cmd =
-  let run name t0 seed domains timeout checkpoint keep resume json trace counters
-      verbose =
+  let run name t0 seed domains sim_kernel timeout checkpoint keep resume json
+      trace counters verbose =
     guard @@ fun () ->
     setup_logs verbose;
     check_name name;
+    apply_sim_kernel sim_kernel;
     let budget = Budget.create ?timeout () in
     install_signal_handlers budget;
     (* Telemetry rides along whenever some consumer asked for it; it is
@@ -424,9 +454,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the proposed compaction procedure")
     Term.(
-      const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ timeout_arg
-      $ checkpoint_arg $ checkpoint_keep_arg $ resume_arg $ json_arg $ trace_arg
-      $ counters_arg $ verbose_arg)
+      const run $ name_arg $ t0_arg $ seed_arg $ domains_arg $ sim_kernel_arg
+      $ timeout_arg $ checkpoint_arg $ checkpoint_keep_arg $ resume_arg
+      $ json_arg $ trace_arg $ counters_arg $ verbose_arg)
 
 let baseline_cmd =
   let run name seed domains verbose =
@@ -479,12 +509,16 @@ let save_cmd =
 
 let verify_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
-  let run name file seed domains =
+  let run name file seed domains sim_kernel =
     guard @@ fun () ->
     check_name name;
+    apply_sim_kernel sim_kernel;
     let pool = make_pool domains in
+    let chaos = chaos_of_env () in
     let c = Asc_circuits.Registry.get ~seed name in
-    let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
+    let tests =
+      Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file ?chaos file)
+    in
     let collapse = Asc_fault.Collapse.run c in
     let faults = Asc_fault.Collapse.reps collapse in
     let cov = Asc_scan.Tset.coverage ?pool c tests ~faults in
@@ -494,13 +528,14 @@ let verify_cmd =
       (Bv.count cov) (Array.length faults)
   in
   Cmd.v (Cmd.info "verify-tests" ~doc:"Fault-simulate a saved test set")
-    Term.(const run $ name_arg $ file_arg $ seed_arg $ domains_arg)
+    Term.(const run $ name_arg $ file_arg $ seed_arg $ domains_arg $ sim_kernel_arg)
 
 let import_cmd =
   let file_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run file =
     guard @@ fun () ->
-    let c = Asc_netlist.Bench_io.parse_file file in
+    let chaos = chaos_of_env () in
+    let c = Asc_netlist.Bench_io.parse_file ?chaos file in
     Format.printf "%a@." Circuit.pp_stats c;
     let config = Pipeline.default_config in
     let prepared = Pipeline.prepare ~config c in
@@ -559,11 +594,15 @@ let partial_cmd =
 
 let audit_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in
-  let run name file seed =
+  let run name file seed sim_kernel =
     guard @@ fun () ->
     check_name name;
+    apply_sim_kernel sim_kernel;
     let c = Asc_circuits.Registry.get ~seed name in
-    let tests = Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file file) in
+    let chaos = chaos_of_env () in
+    let tests =
+      Asc_scan.Tset_io.check_compatible c (Asc_scan.Tset_io.read_file ?chaos file)
+    in
     let collapse = Asc_fault.Collapse.run c in
     let faults = Asc_fault.Collapse.reps collapse in
     let targets = Bv.create ~default:true (Array.length faults) in
@@ -575,7 +614,7 @@ let audit_cmd =
       report.incremental
   in
   Cmd.v (Cmd.info "audit" ~doc:"Audit a saved test set (duplicates, useless tests)")
-    Term.(const run $ name_arg $ file_arg $ seed_arg)
+    Term.(const run $ name_arg $ file_arg $ seed_arg $ sim_kernel_arg)
 
 let waveform_cmd =
   let file_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE") in

@@ -10,6 +10,8 @@
 open Asc_util
 module Circuit = Asc_netlist.Circuit
 module Engine2 = Asc_sim.Engine2
+module Kernel = Asc_sim.Kernel
+module Sim_kernel = Asc_sim.Sim_kernel
 module Pattern = Asc_sim.Pattern
 
 type group = {
@@ -71,6 +73,49 @@ let detect_word engine group (good : good) fault =
   done;
   !det land group.lanes
 
+(* Per-chunk simulator, chosen by the active kernel: [prep] derives the
+   fault-free response of a pattern group, [det] the detection word of
+   one fault against it, [flush] drains engine-local counters into
+   telemetry at chunk end.
+
+   The reference path re-evaluates the whole circuit per fault
+   (Engine2); the levelized path evaluates the group's good machine once
+   with the closure-free schedule sweep, then runs each fault as a
+   cone-limited difference against it — the captured-state difference
+   from Kernel.finish_cycle matches Engine2's next_state_word comparison
+   bit for bit, DFF pin-0 overrides included. *)
+let make_sim kern c tel =
+  match (kern : Sim_kernel.which) with
+  | Sim_kernel.Reference ->
+      let engine = Engine2.create c [] in
+      let good = ref None in
+      let prep group = good := Some (good_of_group engine group) in
+      let det group fault =
+        match !good with
+        | Some g -> detect_word engine group g fault
+        | None -> invalid_arg "Comb_fsim: detection before group prep"
+      in
+      (prep, det, fun () -> ())
+  | Sim_kernel.Levelized ->
+      let k = Kernel.create c in
+      let gv = Array.make (Circuit.n_gates c) 0 in
+      let prep group =
+        Kernel.good_cycle k ~pi_words:group.pi_words ~state:group.state_words ~v:gv
+      in
+      let det group fault =
+        Kernel.set_overrides k [ Fault.to_override fault ~lanes:Word.mask ];
+        Kernel.reset k;
+        Kernel.cycle k ~gw:gv;
+        let d = ref (Kernel.po_diff k) in
+        Kernel.finish_cycle k ~gw:gv;
+        d := !d lor Kernel.state_diff_word k;
+        !d land group.lanes
+      in
+      let flush () =
+        Telemetry.add tel Telemetry.Cone_gates_evaluated (Kernel.take_evaluated k)
+      in
+      (prep, det, flush)
+
 (* Chunked parallel sweep over pattern groups (see Asc_util.Domain_pool):
    each chunk simulates a contiguous group range on a private engine and
    fills its own slot of [parts]; the submitter merges in index order. *)
@@ -94,8 +139,9 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~fau
   let n_faults = Array.length faults in
   let mat = Bitmat.create (Array.length patterns) n_faults in
   let groups = pack c patterns in
+  let kern = Sim_kernel.current () in
   let chunk (start, count) =
-    let engine = Engine2.create c [] in
+    let prep, det, flush = make_sim kern c tel in
     let base0 = groups.(start).base in
     let last = groups.(start + count - 1) in
     let rows =
@@ -105,12 +151,12 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~fau
     for gi = start to start + count - 1 do
       Budget.check budget;
       let group = groups.(gi) in
-      let good = good_of_group engine group in
+      prep group;
       let simulate fi =
         incr sims;
-        let det = detect_word engine group good faults.(fi) in
-        hits := !hits + Word.popcount det;
-        Word.iter_set (fun lane -> Bitvec.set rows.(group.base - base0 + lane) fi) det
+        let d = det group faults.(fi) in
+        hits := !hits + Word.popcount d;
+        Word.iter_set (fun lane -> Bitvec.set rows.(group.base - base0 + lane) fi) d
       in
       match only with
       | None ->
@@ -124,6 +170,7 @@ let detect_matrix ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~fau
     Telemetry.add tel Telemetry.Good_cycles count;
     Telemetry.add tel Telemetry.Fault_detections !hits;
     Telemetry.add tel Telemetry.Budget_polls count;
+    flush ();
     rows
   in
   sweep_groups ?pool groups ~chunk ~empty:[||] ~merge:(fun (start, _) rows ->
@@ -147,18 +194,19 @@ let detect_union ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~faul
   let n_faults = Array.length faults in
   let det = Bitvec.create n_faults in
   let groups = pack c patterns in
+  let kern = Sim_kernel.current () in
   let chunk (start, count) =
-    let engine = Engine2.create c [] in
+    let prep, detw, flush = make_sim kern c tel in
     let local = Bitvec.create n_faults in
     let sims = ref 0 in
     for gi = start to start + count - 1 do
       Budget.check budget;
       let group = groups.(gi) in
-      let good = good_of_group engine group in
+      prep group;
       let simulate fi =
         if not (Bitvec.get local fi) then begin
           incr sims;
-          if detect_word engine group good faults.(fi) <> 0 then Bitvec.set local fi
+          if detw group faults.(fi) <> 0 then Bitvec.set local fi
         end
       in
       match only with
@@ -173,6 +221,7 @@ let detect_union ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~faul
     Telemetry.add tel Telemetry.Good_cycles count;
     Telemetry.add tel Telemetry.Fault_detections (Bitvec.count local);
     Telemetry.add tel Telemetry.Budget_polls count;
+    flush ();
     local
   in
   sweep_groups ?pool groups ~chunk ~empty:(Bitvec.create n_faults)
@@ -182,11 +231,11 @@ let detect_union ?pool ?(budget = Budget.unlimited) ?tel ?only c ~patterns ~faul
 (* Per-pattern detection of a *single* fault: which patterns detect it. *)
 let patterns_detecting c ~patterns ~fault =
   let result = Bitvec.create (Array.length patterns) in
-  let engine = Engine2.create c [] in
+  let prep, det, _flush = make_sim (Sim_kernel.current ()) c None in
   Array.iter
     (fun group ->
-      let good = good_of_group engine group in
-      let det = detect_word engine group good fault in
-      Word.iter_set (fun lane -> Bitvec.set result (group.base + lane)) det)
+      prep group;
+      let d = det group fault in
+      Word.iter_set (fun lane -> Bitvec.set result (group.base + lane)) d)
     (pack c patterns);
   result

@@ -34,6 +34,8 @@ open Asc_util
 module Circuit = Asc_netlist.Circuit
 module Engine2 = Asc_sim.Engine2
 module Engine3 = Asc_sim.Engine3
+module Kernel = Asc_sim.Kernel
+module Sim_kernel = Asc_sim.Sim_kernel
 
 type seq = bool array array (* L vectors, each of n_pis bools *)
 
@@ -95,6 +97,158 @@ let subset_of_only n = function
   | None -> all_indices n
   | Some mask -> Array.of_list (Bitvec.to_list mask)
 
+(* --- Shared good-machine trace cache ----------------------------------- *)
+
+(* Compaction re-simulates the same scan test (si, seq) many times against
+   different fault subsets — detect, then profile, then verify — and
+   Phase 1 re-runs the same candidate scan-in groups.  The fault-free
+   trace depends only on (circuit, scan-in, seq), so the levelized path
+   computes it once and shares it read-only: across calls through this
+   cache, and across domains because only the submitting domain ever
+   writes it.
+
+   Scan-test traces carry one faulty-machine test per call, so their good
+   words are splat and stored compactly (one byte per gate per cycle);
+   candidate traces (lanes = candidate scan-in states) store full words.
+   The cache is process-global, mutex-protected and LRU-bounded by a byte
+   budget; circuits are keyed by physical identity, so a rebuilt netlist
+   never aliases a stale trace.  Only the levelized kernel uses it — the
+   reference path recomputes traces, keeping the escape hatch honest. *)
+module Trace_cache = struct
+  type flavor = Splat of bool array | Packed of int array
+
+  type key = { flavor : flavor; seq : seq }
+
+  type data =
+    | Bits of Bytes.t array (* per cycle, one byte per gate *)
+    | Words of int array array (* per cycle, one word per gate *)
+
+  let lock = Mutex.create ()
+
+  let max_bytes = 32 * 1024 * 1024
+
+  (* MRU-first: (circuit, key, data, size in bytes). *)
+  let entries : (Circuit.t * key * data * int) list ref = ref []
+
+  let clear () = Mutex.protect lock (fun () -> entries := [])
+
+  let find c key =
+    Mutex.protect lock (fun () ->
+        let rec go acc = function
+          | [] -> None
+          | ((c', k', d, _) as e) :: rest when c' == c && k' = key ->
+              entries := e :: List.rev_append acc rest;
+              Some d
+          | e :: rest -> go (e :: acc) rest
+        in
+        go [] !entries)
+
+  let add c key data size =
+    Mutex.protect lock (fun () ->
+        let used = ref 0 in
+        entries :=
+          List.filter
+            (fun (_, _, _, sz) ->
+              if !used = 0 || !used + sz <= max_bytes then begin
+                used := !used + sz;
+                true
+              end
+              else false)
+            ((c, key, data, size) :: !entries))
+end
+
+let clear_trace_cache = Trace_cache.clear
+
+let deep_copy_seq (s : seq) = Array.map Array.copy s
+
+(* Fault-free levelized run recording every gate's good bit per cycle. *)
+let good_trace_bits k c ~sw ~si ~len =
+  let n = Circuit.n_gates c in
+  let v = Array.make n 0 in
+  let state = Array.map Word.splat si in
+  let bits = Array.init len (fun _ -> Bytes.create n) in
+  for t = 0 to len - 1 do
+    Kernel.good_cycle k ~pi_words:sw.(t) ~state ~v;
+    let b = bits.(t) in
+    for g = 0 to n - 1 do
+      Bytes.unsafe_set b g (if Array.unsafe_get v g land 1 = 1 then '\001' else '\000')
+    done;
+    Kernel.good_capture k ~v ~state
+  done;
+  bits
+
+(* Good bits for every gate at every time unit of the scan test
+   (si, seq), through the cache.  The byte rows are handed to the
+   kernel's [_bits] entry points as-is — no expansion, and the whole
+   trace stays cache-resident.  [Good_cycles] counts only computed
+   (miss) cycles. *)
+let good_gb tel k c ~si ~sw ~seq ~len =
+  let n = Circuit.n_gates c in
+  let lookup = { Trace_cache.flavor = Trace_cache.Splat si; seq } in
+  match Trace_cache.find c lookup with
+  | Some (Trace_cache.Bits bits) ->
+      Telemetry.incr tel Telemetry.Trace_cache_hits;
+      bits
+  | Some (Trace_cache.Words _) -> assert false (* flavors never collide *)
+  | None ->
+      Telemetry.incr tel Telemetry.Trace_cache_misses;
+      Telemetry.add tel Telemetry.Good_cycles len;
+      let bits = good_trace_bits k c ~sw ~si ~len in
+      Trace_cache.add c
+        { Trace_cache.flavor = Trace_cache.Splat (Array.copy si);
+          seq = deep_copy_seq seq }
+        (Trace_cache.Bits bits) (len * n);
+      bits
+
+(* Good word trace of one packed candidate group (lanes = candidates). *)
+let good_cand_gw tel k c ~init_words ~sw ~seq ~len =
+  let n = Circuit.n_gates c in
+  let lookup = { Trace_cache.flavor = Trace_cache.Packed init_words; seq } in
+  match Trace_cache.find c lookup with
+  | Some (Trace_cache.Words ws) ->
+      Telemetry.incr tel Telemetry.Trace_cache_hits;
+      ws
+  | Some (Trace_cache.Bits _) -> assert false
+  | None ->
+      Telemetry.incr tel Telemetry.Trace_cache_misses;
+      Telemetry.add tel Telemetry.Good_cycles len;
+      let v = Array.make n 0 in
+      let state = Array.copy init_words in
+      let ws =
+        Array.init len (fun t ->
+            Kernel.good_cycle k ~pi_words:sw.(t) ~state ~v;
+            let snapshot = Array.copy v in
+            Kernel.good_capture k ~v ~state;
+            snapshot)
+      in
+      Trace_cache.add c
+        { Trace_cache.flavor = Trace_cache.Packed (Array.copy init_words);
+          seq = deep_copy_seq seq }
+        (Trace_cache.Words ws)
+        (len * n * 8);
+      ws
+
+(* Levelized detection of one fault group: same loop structure (and so
+   the same early exit and detection words) as [detect_group], with the
+   per-cycle work cone-limited by the kernel.  Lanes already detected
+   are pruned from the propagation — their detection bit is a monotonic
+   OR, so the result word is unchanged while the cone shrinks to the
+   still-undetected faults. *)
+let detect_group_lv k ~gb ~len ~cycles (group : group) =
+  Kernel.set_overrides k group.overrides;
+  Kernel.reset k;
+  let det = ref 0 in
+  let t = ref 0 in
+  while !det <> group.lanes && !t < len do
+    Kernel.cycle_bits k ~prune:!det ~gb:gb.(!t);
+    det := !det lor Kernel.po_diff k;
+    Kernel.finish_cycle_bits k ~gb:gb.(!t);
+    incr t
+  done;
+  cycles := !cycles + !t;
+  if !t = len && !det <> group.lanes then det := !det lor Kernel.state_diff_word k;
+  !det land group.lanes
+
 (* Accumulate PO differences of one evaluated cycle. *)
 let po_diff engine (good : good) t =
   let diff = ref 0 in
@@ -132,14 +286,16 @@ let detect_group engine ~si ~sw ~good ~len ~cycles (group : group) =
   !det land group.lanes
 
 (* Chunked parallel sweep over [groups]: each chunk simulates a contiguous
-   group range on its own engine and fills its own result slot; [merge] is
-   then applied chunk by chunk on the submitting domain. *)
-let sweep_groups ?pool c groups ~chunk ~merge ~empty =
+   group range on its own engine (built by [make_engine] — an Engine2 on
+   the reference path, a Kernel on the levelized one) and fills its own
+   result slot; [merge] is then applied chunk by chunk on the submitting
+   domain, in index order. *)
+let sweep_groups ?pool ~make_engine groups ~chunk ~merge ~empty =
   let n = Array.length groups in
   let ranges = Domain_pool.split ~n ~pieces:(Domain_pool.chunk_count pool n) in
   let parts = Array.make (Array.length ranges) empty in
   Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
-      parts.(ci) <- chunk (Engine2.create c []) ranges.(ci));
+      parts.(ci) <- chunk (make_engine ()) ranges.(ci));
   Array.iteri (fun ci part -> merge ranges.(ci) part) parts
 
 (* Which of [faults] does the scan test (si, seq) detect?  [only] restricts
@@ -159,30 +315,59 @@ let detect ?pool ?(budget = Budget.unlimited) ?tel ?only c ~si ~seq ~faults =
       (fun () ->
         let sw = seq_words c seq in
         let len = Array.length seq in
-        let good = good_run c ~si ~seq in
-        Telemetry.add tel Telemetry.Good_cycles len;
         let groups = make_groups faults subset in
-        let chunk engine (start, count) =
-          let hits = ref [] and nhits = ref 0 and lanes = ref 0 and cycles = ref 0 in
-          for gi = start to start + count - 1 do
-            Budget.check budget;
-            let group = groups.(gi) in
-            let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
-            lanes := !lanes + Array.length group.members;
-            Word.iter_set
-              (fun lane ->
-                hits := group.members.(lane) :: !hits;
-                incr nhits)
-              d
-          done;
-          Telemetry.add tel Telemetry.Faults_simulated !lanes;
-          Telemetry.add tel Telemetry.Faulty_cycles !cycles;
-          Telemetry.add tel Telemetry.Fault_detections !nhits;
-          Telemetry.add tel Telemetry.Budget_polls count;
-          !hits
-        in
-        sweep_groups ?pool c groups ~chunk ~empty:[]
-          ~merge:(fun _range hits -> List.iter (Bitvec.set result) hits);
+        let merge _range hits = List.iter (Bitvec.set result) hits in
+        (match Sim_kernel.current () with
+        | Sim_kernel.Reference ->
+            let good = good_run c ~si ~seq in
+            Telemetry.add tel Telemetry.Good_cycles len;
+            let chunk engine (start, count) =
+              let hits = ref [] and nhits = ref 0 and lanes = ref 0 and cycles = ref 0 in
+              for gi = start to start + count - 1 do
+                Budget.check budget;
+                let group = groups.(gi) in
+                let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
+                lanes := !lanes + Array.length group.members;
+                Word.iter_set
+                  (fun lane ->
+                    hits := group.members.(lane) :: !hits;
+                    incr nhits)
+                  d
+              done;
+              Telemetry.add tel Telemetry.Faults_simulated !lanes;
+              Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+              Telemetry.add tel Telemetry.Fault_detections !nhits;
+              Telemetry.add tel Telemetry.Budget_polls count;
+              !hits
+            in
+            sweep_groups ?pool
+              ~make_engine:(fun () -> Engine2.create c [])
+              groups ~chunk ~empty:[] ~merge
+        | Sim_kernel.Levelized ->
+            let gb = good_gb tel (Kernel.create c) c ~si ~sw ~seq ~len in
+            let chunk k (start, count) =
+              let hits = ref [] and nhits = ref 0 and lanes = ref 0 and cycles = ref 0 in
+              for gi = start to start + count - 1 do
+                Budget.check budget;
+                let group = groups.(gi) in
+                let d = detect_group_lv k ~gb ~len ~cycles group in
+                lanes := !lanes + Array.length group.members;
+                Word.iter_set
+                  (fun lane ->
+                    hits := group.members.(lane) :: !hits;
+                    incr nhits)
+                  d
+              done;
+              Telemetry.add tel Telemetry.Faults_simulated !lanes;
+              Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+              Telemetry.add tel Telemetry.Fault_detections !nhits;
+              Telemetry.add tel Telemetry.Budget_polls count;
+              Telemetry.add tel Telemetry.Cone_gates_evaluated (Kernel.take_evaluated k);
+              !hits
+            in
+            sweep_groups ?pool
+              ~make_engine:(fun () -> Kernel.create c)
+              groups ~chunk ~empty:[] ~merge);
         result)
 
 (* Detection-time profile over a fault subset.
@@ -208,46 +393,84 @@ let profile ?pool ?(budget = Budget.unlimited) ?tel c ~si ~seq ~faults ~subset =
   @@ fun () ->
   let len = Array.length seq in
   let sw = seq_words c seq in
-  let good = good_run c ~si ~seq in
-  Telemetry.add tel Telemetry.Good_cycles len;
   let total = Array.length subset in
   let po_time = Array.make total max_int in
   let state_diff_at = Array.make total (Bitvec.create len) in
   let groups = make_groups faults subset in
+  let merge (gstart, _) (po, sdiff) =
+    let base0 = gstart * Word.width in
+    Array.blit po 0 po_time base0 (Array.length po);
+    Array.blit sdiff 0 state_diff_at base0 (Array.length sdiff)
+  in
   (* A chunk covers subset positions [gstart*W, gstart*W + span) and
      returns its profile slices; the submitter blits them into place. *)
-  let chunk engine (gstart, gcount) =
-    let base0 = gstart * Word.width in
-    let span = min total ((gstart + gcount) * Word.width) - base0 in
-    let po = Array.make span max_int in
-    let sdiff = Array.init span (fun _ -> Bitvec.create len) in
-    Telemetry.add tel Telemetry.Faults_simulated span;
-    Telemetry.add tel Telemetry.Faulty_cycles (gcount * len);
-    Telemetry.add tel Telemetry.Budget_polls gcount;
-    for gi = gstart to gstart + gcount - 1 do
-      Budget.check budget;
-      let group = groups.(gi) in
-      let base = (gi * Word.width) - base0 in
-      Engine2.set_overrides engine group.overrides;
-      Engine2.set_state_bools engine si;
-      let po_seen = ref 0 in
-      for t = 0 to len - 1 do
-        Engine2.eval engine ~pi_words:sw.(t);
-        let fresh = po_diff engine good t land group.lanes land lnot !po_seen in
-        Word.iter_set (fun lane -> po.(base + lane) <- t) fresh;
-        po_seen := !po_seen lor fresh;
-        Engine2.capture engine;
-        let sd = state_diff engine good (t + 1) land group.lanes in
-        Word.iter_set (fun lane -> Bitvec.set sdiff.(base + lane) t) sd
-      done
-    done;
-    (po, sdiff)
-  in
-  sweep_groups ?pool c groups ~chunk ~empty:([||], [||])
-    ~merge:(fun (gstart, _) (po, sdiff) ->
-      let base0 = gstart * Word.width in
-      Array.blit po 0 po_time base0 (Array.length po);
-      Array.blit sdiff 0 state_diff_at base0 (Array.length sdiff));
+  (match Sim_kernel.current () with
+  | Sim_kernel.Reference ->
+      let good = good_run c ~si ~seq in
+      Telemetry.add tel Telemetry.Good_cycles len;
+      let chunk engine (gstart, gcount) =
+        let base0 = gstart * Word.width in
+        let span = min total ((gstart + gcount) * Word.width) - base0 in
+        let po = Array.make span max_int in
+        let sdiff = Array.init span (fun _ -> Bitvec.create len) in
+        Telemetry.add tel Telemetry.Faults_simulated span;
+        Telemetry.add tel Telemetry.Faulty_cycles (gcount * len);
+        Telemetry.add tel Telemetry.Budget_polls gcount;
+        for gi = gstart to gstart + gcount - 1 do
+          Budget.check budget;
+          let group = groups.(gi) in
+          let base = (gi * Word.width) - base0 in
+          Engine2.set_overrides engine group.overrides;
+          Engine2.set_state_bools engine si;
+          let po_seen = ref 0 in
+          for t = 0 to len - 1 do
+            Engine2.eval engine ~pi_words:sw.(t);
+            let fresh = po_diff engine good t land group.lanes land lnot !po_seen in
+            Word.iter_set (fun lane -> po.(base + lane) <- t) fresh;
+            po_seen := !po_seen lor fresh;
+            Engine2.capture engine;
+            let sd = state_diff engine good (t + 1) land group.lanes in
+            Word.iter_set (fun lane -> Bitvec.set sdiff.(base + lane) t) sd
+          done
+        done;
+        (po, sdiff)
+      in
+      sweep_groups ?pool
+        ~make_engine:(fun () -> Engine2.create c [])
+        groups ~chunk ~empty:([||], [||]) ~merge
+  | Sim_kernel.Levelized ->
+      let gb = good_gb tel (Kernel.create c) c ~si ~sw ~seq ~len in
+      let chunk k (gstart, gcount) =
+        let base0 = gstart * Word.width in
+        let span = min total ((gstart + gcount) * Word.width) - base0 in
+        let po = Array.make span max_int in
+        let sdiff = Array.init span (fun _ -> Bitvec.create len) in
+        Telemetry.add tel Telemetry.Faults_simulated span;
+        Telemetry.add tel Telemetry.Faulty_cycles (gcount * len);
+        Telemetry.add tel Telemetry.Budget_polls gcount;
+        for gi = gstart to gstart + gcount - 1 do
+          Budget.check budget;
+          let group = groups.(gi) in
+          let base = (gi * Word.width) - base0 in
+          Kernel.set_overrides k group.overrides;
+          Kernel.reset k;
+          let po_seen = ref 0 in
+          for t = 0 to len - 1 do
+            Kernel.cycle_bits k ~gb:gb.(t);
+            let fresh = Kernel.po_diff k land group.lanes land lnot !po_seen in
+            Word.iter_set (fun lane -> po.(base + lane) <- t) fresh;
+            po_seen := !po_seen lor fresh;
+            Kernel.finish_cycle_bits k ~gb:gb.(t);
+            let sd = Kernel.state_diff_word k land group.lanes in
+            Word.iter_set (fun lane -> Bitvec.set sdiff.(base + lane) t) sd
+          done
+        done;
+        Telemetry.add tel Telemetry.Cone_gates_evaluated (Kernel.take_evaluated k);
+        (po, sdiff)
+      in
+      sweep_groups ?pool
+        ~make_engine:(fun () -> Kernel.create c)
+        groups ~chunk ~empty:([||], [||]) ~merge);
   { subset; po_time; state_diff_at }
 
 (* Faults detected by the test truncated to end (and scan out) at time
@@ -293,95 +516,146 @@ let candidate_detections ?pool ?(budget = Budget.unlimited) ?tel c ~sis ~seq ~fa
   let len = Array.length seq in
   let sw = seq_words c seq in
   let result = Bitmat.create n_candidates (Array.length faults) in
-  let engine0 = Engine2.create c [] in
   let n_cgroups = (n_candidates + Word.width - 1) / Word.width in
-  let cgroups =
-    Array.init n_cgroups (fun cg ->
-        let cbase = cg * Word.width in
-        let count = min Word.width (n_candidates - cbase) in
-        let cfull = if count = Word.width then Word.mask else (1 lsl count) - 1 in
-        (* Pack the candidate states: lane = candidate (cbase + lane). *)
-        let init_words = Array.make n_ff 0 in
-        for lane = 0 to count - 1 do
-          let si = sis.(cbase + lane) in
-          if Array.length si <> n_ff then
-            invalid_arg "Seq_fsim.candidate_detections: state arity";
-          for i = 0 to n_ff - 1 do
-            if si.(i) then init_words.(i) <- Word.set init_words.(i) lane
+  (* Pack the candidate states: lane = candidate (cbase + lane). *)
+  let pack_group cg =
+    let cbase = cg * Word.width in
+    let count = min Word.width (n_candidates - cbase) in
+    let cfull = if count = Word.width then Word.mask else (1 lsl count) - 1 in
+    let init_words = Array.make n_ff 0 in
+    for lane = 0 to count - 1 do
+      let si = sis.(cbase + lane) in
+      if Array.length si <> n_ff then invalid_arg "Seq_fsim.candidate_detections: state arity";
+      for i = 0 to n_ff - 1 do
+        if si.(i) then init_words.(i) <- Word.set init_words.(i) lane
+      done
+    done;
+    (cbase, cfull, init_words)
+  in
+  (* Chunk the [subset] faults — the heavy dimension — across the pool;
+     each chunk returns raw per-(fault, cgroup) detection words and the
+     submitter alone writes the result matrix, in index order. *)
+  let sweep_fault_chunks ~make_engine ~detect_cand ~flush cgroup_meta =
+    let nf = Array.length subset in
+    let ranges = Domain_pool.split ~n:nf ~pieces:(Domain_pool.chunk_count pool nf) in
+    let parts = Array.make (Array.length ranges) [||] in
+    Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
+        let start, count = ranges.(ci) in
+        let engine = make_engine () in
+        let dets = Array.make_matrix count n_cgroups 0 in
+        let cycles = ref 0 and nhits = ref 0 in
+        for k = 0 to count - 1 do
+          Budget.check budget;
+          let fi = subset.(start + k) in
+          for cgi = 0 to n_cgroups - 1 do
+            let d = detect_cand engine ~cycles fi cgi in
+            nhits := !nhits + Word.popcount d;
+            dets.(k).(cgi) <- d
           done
         done;
-        (* Fault-free machines for all candidates at once. *)
-        Engine2.set_overrides engine0 [];
-        Engine2.set_state_words engine0 init_words;
-        let good_po = Array.make len [||] in
-        for t = 0 to len - 1 do
-          Engine2.eval engine0 ~pi_words:sw.(t);
-          good_po.(t) <- Array.init n_po (Engine2.po_word engine0);
-          Engine2.capture engine0
-        done;
-        let good_final = Array.init n_ff (Engine2.state_word engine0) in
-        { cbase; cfull; init_words; good_po; good_final })
-  in
-  Telemetry.add tel Telemetry.Good_cycles (n_cgroups * len);
-  (* One fault at a time, injected in every candidate lane.  [cycles]
-     accumulates evaluated time units for the chunk's telemetry. *)
-  let detect_candidates engine ~cycles fi cg =
-    Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
-    Engine2.set_state_words engine cg.init_words;
-    let det = ref 0 in
-    let t = ref 0 in
-    while !det <> cg.cfull && !t < len do
-      Engine2.eval engine ~pi_words:sw.(!t);
-      let gpo = cg.good_po.(!t) in
-      for i = 0 to n_po - 1 do
-        det := !det lor (Engine2.po_word engine i lxor gpo.(i))
-      done;
-      Engine2.capture engine;
-      incr t
-    done;
-    cycles := !cycles + !t;
-    if !t = len && !det <> cg.cfull then
-      for i = 0 to n_ff - 1 do
-        det := !det lor (Engine2.state_word engine i lxor cg.good_final.(i))
-      done;
-    !det land cg.cfull
-  in
-  let nf = Array.length subset in
-  let ranges = Domain_pool.split ~n:nf ~pieces:(Domain_pool.chunk_count pool nf) in
-  let parts = Array.make (Array.length ranges) [||] in
-  Domain_pool.run_opt pool (Array.length ranges) (fun ci ->
-      let start, count = ranges.(ci) in
-      let engine = Engine2.create c [] in
-      let dets = Array.make_matrix count n_cgroups 0 in
-      let cycles = ref 0 and nhits = ref 0 in
-      for k = 0 to count - 1 do
-        Budget.check budget;
-        let fi = subset.(start + k) in
+        Telemetry.add tel Telemetry.Faults_simulated count;
+        Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+        Telemetry.add tel Telemetry.Fault_detections !nhits;
+        Telemetry.add tel Telemetry.Budget_polls count;
+        flush engine;
+        parts.(ci) <- dets);
+    Array.iteri
+      (fun ci dets ->
+        let start, _ = ranges.(ci) in
         Array.iteri
-          (fun cgi cg ->
-            let d = detect_candidates engine ~cycles fi cg in
-            nhits := !nhits + Word.popcount d;
-            dets.(k).(cgi) <- d)
-          cgroups
-      done;
-      Telemetry.add tel Telemetry.Faults_simulated count;
-      Telemetry.add tel Telemetry.Faulty_cycles !cycles;
-      Telemetry.add tel Telemetry.Fault_detections !nhits;
-      Telemetry.add tel Telemetry.Budget_polls count;
-      parts.(ci) <- dets);
-  Array.iteri
-    (fun ci dets ->
-      let start, _ = ranges.(ci) in
-      Array.iteri
-        (fun k per_cg ->
-          let fi = subset.(start + k) in
-          Array.iteri
-            (fun cgi det ->
-              let cbase = cgroups.(cgi).cbase in
-              Word.iter_set (fun lane -> Bitmat.set result (cbase + lane) fi) det)
-            per_cg)
-        dets)
-    parts;
+          (fun k per_cg ->
+            let fi = subset.(start + k) in
+            Array.iteri
+              (fun cgi det ->
+                let cbase, _, _ = cgroup_meta.(cgi) in
+                Word.iter_set (fun lane -> Bitmat.set result (cbase + lane) fi) det)
+              per_cg)
+          dets)
+      parts
+  in
+  (match Sim_kernel.current () with
+  | Sim_kernel.Reference ->
+      let engine0 = Engine2.create c [] in
+      let meta = Array.init n_cgroups pack_group in
+      let cgroups =
+        Array.map
+          (fun (cbase, cfull, init_words) ->
+            (* Fault-free machines for all candidates at once. *)
+            Engine2.set_overrides engine0 [];
+            Engine2.set_state_words engine0 init_words;
+            let good_po = Array.make len [||] in
+            for t = 0 to len - 1 do
+              Engine2.eval engine0 ~pi_words:sw.(t);
+              good_po.(t) <- Array.init n_po (Engine2.po_word engine0);
+              Engine2.capture engine0
+            done;
+            let good_final = Array.init n_ff (Engine2.state_word engine0) in
+            { cbase; cfull; init_words; good_po; good_final })
+          meta
+      in
+      Telemetry.add tel Telemetry.Good_cycles (n_cgroups * len);
+      (* One fault at a time, injected in every candidate lane.  [cycles]
+         accumulates evaluated time units for the chunk's telemetry. *)
+      let detect_cand engine ~cycles fi cgi =
+        let cg = cgroups.(cgi) in
+        Engine2.set_overrides engine [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
+        Engine2.set_state_words engine cg.init_words;
+        let det = ref 0 in
+        let t = ref 0 in
+        while !det <> cg.cfull && !t < len do
+          Engine2.eval engine ~pi_words:sw.(!t);
+          let gpo = cg.good_po.(!t) in
+          for i = 0 to n_po - 1 do
+            det := !det lor (Engine2.po_word engine i lxor gpo.(i))
+          done;
+          Engine2.capture engine;
+          incr t
+        done;
+        cycles := !cycles + !t;
+        if !t = len && !det <> cg.cfull then
+          for i = 0 to n_ff - 1 do
+            det := !det lor (Engine2.state_word engine i lxor cg.good_final.(i))
+          done;
+        !det land cg.cfull
+      in
+      sweep_fault_chunks
+        ~make_engine:(fun () -> Engine2.create c [])
+        ~detect_cand
+        ~flush:(fun _ -> ())
+        meta
+  | Sim_kernel.Levelized ->
+      let k0 = Kernel.create c in
+      let meta = Array.init n_cgroups pack_group in
+      (* Per-group fault-free word traces, computed (or recalled) on the
+         submitter and shared read-only with every chunk. *)
+      let traces =
+        Array.map
+          (fun (_, _, init_words) -> good_cand_gw tel k0 c ~init_words ~sw ~seq ~len)
+          meta
+      in
+      let detect_cand k ~cycles fi cgi =
+        let _, cfull, _ = meta.(cgi) in
+        let gwt = traces.(cgi) in
+        Kernel.set_overrides k [ Fault.to_override faults.(fi) ~lanes:Word.mask ];
+        Kernel.reset k;
+        let det = ref 0 in
+        let t = ref 0 in
+        while !det <> cfull && !t < len do
+          Kernel.cycle k ~prune:!det ~gw:gwt.(!t);
+          det := !det lor Kernel.po_diff k;
+          Kernel.finish_cycle k ~gw:gwt.(!t);
+          incr t
+        done;
+        cycles := !cycles + !t;
+        if !t = len && !det <> cfull then det := !det lor Kernel.state_diff_word k;
+        !det land cfull
+      in
+      sweep_fault_chunks
+        ~make_engine:(fun () -> Kernel.create c)
+        ~detect_cand
+        ~flush:(fun k ->
+          Telemetry.add tel Telemetry.Cone_gates_evaluated (Kernel.take_evaluated k))
+        meta);
   result
 
 (* Verification: does (si, seq) detect *every* fault index in [subset]?
@@ -395,27 +669,55 @@ let verify_required ?pool ?(budget = Budget.unlimited) ?tel c ~si ~seq ~faults ~
       (fun () ->
         let sw = seq_words c seq in
         let len = Array.length seq in
-        let good = good_run c ~si ~seq in
-        Telemetry.add tel Telemetry.Good_cycles len;
         let groups = make_groups faults subset in
         let failed = Atomic.make false in
-        let chunk engine (start, count) =
-          let gi = ref start in
-          let lanes = ref 0 and cycles = ref 0 and polls = ref 0 in
-          while (not (Atomic.get failed)) && !gi < start + count do
-            Budget.check budget;
-            incr polls;
-            let group = groups.(!gi) in
-            let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
-            lanes := !lanes + Array.length group.members;
-            if d <> group.lanes then Atomic.set failed true;
-            incr gi
-          done;
-          Telemetry.add tel Telemetry.Faults_simulated !lanes;
-          Telemetry.add tel Telemetry.Faulty_cycles !cycles;
-          Telemetry.add tel Telemetry.Budget_polls !polls
-        in
-        sweep_groups ?pool c groups ~chunk ~empty:() ~merge:(fun _ () -> ());
+        (match Sim_kernel.current () with
+        | Sim_kernel.Reference ->
+            let good = good_run c ~si ~seq in
+            Telemetry.add tel Telemetry.Good_cycles len;
+            let chunk engine (start, count) =
+              let gi = ref start in
+              let lanes = ref 0 and cycles = ref 0 and polls = ref 0 in
+              while (not (Atomic.get failed)) && !gi < start + count do
+                Budget.check budget;
+                incr polls;
+                let group = groups.(!gi) in
+                let d = detect_group engine ~si ~sw ~good ~len ~cycles group in
+                lanes := !lanes + Array.length group.members;
+                if d <> group.lanes then Atomic.set failed true;
+                incr gi
+              done;
+              Telemetry.add tel Telemetry.Faults_simulated !lanes;
+              Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+              Telemetry.add tel Telemetry.Budget_polls !polls
+            in
+            sweep_groups ?pool
+              ~make_engine:(fun () -> Engine2.create c [])
+              groups ~chunk ~empty:()
+              ~merge:(fun _ () -> ())
+        | Sim_kernel.Levelized ->
+            let gb = good_gb tel (Kernel.create c) c ~si ~sw ~seq ~len in
+            let chunk k (start, count) =
+              let gi = ref start in
+              let lanes = ref 0 and cycles = ref 0 and polls = ref 0 in
+              while (not (Atomic.get failed)) && !gi < start + count do
+                Budget.check budget;
+                incr polls;
+                let group = groups.(!gi) in
+                let d = detect_group_lv k ~gb ~len ~cycles group in
+                lanes := !lanes + Array.length group.members;
+                if d <> group.lanes then Atomic.set failed true;
+                incr gi
+              done;
+              Telemetry.add tel Telemetry.Faults_simulated !lanes;
+              Telemetry.add tel Telemetry.Faulty_cycles !cycles;
+              Telemetry.add tel Telemetry.Budget_polls !polls;
+              Telemetry.add tel Telemetry.Cone_gates_evaluated (Kernel.take_evaluated k)
+            in
+            sweep_groups ?pool
+              ~make_engine:(fun () -> Kernel.create c)
+              groups ~chunk ~empty:()
+              ~merge:(fun _ () -> ()));
         not (Atomic.get failed))
 
 (* --- 3-valued, unknown initial state ("without scan") ------------------ *)

@@ -10,8 +10,10 @@ exception Parse_error of { line : int; message : string }
     {!Circuit.Structural_error} on structural ones. *)
 val parse_string : name:string -> string -> Circuit.t
 
-(** Parse a `.bench` file; the circuit is named after the file basename. *)
-val parse_file : string -> Circuit.t
+(** Parse a `.bench` file; the circuit is named after the file basename.
+    [chaos] arms the [bench_io.read] injection point (a [Fail] rule
+    surfaces as the same [Sys_error] a truncated read would raise). *)
+val parse_file : ?chaos:Asc_util.Chaos.t -> string -> Circuit.t
 
 (** Render a circuit back to `.bench` text ([CONST0]/[CONST1] gates are
     emitted with those non-standard kind names). *)

@@ -18,6 +18,17 @@ type t = {
   level : int array;
   pi_index : int array; (* gate id -> index in [inputs], or -1 *)
   dff_index : int array; (* gate id -> index in [dffs], or -1 *)
+  (* Flat levelized schedule, shared read-only by every simulation engine:
+     gate [g]'s fanins are [fanin_flat.(fanin_off.(g)) ..
+     fanin_flat.(fanin_off.(g+1) - 1)] (same for fanouts), and
+     [level_order] lists the non-source gates sorted by (level, id) with
+     [level_off.(l) .. level_off.(l+1) - 1] slicing out level [l]. *)
+  fanin_flat : int array;
+  fanin_off : int array;
+  fanout_flat : int array;
+  fanout_off : int array;
+  level_order : int array;
+  level_off : int array;
 }
 
 let name t = t.name
@@ -39,6 +50,13 @@ let order t = t.order
 
 let pi_index t g = t.pi_index.(g)
 let dff_index t g = t.dff_index.(g)
+
+let fanin_flat t = t.fanin_flat
+let fanin_off t = t.fanin_off
+let fanout_flat t = t.fanout_flat
+let fanout_off t = t.fanout_off
+let level_order t = t.level_order
+let level_off t = t.level_off
 
 (* The next-state signal feeding flip-flop [d] (a gate id). *)
 let dff_input t d =
@@ -157,6 +175,41 @@ let make ~name ~kinds ~fanins ~inputs ~outputs ~dffs ~signal_names =
   if !pos <> Array.length order then
     fail "circuit %s: combinational cycle detected (%d of %d gates ordered)" name !pos
       (Array.length order);
+  (* Flat fanin/fanout arrays (CSR layout): one contiguous int array per
+     direction keeps the evaluation sweep cache-friendly and lets engines
+     share the schedule instead of flattening per instance. *)
+  let flatten rows =
+    let off = Array.make (n + 1) 0 in
+    for g = 0 to n - 1 do
+      off.(g + 1) <- off.(g) + Array.length rows.(g)
+    done;
+    let flat = Array.make (max 1 off.(n)) 0 in
+    for g = 0 to n - 1 do
+      Array.iteri (fun i f -> flat.(off.(g) + i) <- f) rows.(g)
+    done;
+    (flat, off)
+  in
+  let fanin_flat, fanin_off = flatten fanins in
+  let fanout_flat, fanout_off = flatten fanouts in
+  (* Level-bucketed evaluation order: counting sort of the non-source gates
+     by level, ties broken by gate id, so the levelized kernel can walk one
+     level at a time. *)
+  let maxl = Array.fold_left max 0 level in
+  let level_off = Array.make (maxl + 2) 0 in
+  for g = 0 to n - 1 do
+    if is_comb g then level_off.(level.(g) + 1) <- level_off.(level.(g) + 1) + 1
+  done;
+  for l = 1 to maxl + 1 do
+    level_off.(l) <- level_off.(l) + level_off.(l - 1)
+  done;
+  let level_order = Array.make (Array.length order) (-1) in
+  let cursor = Array.copy level_off in
+  for g = 0 to n - 1 do
+    if is_comb g then begin
+      level_order.(cursor.(level.(g))) <- g;
+      cursor.(level.(g)) <- cursor.(level.(g)) + 1
+    end
+  done;
   {
     name;
     kinds;
@@ -170,6 +223,12 @@ let make ~name ~kinds ~fanins ~inputs ~outputs ~dffs ~signal_names =
     level;
     pi_index;
     dff_index;
+    fanin_flat;
+    fanin_off;
+    fanout_flat;
+    fanout_off;
+    level_order;
+    level_off;
   }
 
 let max_level t = Array.fold_left max 0 t.level

@@ -49,6 +49,32 @@ val dffs : t -> int array
 (** Every non-source gate in topological evaluation order. *)
 val order : t -> int array
 
+(** {2 Flat levelized schedule}
+
+    CSR-style arrays computed once per netlist and shared read-only by all
+    simulation engines.  Callers must not mutate the returned arrays. *)
+
+(** Gate [g]'s fanins are
+    [fanin_flat.(fanin_off.(g)) .. fanin_flat.(fanin_off.(g+1) - 1)]. *)
+val fanin_flat : t -> int array
+
+val fanin_off : t -> int array
+
+(** Gate [g]'s fanouts, in the same layout as {!fanin_flat}. *)
+val fanout_flat : t -> int array
+
+val fanout_off : t -> int array
+
+(** The non-source gates sorted by (level, id): the levelized evaluation
+    schedule.  A gate's combinational fanouts always sit at strictly
+    higher levels, so walking levels in ascending order evaluates every
+    gate after all its fanins. *)
+val level_order : t -> int array
+
+(** [level_off.(l) .. level_off.(l+1) - 1] slices level [l] out of
+    {!level_order}; length [max_level + 2]. *)
+val level_off : t -> int array
+
 (** Index of a gate in {!inputs}, or [-1]. *)
 val pi_index : t -> int -> int
 

@@ -21,4 +21,8 @@ val check_compatible :
   Asc_netlist.Circuit.t -> string * Scan_test.t array -> Scan_test.t array
 
 val write_file : string -> Asc_netlist.Circuit.t -> Scan_test.t array -> unit
-val read_file : string -> string * Scan_test.t array
+
+(** [chaos] arms the [tset_io.read] injection point (a [Fail] rule
+    surfaces as the same [Sys_error] a truncated read would raise). *)
+val read_file :
+  ?chaos:Asc_util.Chaos.t -> string -> string * Scan_test.t array

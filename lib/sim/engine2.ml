@@ -18,10 +18,9 @@ module Gate = Asc_netlist.Gate
 type t = {
   c : Circuit.t;
   kinds : Gate.kind array;
-  fanins : int array array;
-  (* Flattened fanins: gate [g]'s fanins are
+  (* Flattened fanins shared with the circuit: gate [g]'s fanins are
      [flat.(off.(g)) .. flat.(off.(g+1) - 1)] — one contiguous array keeps
-     the evaluation sweep cache-friendly. *)
+     the evaluation sweep cache-friendly.  Read-only. *)
   flat : int array;
   off : int array;
   mutable ovr : Override.table;
@@ -42,21 +41,11 @@ let split_overrides c overrides =
 let create c overrides =
   let n = Circuit.n_gates c in
   let ovr, source_ovr = split_overrides c overrides in
-  let fanins = Array.init n (Circuit.fanins c) in
-  let off = Array.make (n + 1) 0 in
-  for g = 0 to n - 1 do
-    off.(g + 1) <- off.(g) + Array.length fanins.(g)
-  done;
-  let flat = Array.make (max 1 off.(n)) 0 in
-  for g = 0 to n - 1 do
-    Array.iteri (fun i f -> flat.(off.(g) + i) <- f) fanins.(g)
-  done;
   {
     c;
     kinds = Array.init n (Circuit.kind c);
-    fanins;
-    flat;
-    off;
+    flat = Circuit.fanin_flat c;
+    off = Circuit.fanin_off c;
     ovr;
     source_ovr;
     v = Array.make n 0;
@@ -131,14 +120,14 @@ let eval_body kind get n =
   | Gate.Input | Gate.Dff -> invalid_arg "Engine2: source gate in evaluation order"
 
 let eval_overridden t g =
-  let fi = t.fanins.(g) in
+  let lo = t.off.(g) in
   let overrides = Override.at t.ovr g in
   let get i =
-    let w = ref t.v.(fi.(i)) in
+    let w = ref t.v.(t.flat.(lo + i)) in
     List.iter (fun (o : Override.t) -> if o.pin = i then w := Override.apply o !w) overrides;
     !w
   in
-  let body = eval_body t.kinds.(g) get (Array.length fi) in
+  let body = eval_body t.kinds.(g) get (t.off.(g + 1) - lo) in
   List.fold_left
     (fun w (o : Override.t) -> if o.pin = -1 then Override.apply o w else w)
     body overrides

@@ -1,0 +1,764 @@
+(* Levelized event-driven fault-simulation kernel.
+
+   The interpretive engines re-evaluate every gate every cycle.  This
+   kernel instead simulates a faulty machine as a *difference* against a
+   precomputed fault-free trace: [dv.(g)] holds [faulty XOR good] for gate
+   [g], zero almost everywhere.  Each cycle seeds the difference at the
+   fault sites and at flip-flops whose state diverged, then propagates it
+   level by level through the fanout cone only — a gate is evaluated
+   exactly when some fanin (or an injected override) might have changed
+   it, and propagation dies out as soon as the faulty machine reconverges
+   with the good one.  All values are [Asc_util.Word] bit-parallel words,
+   so the cone walk serves 62 faulty machines (or candidate states) at
+   once.
+
+   The schedule is the circuit's flat levelized arrays
+   ({!Asc_netlist.Circuit.level_order}): ints, no closures, shared
+   read-only across engines and domains.  Combinational fanouts always
+   sit at strictly higher levels, so an ascending level walk evaluates
+   each gate at most once per cycle, after all its fanins.
+
+   Equivalence contract: for any override set, the detection words
+   derived from [po_diff]/[state_diff] are bit-identical to comparing an
+   interpretive {!Engine2} faulty run against the fault-free run — the
+   kernel-equivalence test suite pins this against the
+   [--sim-kernel=reference] path. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Gate = Asc_netlist.Gate
+
+type t = {
+  c : Circuit.t;
+  kinds : Gate.kind array;
+  flat : int array; (* fanins, CSR *)
+  off : int array;
+  coflat : int array; (* combinational-only fanouts, CSR *)
+  cooff : int array;
+  level : int array;
+  sched : int array; (* comb gates, ascending level (Circuit.level_order) *)
+  level_off : int array; (* sched offsets per level *)
+  spill_bar : int; (* queue-evaluated gates per cycle before spilling *)
+  dffs : int array; (* flip-flop gate ids *)
+  dff_din : int array; (* per DFF index: its next-state signal's gate id *)
+  outputs : int array;
+  dv : int array; (* faulty XOR good, per gate; zero outside the cone *)
+  mutable keep : int (* lanes still propagated; the complement is pruned *);
+  queued : Bytes.t; (* gate already in its level bucket this cycle *)
+  ovr_flag : Bytes.t; (* combinational gate carries an override *)
+  buckets : int array array; (* per level, capacity = level population *)
+  blen : int array;
+  touched : int array; (* gates with dv set this cycle, for O(cone) reset *)
+  mutable ntouched : int;
+  state_diff : int array; (* per DFF index; persists across cycles *)
+  mutable source_ovr : Override.t array; (* pin = -1 on Input/Dff, input order *)
+  mutable dff_pin0 : (int * Override.t list) list; (* DFF index -> pin-0 overrides *)
+  mutable comb_sites : int array; (* overridden comb gates, for per-cycle seeding *)
+  ovr : Override.t list array; (* per-gate overrides (comb gates only) *)
+  mutable evaluated : int; (* cone gates evaluated since last [take_evaluated] *)
+}
+
+let create c =
+  let n = Circuit.n_gates c in
+  let level_off = Circuit.level_off c in
+  let nlevels = Array.length level_off - 1 in
+  (* Fanouts with the DFF successors dropped: sequential edges are
+     handled by [finish_cycle], so the in-cycle walk never tests gate
+     kinds on the hot push path. *)
+  let oflat = Circuit.fanout_flat c and ooff = Circuit.fanout_off c in
+  let kinds = Array.init n (Circuit.kind c) in
+  let cooff = Array.make (n + 1) 0 in
+  for g = 0 to n - 1 do
+    let count = ref 0 in
+    for i = ooff.(g) to ooff.(g + 1) - 1 do
+      if kinds.(oflat.(i)) <> Gate.Dff then incr count
+    done;
+    cooff.(g + 1) <- cooff.(g) + !count
+  done;
+  let coflat = Array.make (max 1 cooff.(n)) 0 in
+  for g = 0 to n - 1 do
+    let w = ref cooff.(g) in
+    for i = ooff.(g) to ooff.(g + 1) - 1 do
+      let s = oflat.(i) in
+      if kinds.(s) <> Gate.Dff then begin
+        coflat.(!w) <- s;
+        incr w
+      end
+    done
+  done;
+  {
+    c;
+    kinds;
+    flat = Circuit.fanin_flat c;
+    off = Circuit.fanin_off c;
+    coflat;
+    cooff;
+    level = Array.init n (Circuit.level c);
+    sched = Circuit.level_order c;
+    level_off;
+    spill_bar = max 16 (Array.length (Circuit.level_order c) / 6);
+    dffs = Circuit.dffs c;
+    dff_din = Array.map (Circuit.dff_input c) (Circuit.dffs c);
+    outputs = Circuit.outputs c;
+    dv = Array.make n 0;
+    keep = Word.mask;
+    queued = Bytes.make n '\000';
+    ovr_flag = Bytes.make n '\000';
+    buckets =
+      Array.init nlevels (fun l -> Array.make (max 1 (level_off.(l + 1) - level_off.(l))) 0);
+    blen = Array.make nlevels 0;
+    touched = Array.make n 0;
+    ntouched = 0;
+    state_diff = Array.make (Circuit.n_dffs c) 0;
+    source_ovr = [||];
+    dff_pin0 = [];
+    comb_sites = [||];
+    ovr = Array.make n [];
+    evaluated = 0;
+  }
+
+let circuit t = t.c
+
+(* Group [overrides] by attachment point.  Comb-gate and DFF-pin-0 lists
+   are built by consing a left-to-right scan — the same (reversed) order
+   [Override.table] hands to Engine2 — and source overrides keep input
+   order, matching Engine2's [List.filter]; application order is
+   therefore identical to the reference engine. *)
+let set_overrides t overrides =
+  Array.iter
+    (fun g ->
+      Bytes.set t.ovr_flag g '\000';
+      t.ovr.(g) <- [])
+    t.comb_sites;
+  let rec add g o = function
+    | [] -> [ (g, [ o ]) ]
+    | (g', l) :: rest when g' = g -> (g, o :: l) :: rest
+    | e :: rest -> e :: add g o rest
+  in
+  let source = ref [] and pin0 = ref [] and comb = ref [] in
+  List.iter
+    (fun (o : Override.t) ->
+      match t.kinds.(o.gate) with
+      | Gate.Input -> source := o :: !source
+      | Gate.Dff ->
+          if o.pin = -1 then source := o :: !source
+          else pin0 := add (Circuit.dff_index t.c o.gate) o !pin0
+      | _ -> comb := add o.gate o !comb)
+    overrides;
+  t.source_ovr <- Array.of_list (List.rev !source);
+  t.dff_pin0 <- !pin0;
+  t.comb_sites <- Array.of_list (List.map fst !comb);
+  List.iter
+    (fun (g, l) ->
+      Bytes.set t.ovr_flag g '\001';
+      t.ovr.(g) <- l)
+    !comb
+
+(* Zero the persistent state difference and any leftover in-cycle
+   difference (a detection loop may stop between [cycle] and
+   [finish_cycle] on its early exit). *)
+let reset t =
+  Array.fill t.state_diff 0 (Array.length t.state_diff) 0;
+  for k = 0 to t.ntouched - 1 do
+    t.dv.(t.touched.(k)) <- 0
+  done;
+  t.ntouched <- 0
+
+let[@inline] set_dv t g ndv =
+  if t.dv.(g) = 0 && ndv <> 0 then begin
+    t.touched.(t.ntouched) <- g;
+    t.ntouched <- t.ntouched + 1
+  end;
+  t.dv.(g) <- ndv
+
+let[@inline] push t g =
+  if Bytes.unsafe_get t.queued g = '\000' then begin
+    Bytes.unsafe_set t.queued g '\001';
+    let l = Array.unsafe_get t.level g in
+    let b = Array.unsafe_get t.buckets l in
+    Array.unsafe_set b (Array.unsafe_get t.blen l) g;
+    Array.unsafe_set t.blen l (Array.unsafe_get t.blen l + 1)
+  end
+
+(* Queue the combinational fanouts of [g]; DFF fanins are sequential
+   edges, picked up by [finish_cycle] instead. *)
+let[@inline] push_comb_fanouts t g =
+  let coflat = t.coflat in
+  for i = Array.unsafe_get t.cooff g to Array.unsafe_get t.cooff (g + 1) - 1 do
+    push t (Array.unsafe_get coflat i)
+  done
+
+(* Faulty value of an overridden combinational gate (cold path): the body
+   over faulty fanin words with pin overrides, then output overrides —
+   mirroring Engine2.eval_overridden. *)
+let eval_overridden t gw g =
+  let lo = t.off.(g) in
+  let overrides = t.ovr.(g) in
+  let get i =
+    let f = t.flat.(lo + i) in
+    let w = ref (gw.(f) lxor t.dv.(f)) in
+    List.iter (fun (o : Override.t) -> if o.pin = i then w := Override.apply o !w) overrides;
+    !w
+  in
+  let n = t.off.(g + 1) - lo in
+  let body =
+    match t.kinds.(g) with
+    | Gate.And ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc land get i
+        done;
+        !acc
+    | Gate.Nand ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc land get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Or ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lor get i
+        done;
+        !acc
+    | Gate.Nor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lor get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Xor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lxor get i
+        done;
+        !acc
+    | Gate.Xnor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lxor get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Not -> lnot (get 0) land Word.mask
+    | Gate.Buf -> get 0
+    | Gate.Const0 -> 0
+    | Gate.Const1 -> Word.mask
+    | Gate.Input | Gate.Dff -> invalid_arg "Kernel: source gate in cone"
+  in
+  List.fold_left
+    (fun w (o : Override.t) -> if o.pin = -1 then Override.apply o w else w)
+    body overrides
+
+(* Faulty value of a plain combinational gate: the body over
+   [good XOR dv] fanin words, with a 2-input fast path. *)
+let eval_plain t gw g =
+  let flat = t.flat and dv = t.dv in
+  let lo = Array.unsafe_get t.off g in
+  let hi = Array.unsafe_get t.off (g + 1) in
+  if hi - lo = 2 then begin
+    let f0 = Array.unsafe_get flat lo and f1 = Array.unsafe_get flat (lo + 1) in
+    let a = Array.unsafe_get gw f0 lxor Array.unsafe_get dv f0 in
+    let b = Array.unsafe_get gw f1 lxor Array.unsafe_get dv f1 in
+    match Array.unsafe_get t.kinds g with
+    | Gate.And -> a land b
+    | Gate.Nand -> lnot (a land b) land Word.mask
+    | Gate.Or -> a lor b
+    | Gate.Nor -> lnot (a lor b) land Word.mask
+    | Gate.Xor -> a lxor b
+    | Gate.Xnor -> lnot (a lxor b) land Word.mask
+    | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 | Gate.Input | Gate.Dff ->
+        assert false
+  end
+  else
+    let fv i =
+      let f = Array.unsafe_get flat i in
+      Array.unsafe_get gw f lxor Array.unsafe_get dv f
+    in
+    match Array.unsafe_get t.kinds g with
+    | Gate.And ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc land fv i
+        done;
+        !acc
+    | Gate.Nand ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc land fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Or ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lor fv i
+        done;
+        !acc
+    | Gate.Nor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lor fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Xor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lxor fv i
+        done;
+        !acc
+    | Gate.Xnor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lxor fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Not -> lnot (fv lo) land Word.mask
+    | Gate.Buf -> fv lo
+    | Gate.Const0 -> 0
+    | Gate.Const1 -> Word.mask
+    | Gate.Input | Gate.Dff -> assert false
+
+(* One combinational settle of the faulty machine against the good
+   values [gw] (one word per gate, sources included).  Seeds: diverged
+   flip-flops, source output overrides, combinational override sites;
+   then an ascending level walk over the queued cone.  A gate whose
+   faulty value matches the good one queues nothing — reconvergence
+   stops the walk.
+
+   [prune] masks lanes out of the propagation.  Lanes are independent,
+   so a pruned lane merely behaves fault-free from here on — sound
+   exactly when the caller no longer reads that lane's differences
+   (detection loops prune lanes already detected, whose result bit is a
+   monotonic OR; profile-style consumers must not prune). *)
+let cycle ?(prune = 0) t ~gw =
+  t.keep <- Word.mask land lnot prune;
+  let keep = t.keep in
+  let dv = t.dv in
+  for i = 0 to Array.length t.state_diff - 1 do
+    let sd = Array.unsafe_get t.state_diff i land keep in
+    if sd <> 0 then set_dv t t.dffs.(i) sd
+  done;
+  let source_ovr = t.source_ovr in
+  for i = 0 to Array.length source_ovr - 1 do
+    let o = source_ovr.(i) in
+    let g = o.Override.gate in
+    set_dv t g ((Override.apply o (gw.(g) lxor dv.(g)) lxor gw.(g)) land keep)
+  done;
+  for k = 0 to t.ntouched - 1 do
+    let g = t.touched.(k) in
+    if dv.(g) <> 0 then push_comb_fanouts t g
+  done;
+  let comb_sites = t.comb_sites in
+  for i = 0 to Array.length comb_sites - 1 do
+    push t comb_sites.(i)
+  done;
+  let nlevels = Array.length t.blen in
+  let evaluated = ref 0 in
+  let l = ref 0 in
+  while !l < nlevels && !evaluated <= t.spill_bar do
+    let bucket = t.buckets.(!l) in
+    let len = t.blen.(!l) in
+    for bi = 0 to len - 1 do
+      let g = Array.unsafe_get bucket bi in
+      incr evaluated;
+      let fv =
+        if Bytes.unsafe_get t.ovr_flag g = '\001' then eval_overridden t gw g
+        else eval_plain t gw g
+      in
+      let ndv = (fv lxor Array.unsafe_get gw g) land keep in
+      if ndv <> 0 then begin
+        set_dv t g ndv;
+        push_comb_fanouts t g
+      end
+    done;
+    for bi = 0 to len - 1 do
+      Bytes.unsafe_set t.queued (Array.unsafe_get bucket bi) '\000'
+    done;
+    t.blen.(!l) <- 0;
+    incr l
+  done;
+  (* Spill: once the cone covers a sizable part of the circuit the event
+     queue costs more per gate than a straight schedule sweep, so finish
+     the remaining levels linearly — evaluate every gate there whether
+     queued or not (a gate outside the cone just reconverges to ndv = 0).
+     The result is identical; only the walk strategy changes. *)
+  if !l < nlevels then begin
+    for l' = !l to nlevels - 1 do
+      let bucket = t.buckets.(l') in
+      for bi = 0 to t.blen.(l') - 1 do
+        Bytes.unsafe_set t.queued (Array.unsafe_get bucket bi) '\000'
+      done;
+      t.blen.(l') <- 0
+    done;
+    let sched = t.sched in
+    let ovr_flag = t.ovr_flag in
+    for idx = t.level_off.(!l) to Array.length sched - 1 do
+      let g = Array.unsafe_get sched idx in
+      incr evaluated;
+      let fv =
+        if Bytes.unsafe_get ovr_flag g = '\001' then eval_overridden t gw g
+        else eval_plain t gw g
+      in
+      let ndv = (fv lxor Array.unsafe_get gw g) land keep in
+      if ndv <> 0 then set_dv t g ndv
+    done
+  end;
+  t.evaluated <- t.evaluated + !evaluated
+
+(* --- byte-trace variants ----------------------------------------------- *)
+
+(* Splat good traces (every lane the same fault-free machine) are stored
+   as one byte per gate ([Seq_fsim]'s trace cache): 8x denser than word
+   arrays, so a whole cycle's good values live in a handful of cache
+   lines.  The word of gate [g] is recovered on the fly:
+   [(-byte) land Word.mask] is 0 for byte 0 and the all-lanes word for
+   byte 1.  These are exact duplicates of [eval_plain]/[eval_overridden]/
+   [cycle]/[finish_cycle] over that accessor — kept as copies because the
+   per-access indirection of a shared abstraction is what they exist to
+   avoid. *)
+
+let[@inline] gword gb g = (0 - Char.code (Bytes.unsafe_get gb g)) land Word.mask
+
+let eval_overridden_bits t gb g =
+  let lo = t.off.(g) in
+  let overrides = t.ovr.(g) in
+  let get i =
+    let f = t.flat.(lo + i) in
+    let w = ref (gword gb f lxor t.dv.(f)) in
+    List.iter (fun (o : Override.t) -> if o.pin = i then w := Override.apply o !w) overrides;
+    !w
+  in
+  let n = t.off.(g + 1) - lo in
+  let body =
+    match t.kinds.(g) with
+    | Gate.And ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc land get i
+        done;
+        !acc
+    | Gate.Nand ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc land get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Or ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lor get i
+        done;
+        !acc
+    | Gate.Nor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lor get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Xor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lxor get i
+        done;
+        !acc
+    | Gate.Xnor ->
+        let acc = ref (get 0) in
+        for i = 1 to n - 1 do
+          acc := !acc lxor get i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Not -> lnot (get 0) land Word.mask
+    | Gate.Buf -> get 0
+    | Gate.Const0 -> 0
+    | Gate.Const1 -> Word.mask
+    | Gate.Input | Gate.Dff -> invalid_arg "Kernel: source gate in cone"
+  in
+  List.fold_left
+    (fun w (o : Override.t) -> if o.pin = -1 then Override.apply o w else w)
+    body overrides
+
+let eval_plain_bits t gb g =
+  let flat = t.flat and dv = t.dv in
+  let lo = Array.unsafe_get t.off g in
+  let hi = Array.unsafe_get t.off (g + 1) in
+  if hi - lo = 2 then begin
+    let f0 = Array.unsafe_get flat lo and f1 = Array.unsafe_get flat (lo + 1) in
+    let a = gword gb f0 lxor Array.unsafe_get dv f0 in
+    let b = gword gb f1 lxor Array.unsafe_get dv f1 in
+    match Array.unsafe_get t.kinds g with
+    | Gate.And -> a land b
+    | Gate.Nand -> lnot (a land b) land Word.mask
+    | Gate.Or -> a lor b
+    | Gate.Nor -> lnot (a lor b) land Word.mask
+    | Gate.Xor -> a lxor b
+    | Gate.Xnor -> lnot (a lxor b) land Word.mask
+    | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 | Gate.Input | Gate.Dff ->
+        assert false
+  end
+  else
+    let fv i =
+      let f = Array.unsafe_get flat i in
+      gword gb f lxor Array.unsafe_get dv f
+    in
+    match Array.unsafe_get t.kinds g with
+    | Gate.And ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc land fv i
+        done;
+        !acc
+    | Gate.Nand ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc land fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Or ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lor fv i
+        done;
+        !acc
+    | Gate.Nor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lor fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Xor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lxor fv i
+        done;
+        !acc
+    | Gate.Xnor ->
+        let acc = ref (fv lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := !acc lxor fv i
+        done;
+        lnot !acc land Word.mask
+    | Gate.Not -> lnot (fv lo) land Word.mask
+    | Gate.Buf -> fv lo
+    | Gate.Const0 -> 0
+    | Gate.Const1 -> Word.mask
+    | Gate.Input | Gate.Dff -> assert false
+
+let cycle_bits ?(prune = 0) t ~gb =
+  t.keep <- Word.mask land lnot prune;
+  let keep = t.keep in
+  let dv = t.dv in
+  for i = 0 to Array.length t.state_diff - 1 do
+    let sd = Array.unsafe_get t.state_diff i land keep in
+    if sd <> 0 then set_dv t t.dffs.(i) sd
+  done;
+  let source_ovr = t.source_ovr in
+  for i = 0 to Array.length source_ovr - 1 do
+    let o = source_ovr.(i) in
+    let g = o.Override.gate in
+    let good = gword gb g in
+    set_dv t g ((Override.apply o (good lxor dv.(g)) lxor good) land keep)
+  done;
+  for k = 0 to t.ntouched - 1 do
+    let g = t.touched.(k) in
+    if dv.(g) <> 0 then push_comb_fanouts t g
+  done;
+  let comb_sites = t.comb_sites in
+  for i = 0 to Array.length comb_sites - 1 do
+    push t comb_sites.(i)
+  done;
+  let nlevels = Array.length t.blen in
+  let evaluated = ref 0 in
+  let l = ref 0 in
+  while !l < nlevels && !evaluated <= t.spill_bar do
+    let bucket = t.buckets.(!l) in
+    let len = t.blen.(!l) in
+    for bi = 0 to len - 1 do
+      let g = Array.unsafe_get bucket bi in
+      incr evaluated;
+      let fv =
+        if Bytes.unsafe_get t.ovr_flag g = '\001' then eval_overridden_bits t gb g
+        else eval_plain_bits t gb g
+      in
+      let ndv = (fv lxor gword gb g) land keep in
+      if ndv <> 0 then begin
+        set_dv t g ndv;
+        push_comb_fanouts t g
+      end
+    done;
+    for bi = 0 to len - 1 do
+      Bytes.unsafe_set t.queued (Array.unsafe_get bucket bi) '\000'
+    done;
+    t.blen.(!l) <- 0;
+    incr l
+  done;
+  if !l < nlevels then begin
+    for l' = !l to nlevels - 1 do
+      let bucket = t.buckets.(l') in
+      for bi = 0 to t.blen.(l') - 1 do
+        Bytes.unsafe_set t.queued (Array.unsafe_get bucket bi) '\000'
+      done;
+      t.blen.(l') <- 0
+    done;
+    let sched = t.sched in
+    let ovr_flag = t.ovr_flag in
+    for idx = t.level_off.(!l) to Array.length sched - 1 do
+      let g = Array.unsafe_get sched idx in
+      incr evaluated;
+      let fv =
+        if Bytes.unsafe_get ovr_flag g = '\001' then eval_overridden_bits t gb g
+        else eval_plain_bits t gb g
+      in
+      let ndv = (fv lxor gword gb g) land keep in
+      if ndv <> 0 then set_dv t g ndv
+    done
+  end;
+  t.evaluated <- t.evaluated + !evaluated
+
+let finish_cycle_bits t ~gb =
+  let din = t.dff_din in
+  for i = 0 to Array.length din - 1 do
+    t.state_diff.(i) <- t.dv.(din.(i))
+  done;
+  List.iter
+    (fun (i, ovrs) ->
+      let d = din.(i) in
+      let good = gword gb d in
+      let fv = ref (good lxor t.dv.(d)) in
+      List.iter (fun (o : Override.t) -> if o.pin = 0 then fv := Override.apply o !fv) ovrs;
+      t.state_diff.(i) <- (!fv lxor good) land t.keep)
+    t.dff_pin0;
+  for k = 0 to t.ntouched - 1 do
+    t.dv.(t.touched.(k)) <- 0
+  done;
+  t.ntouched <- 0
+
+(* PO difference word of the settled cycle (read before [finish_cycle]). *)
+let po_diff t =
+  let outputs = t.outputs in
+  let diff = ref 0 in
+  for i = 0 to Array.length outputs - 1 do
+    diff := !diff lor Array.unsafe_get t.dv (Array.unsafe_get outputs i)
+  done;
+  !diff
+
+(* Clock edge: capture next-state differences (with DFF pin-0 overrides
+   folded in against the good captured value [gw.(din)]) and clear the
+   in-cycle difference in O(cone). *)
+let finish_cycle t ~gw =
+  let din = t.dff_din in
+  for i = 0 to Array.length din - 1 do
+    t.state_diff.(i) <- t.dv.(din.(i))
+  done;
+  List.iter
+    (fun (i, ovrs) ->
+      let d = din.(i) in
+      let good = gw.(d) in
+      let fv = ref (good lxor t.dv.(d)) in
+      List.iter (fun (o : Override.t) -> if o.pin = 0 then fv := Override.apply o !fv) ovrs;
+      t.state_diff.(i) <- (!fv lxor good) land t.keep)
+    t.dff_pin0;
+  for k = 0 to t.ntouched - 1 do
+    t.dv.(t.touched.(k)) <- 0
+  done;
+  t.ntouched <- 0
+
+(* State difference entering the next cycle (equals the scan-out
+   difference after the final [finish_cycle]). *)
+let state_diff_word t =
+  let diff = ref 0 in
+  for i = 0 to Array.length t.state_diff - 1 do
+    diff := !diff lor t.state_diff.(i)
+  done;
+  !diff
+
+let state_diff t i = t.state_diff.(i)
+
+let take_evaluated t =
+  let n = t.evaluated in
+  t.evaluated <- 0;
+  n
+
+(* --- fault-free levelized sweep --------------------------------------- *)
+
+(* Evaluate the fault-free machine for one cycle into [v] (every gate,
+   sources included): the 62-wide good-machine kernel.  No overrides, no
+   per-gate override test — leaner than Engine2's sweep. *)
+let good_cycle t ~pi_words ~state ~v =
+  let c = t.c in
+  let inputs = Circuit.inputs c in
+  if Array.length pi_words <> Array.length inputs then invalid_arg "Kernel.good_cycle";
+  Array.iteri (fun i g -> v.(g) <- pi_words.(i)) inputs;
+  Array.iteri (fun i g -> v.(g) <- state.(i)) (Circuit.dffs c);
+  let sched = Circuit.level_order c in
+  let kinds = t.kinds and flat = t.flat and off = t.off in
+  for idx = 0 to Array.length sched - 1 do
+    let g = Array.unsafe_get sched idx in
+    let lo = Array.unsafe_get off g in
+    let hi = Array.unsafe_get off (g + 1) in
+    let w =
+      if hi - lo = 2 then begin
+        let a = Array.unsafe_get v (Array.unsafe_get flat lo) in
+        let b = Array.unsafe_get v (Array.unsafe_get flat (lo + 1)) in
+        match Array.unsafe_get kinds g with
+        | Gate.And -> a land b
+        | Gate.Nand -> lnot (a land b) land Word.mask
+        | Gate.Or -> a lor b
+        | Gate.Nor -> lnot (a lor b) land Word.mask
+        | Gate.Xor -> a lxor b
+        | Gate.Xnor -> lnot (a lxor b) land Word.mask
+        | Gate.Not | Gate.Buf | Gate.Const0 | Gate.Const1 | Gate.Input | Gate.Dff ->
+            assert false
+      end
+      else
+        match Array.unsafe_get kinds g with
+        | Gate.And ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc land Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            !acc
+        | Gate.Nand ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc land Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            lnot !acc land Word.mask
+        | Gate.Or ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc lor Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            !acc
+        | Gate.Nor ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc lor Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            lnot !acc land Word.mask
+        | Gate.Xor ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc lxor Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            !acc
+        | Gate.Xnor ->
+            let acc = ref (Array.unsafe_get v (Array.unsafe_get flat lo)) in
+            for i = lo + 1 to hi - 1 do
+              acc := !acc lxor Array.unsafe_get v (Array.unsafe_get flat i)
+            done;
+            lnot !acc land Word.mask
+        | Gate.Not -> lnot (Array.unsafe_get v (Array.unsafe_get flat lo)) land Word.mask
+        | Gate.Buf -> Array.unsafe_get v (Array.unsafe_get flat lo)
+        | Gate.Const0 -> 0
+        | Gate.Const1 -> Word.mask
+        | Gate.Input | Gate.Dff -> assert false
+    in
+    Array.unsafe_set v g w
+  done
+
+(* Clock edge of the fault-free sweep: [state.(i) <- v.(din i)]. *)
+let good_capture t ~v ~state =
+  let c = t.c in
+  let dffs = Circuit.dffs c in
+  for i = 0 to Array.length dffs - 1 do
+    state.(i) <- v.(Circuit.dff_input c dffs.(i))
+  done

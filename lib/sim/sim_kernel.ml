@@ -1,0 +1,37 @@
+(* Process-wide simulation-kernel selection.
+
+   The levelized event-driven kernel (Kernel) is the default; the
+   interpretive sweep (Engine2 over Circuit.order) is kept as a reference
+   escape hatch so equivalence suites and bisection can pin the old path.
+   Selection is read once per top-level fault-simulation call, so a chunk
+   never mixes kernels mid-run. *)
+
+type which = Levelized | Reference
+
+let env_var = "ASC_SIM_KERNEL"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "levelized" -> Some Levelized
+  | "reference" -> Some Reference
+  | _ -> None
+
+let to_string = function Levelized -> "levelized" | Reference -> "reference"
+
+let default () =
+  match Sys.getenv_opt env_var with
+  | None -> Levelized
+  | Some s -> (
+      match of_string s with
+      | Some k -> k
+      | None ->
+          invalid_arg
+            (Printf.sprintf "%s: unknown kernel %S (expected levelized|reference)" env_var
+               s))
+
+let selected = Atomic.make None
+
+let set k = Atomic.set selected (Some k)
+
+let current () =
+  match Atomic.get selected with Some k -> k | None -> default ()

@@ -1,0 +1,25 @@
+(** Process-wide simulation-kernel selection.
+
+    The levelized event-driven kernel ({!Kernel}) is the default hot path;
+    the interpretive sweep ({!Engine2} over [Circuit.order]) remains
+    available as a bit-identical reference for equivalence testing and
+    bisection.  Drivers select a kernel via {!set} (the [--sim-kernel]
+    CLI flag) or the [ASC_SIM_KERNEL] environment variable; library code
+    reads {!current} once per top-level fault-simulation call. *)
+
+type which = Levelized | Reference
+
+(** ["ASC_SIM_KERNEL"]. *)
+val env_var : string
+
+val of_string : string -> which option
+
+val to_string : which -> string
+
+(** Explicit selection; overrides the environment. *)
+val set : which -> unit
+
+(** The active kernel: the last {!set}, else the environment variable,
+    else [Levelized].  Raises [Invalid_argument] on a malformed
+    environment value. *)
+val current : unit -> which

@@ -54,11 +54,13 @@ let checkpoint_rotate = "checkpoint.rotate"
 let checkpoint_read = "checkpoint.read"
 let pool_task = "pool.task"
 let pool_poll = "pool.poll"
+let bench_io_read = "bench_io.read"
+let tset_io_read = "tset_io.read"
 
 let all_points =
   [
     checkpoint_open; checkpoint_output; checkpoint_rename; checkpoint_rotate;
-    checkpoint_read; pool_task; pool_poll;
+    checkpoint_read; pool_task; pool_poll; bench_io_read; tset_io_read;
   ]
 
 let create ?tel rules =

@@ -74,6 +74,14 @@ val pool_task : string
 val pool_poll : string
 (** The pool's per-task budget poll site. *)
 
+val bench_io_read : string
+(** Mid-read of a [.bench] netlist file ({!Asc_netlist.Bench_io}), after
+    the file is opened. *)
+
+val tset_io_read : string
+(** Mid-read of a test-set file ({!Asc_scan.Tset_io}), after the file is
+    opened. *)
+
 val all_points : string list
 
 (** {1 Schedules}

@@ -44,6 +44,9 @@ type counter =
   | Pool_tasks  (** pool tasks claimed (parallel jobs only) *)
   | Tgen_candidates  (** candidate segments scored by a T0 generator *)
   | Tgen_commits  (** candidate segments committed *)
+  | Trace_cache_hits  (** good-machine trace cache hits *)
+  | Trace_cache_misses  (** good-machine trace cache misses (trace computed) *)
+  | Cone_gates_evaluated  (** gates evaluated by the levelized cone kernel *)
 
 let counter_index = function
   | Faults_simulated -> 0
@@ -63,6 +66,9 @@ let counter_index = function
   | Pool_tasks -> 14
   | Tgen_candidates -> 15
   | Tgen_commits -> 16
+  | Trace_cache_hits -> 17
+  | Trace_cache_misses -> 18
+  | Cone_gates_evaluated -> 19
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -82,6 +88,9 @@ let counter_name = function
   | Pool_tasks -> "pool_tasks"
   | Tgen_candidates -> "tgen_candidates"
   | Tgen_commits -> "tgen_commits"
+  | Trace_cache_hits -> "trace_cache_hits"
+  | Trace_cache_misses -> "trace_cache_misses"
+  | Cone_gates_evaluated -> "cone_gates_evaluated"
 
 let all_counters =
   [
@@ -90,6 +99,7 @@ let all_counters =
     Podem_tests; Budget_polls; Checkpoint_writes; Checkpoint_write_failures;
     Checkpoint_recoveries; Chaos_injections; Pool_tasks;
     Tgen_candidates; Tgen_commits;
+    Trace_cache_hits; Trace_cache_misses; Cone_gates_evaluated;
   ]
 
 let n_counters = List.length all_counters

@@ -43,6 +43,9 @@ type counter =
   | Pool_tasks  (** pool tasks claimed (parallel jobs only) *)
   | Tgen_candidates  (** candidate segments scored by a T0 generator *)
   | Tgen_commits  (** candidate segments committed *)
+  | Trace_cache_hits  (** good-machine trace cache hits *)
+  | Trace_cache_misses  (** good-machine trace cache misses (trace computed) *)
+  | Cone_gates_evaluated  (** gates evaluated by the levelized cone kernel *)
 
 val counter_name : counter -> string
 

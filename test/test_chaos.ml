@@ -466,6 +466,60 @@ let test_degrade_on_persistent_write_failure () =
   Alcotest.(check int) "no successful write" 0
     (Telemetry.counter_value snap "checkpoint_writes")
 
+(* --- Mid-read injection in the file readers ---------------------------- *)
+
+(* Both readers arm an injection point after [open_in]: a Fail surfaces
+   as the Sys_error a truncated read would raise, a Kill propagates as
+   Killed (no cleanup runs), and an unarmed occurrence reads normally
+   while still counting. *)
+let test_io_read_points () =
+  let bench = Filename.temp_file "asc-chaos" ".bench" in
+  let tset = Filename.temp_file "asc-chaos" ".tests" in
+  let cleanup () =
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ bench; tset ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let oc = open_out bench in
+  output_string oc "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  close_out oc;
+  let c = Asc_circuits.Registry.get "s27" in
+  Asc_scan.Tset_io.write_file tset c [||];
+  (* Fail at the first occurrence: Sys_error, and the occurrence counts. *)
+  let chaos =
+    Chaos.create
+      [
+        { Chaos.point = Chaos.bench_io_read; occurrence = 1; action = Chaos.Fail };
+        { Chaos.point = Chaos.tset_io_read; occurrence = 1; action = Chaos.Fail };
+      ]
+  in
+  (match Asc_netlist.Bench_io.parse_file ~chaos bench with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "bench_io: expected an injected Sys_error");
+  (match Asc_scan.Tset_io.read_file ~chaos tset with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "tset_io: expected an injected Sys_error");
+  (* Second occurrences are unarmed: both reads succeed and count. *)
+  let c' = Asc_netlist.Bench_io.parse_file ~chaos bench in
+  Alcotest.(check int) "parsed netlist" 2 (Asc_netlist.Circuit.n_gates c');
+  let name, tests = Asc_scan.Tset_io.read_file ~chaos tset in
+  Alcotest.(check string) "test set circuit" "s27" name;
+  Alcotest.(check int) "empty test set" 0 (Array.length tests);
+  Alcotest.(check int) "bench occurrences" 2 (Chaos.occurrences chaos Chaos.bench_io_read);
+  Alcotest.(check int) "tset occurrences" 2 (Chaos.occurrences chaos Chaos.tset_io_read);
+  Alcotest.(check int) "two rules fired" 2 (Chaos.injections chaos);
+  (* A Kill propagates as Killed, not as an I/O error. *)
+  let chaos =
+    Chaos.create
+      [ { Chaos.point = Chaos.bench_io_read; occurrence = 1; action = Chaos.Kill };
+        { Chaos.point = Chaos.tset_io_read; occurrence = 1; action = Chaos.Kill } ]
+  in
+  (match Asc_netlist.Bench_io.parse_file ~chaos bench with
+  | exception Chaos.Killed _ -> ()
+  | _ -> Alcotest.fail "bench_io: expected Killed");
+  match Asc_scan.Tset_io.read_file ~chaos tset with
+  | exception Chaos.Killed _ -> ()
+  | _ -> Alcotest.fail "tset_io: expected Killed"
+
 let suite =
   [
     ( "chaos",
@@ -488,6 +542,8 @@ let suite =
           test_kill_is_a_hard_crash;
         Alcotest.test_case "rotation recovers from a corrupt newest copy" `Quick
           test_rotation_and_recovery;
+        Alcotest.test_case "file readers fail and die mid-read" `Quick
+          test_io_read_points;
         Alcotest.test_case "pool survives a poisoned task" `Quick
           test_pool_survives_poisoned_task;
         Alcotest.test_case "persistent write failure degrades, not aborts" `Slow

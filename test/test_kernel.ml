@@ -1,0 +1,194 @@
+(* Kernel-equivalence suite: the levelized event-driven kernel
+   (--sim-kernel=levelized, the default) must be bit-identical to the
+   interpretive reference sweep (--sim-kernel=reference) — same detection
+   vectors, same profiles, same candidate matrices — on every registry
+   circuit and at every domain count.  This is the contract that lets the
+   reference path serve as a bisection escape hatch. *)
+
+open Asc_util
+module Circuit = Asc_netlist.Circuit
+module Collapse = Asc_fault.Collapse
+module Seq_fsim = Asc_fault.Seq_fsim
+module SK = Asc_sim.Sim_kernel
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_kernel k f =
+  let saved = SK.current () in
+  SK.set k;
+  Fun.protect ~finally:(fun () -> SK.set saved) f
+
+let with_pool domains f =
+  if domains <= 1 then f None
+  else
+    let pool = Domain_pool.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Domain_pool.shutdown pool)
+      (fun () -> f (Some pool))
+
+(* Deterministic per-circuit test stimulus. *)
+let stimulus c name ~len =
+  let rng = Rng.of_name ~seed:0 (name ^ "/kernel-equiv") in
+  let si = Rng.bool_array rng (Circuit.n_dffs c) in
+  let seq = Array.init len (fun _ -> Rng.bool_array rng (Circuit.n_inputs c)) in
+  (si, seq)
+
+(* Every registry circuit: the levelized detection vector at 1, 2 and 4
+   domains equals the reference one. *)
+let test_registry_detect_equivalence () =
+  List.iter
+    (fun name ->
+      let c = Asc_circuits.Registry.get name in
+      let faults = Collapse.reps (Collapse.run c) in
+      let si, seq = stimulus c name ~len:6 in
+      let reference =
+        with_kernel SK.Reference (fun () -> Seq_fsim.detect c ~si ~seq ~faults)
+      in
+      List.iter
+        (fun domains ->
+          with_pool domains (fun pool ->
+              let det =
+                with_kernel SK.Levelized (fun () ->
+                    Seq_fsim.clear_trace_cache ();
+                    Seq_fsim.detect ?pool c ~si ~seq ~faults)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: levelized = reference at %d domains" name
+                   domains)
+                true
+                (Bitvec.equal reference det)))
+        [ 1; 2; 4 ])
+    Asc_circuits.Registry.names
+
+(* The richer entry points — profile, candidate_detections,
+   verify_required — on a representative circuit, across domain counts. *)
+let test_rich_ops_equivalence () =
+  let name = "s298" in
+  let c = Asc_circuits.Registry.get name in
+  let faults = Collapse.reps (Collapse.run c) in
+  let si, seq = stimulus c name ~len:8 in
+  let subset = Array.init (Array.length faults) Fun.id in
+  let rng = Rng.of_name ~seed:1 (name ^ "/kernel-equiv-sis") in
+  let sis =
+    Array.init 5 (fun _ -> Rng.bool_array rng (Circuit.n_dffs c))
+  in
+  let run kernel pool =
+    with_kernel kernel (fun () ->
+        Seq_fsim.clear_trace_cache ();
+        let prof = Seq_fsim.profile ?pool c ~si ~seq ~faults ~subset in
+        let cand =
+          Seq_fsim.candidate_detections ?pool c ~sis ~seq ~faults ~subset
+        in
+        let required = Seq_fsim.verify_required ?pool c ~si ~seq ~faults ~subset in
+        (prof, cand, required))
+  in
+  let ref_prof, ref_cand, ref_req = run SK.Reference None in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun pool ->
+          let prof, cand, required = run SK.Levelized pool in
+          let label fmt = Printf.sprintf fmt domains in
+          Alcotest.(check (array int))
+            (label "profile po_time at %d domains")
+            ref_prof.Seq_fsim.po_time prof.Seq_fsim.po_time;
+          Alcotest.(check bool)
+            (label "profile state_diff_at at %d domains")
+            true
+            (Array.for_all2 Bitvec.equal ref_prof.Seq_fsim.state_diff_at
+               prof.Seq_fsim.state_diff_at);
+          Alcotest.(check bool)
+            (label "candidate matrix at %d domains")
+            true
+            (Array.for_all2
+               (fun r -> Bitvec.equal (Bitmat.row ref_cand r))
+               (Array.init (Array.length sis) Fun.id)
+               (Array.init (Array.length sis) (Bitmat.row cand)));
+          Alcotest.(check bool)
+            (label "verify_required at %d domains")
+            ref_req required))
+    [ 1; 2; 4 ]
+
+(* --- Property: cone-limited evaluation = full re-simulation ----------- *)
+
+let small_circuit seed =
+  Asc_circuits.Profile.make "kq" 4 3 5 45 ~t0_budget:10
+  |> Asc_circuits.Generator.generate ~seed
+
+(* The levelized kernel only evaluates the fanout cone of the fault sites
+   and diverged flip-flops, with early exit on reconvergence and
+   detected-lane pruning; the reference sweep re-simulates every gate of
+   every cycle.  On random circuits and random fault subsets both must
+   agree on detection and on the full detection-time profile (the profile
+   runs unpruned, so it pins the cone walk everywhere, not just until
+   first detection). *)
+let prop_cone_matches_full_resim =
+  QCheck.Test.make
+    ~name:"cone-limited fault evaluation matches full re-simulation" ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit seed in
+      let all = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 23) in
+      (* A random subset of the collapsed faults, so fault-site seeds sit
+         at arbitrary places in the schedule. *)
+      let faults =
+        Array.of_list
+          (List.filter (fun _ -> Rng.bool rng) (Array.to_list all))
+      in
+      let faults = if Array.length faults = 0 then all else faults in
+      let subset = Array.init (Array.length faults) Fun.id in
+      let si = Rng.bool_array rng (Circuit.n_dffs c) in
+      let seq = Array.init 7 (fun _ -> Rng.bool_array rng (Circuit.n_inputs c)) in
+      let run kernel =
+        with_kernel kernel (fun () ->
+            Seq_fsim.clear_trace_cache ();
+            let det = Seq_fsim.detect c ~si ~seq ~faults in
+            let prof = Seq_fsim.profile c ~si ~seq ~faults ~subset in
+            (det, prof))
+      in
+      let ref_det, ref_prof = run SK.Reference in
+      let lv_det, lv_prof = run SK.Levelized in
+      Bitvec.equal ref_det lv_det
+      && ref_prof.Seq_fsim.po_time = lv_prof.Seq_fsim.po_time
+      && Array.for_all2 Bitvec.equal ref_prof.Seq_fsim.state_diff_at
+           lv_prof.Seq_fsim.state_diff_at)
+
+(* Combinational path: the per-pattern detect matrix is kernel-independent. *)
+let prop_comb_matrix_kernel_independent =
+  QCheck.Test.make ~name:"Comb_fsim matrix is kernel-independent" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = small_circuit seed in
+      let faults = Collapse.reps (Collapse.run c) in
+      let rng = Rng.create (seed + 29) in
+      let patterns =
+        Array.init 40 (fun _ ->
+            Asc_sim.Pattern.random rng ~n_pis:(Circuit.n_inputs c)
+              ~n_ffs:(Circuit.n_dffs c))
+      in
+      let run kernel =
+        with_kernel kernel (fun () ->
+            Asc_fault.Comb_fsim.detect_matrix c ~patterns ~faults)
+      in
+      let ref_mat = run SK.Reference in
+      let lv_mat = run SK.Levelized in
+      let ok = ref true in
+      for p = 0 to Array.length patterns - 1 do
+        if not (Bitvec.equal (Bitmat.row ref_mat p) (Bitmat.row lv_mat p)) then
+          ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "kernel",
+      [
+        Alcotest.test_case
+          "registry detect: levelized = reference at 1/2/4 domains" `Slow
+          test_registry_detect_equivalence;
+        Alcotest.test_case "profile/candidates/verify: levelized = reference"
+          `Quick test_rich_ops_equivalence;
+        qtest prop_cone_matches_full_resim;
+        qtest prop_comb_matrix_kernel_independent;
+      ] );
+  ]

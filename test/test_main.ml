@@ -36,4 +36,5 @@ let () =
          Test_bench_corpus.suite;
          Test_robustness.suite;
          Test_chaos.suite;
+         Test_kernel.suite;
        ])
