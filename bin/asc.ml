@@ -638,6 +638,203 @@ let waveform_cmd =
     (Cmd.info "waveform" ~doc:"Dump a VCD waveform of a random scan test")
     Term.(const run $ name_arg $ file_arg $ len_arg $ seed_arg)
 
+(* --- serve / client ------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+
+let tcp_arg =
+  let doc = "Listen on (or connect to) TCP $(docv) (e.g. 127.0.0.1:7333)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~doc ~docv:"HOST:PORT")
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> die exit_usage "bad --tcp %S (expected HOST:PORT)" s
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> die exit_usage "bad port in --tcp %S" s)
+
+let resolve_listen socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Asc_core.Server.Unix_socket path
+  | None, Some hp ->
+      let host, port = parse_host_port hp in
+      Asc_core.Server.Tcp (host, port)
+  | Some _, Some _ -> die exit_usage "--socket and --tcp are mutually exclusive"
+  | None, None -> die exit_usage "need --socket PATH or --tcp HOST:PORT"
+
+let serve_cmd =
+  let state_dir_arg =
+    let doc =
+      "Directory for per-job checkpoints; interrupted jobs resume from \
+       here when resubmitted after a crash."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~doc ~docv:"DIR")
+  in
+  let run socket tcp state_dir domains sim_kernel verbose =
+    guard @@ fun () ->
+    setup_logs verbose;
+    apply_sim_kernel sim_kernel;
+    let listen = resolve_listen socket tcp in
+    (* The pool carries no budget: deadlines are per-job, created by the
+       scheduler at dispatch, so one job's deadline cannot poison the
+       pool for the jobs after it. *)
+    let tel = Some (Asc_util.Telemetry.create ()) in
+    let chaos = chaos_of_env ?tel () in
+    let pool = make_pool ?tel ?chaos domains in
+    let config =
+      { Asc_core.Server.listen; state_dir;
+        max_frame = Asc_core.Server.default_max_frame }
+    in
+    let where =
+      match listen with
+      | Asc_core.Server.Unix_socket p -> p
+      | Asc_core.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+    in
+    Asc_core.Server.serve ?pool ?tel ?chaos
+      ~on_ready:(fun () -> Printf.printf "asc: serving on %s\n%!" where)
+      config;
+    Printf.printf "asc: server shut down\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compaction jobs over a socket (line-delimited JSON; see \
+          docs/SERVING.md)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ state_dir_arg $ domains_arg
+      $ sim_kernel_arg $ verbose_arg)
+
+let client_cmd =
+  let op_arg =
+    let doc = "Operation: ping, metrics, shutdown, submit, or raw (send one \
+               JSON line from stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let circuit_arg =
+    let doc = "Circuit name for submit (see `asc list`)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let netlist_arg =
+    let doc = "Submit the ISCAS `.bench` netlist in $(docv) instead of a \
+               registry circuit." in
+    Arg.(value & opt (some string) None & info [ "netlist" ] ~doc ~docv:"FILE")
+  in
+  let job_timeout_arg =
+    let doc = "Per-job wall-clock budget in seconds (server-side deadline)." in
+    Arg.(
+      value
+      & opt (some timeout_seconds) None
+      & info [ "job-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let save_arg =
+    let doc = "Request the serialized test set and write it to $(docv) \
+               (same format as $(b,asc save-tests))." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~doc ~docv:"FILE")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let connect listen =
+    try
+      match listen with
+      | Asc_core.Server.Unix_socket path ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      | Asc_core.Server.Tcp (host, port) ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          fd
+    with Unix.Unix_error (e, _, _) ->
+      die exit_input "cannot connect: %s" (Unix.error_message e)
+  in
+  let run socket tcp op circuit netlist seed t0 job_timeout save =
+    guard @@ fun () ->
+    let module J = Asc_util.Json in
+    let module P = Asc_core.Protocol in
+    let line =
+      match op with
+      | "ping" -> J.to_string ~compact:true (P.request_to_json P.Ping)
+      | "metrics" -> J.to_string ~compact:true (P.request_to_json P.Metrics)
+      | "shutdown" -> J.to_string ~compact:true (P.request_to_json P.Shutdown)
+      | "raw" -> (
+          try input_line stdin
+          with End_of_file -> die exit_usage "raw: no JSON line on stdin")
+      | "submit" ->
+          let netlist_text = Option.map read_file netlist in
+          if circuit = None && netlist_text = None then
+            die exit_usage "submit needs a CIRCUIT name or --netlist FILE";
+          let spec =
+            {
+              Asc_core.Scheduler.sp_circuit = circuit;
+              sp_netlist = netlist_text;
+              sp_seed = seed;
+              sp_t0 = t0;
+              sp_timeout = job_timeout;
+            }
+          in
+          J.to_string ~compact:true
+            (P.request_to_json (P.Submit { spec; want_tset = save <> None }))
+      | other ->
+          die exit_usage "unknown client op %S (ping|metrics|shutdown|submit|raw)"
+            other
+    in
+    let fd = connect (resolve_listen socket tcp) in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    let response =
+      try input_line ic
+      with End_of_file -> die exit_input "server closed the connection"
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match J.parse response with
+    | Error e -> die exit_input "unparseable response: %s" e
+    | Ok json ->
+        (* The serialized test set can be large: divert it to --save and
+           print the response without it. *)
+        Option.iter
+          (fun path ->
+            match Option.bind (J.member "tset" json) J.as_str with
+            | Some tset ->
+                let och = open_out path in
+                output_string och tset;
+                close_out och
+            | None -> ())
+          save;
+        let shown =
+          match json with
+          | J.Obj fields -> J.Obj (List.filter (fun (k, _) -> k <> "tset") fields)
+          | other -> other
+        in
+        print_endline (J.to_string ~compact:true shown);
+        let ok = Option.bind (J.member "ok" json) J.as_bool = Some true in
+        if not ok then exit exit_input;
+        (match Option.bind (J.member "status" json) J.as_str with
+         | Some "partial" -> exit exit_partial
+         | Some "failed" -> exit exit_input
+         | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running `asc serve` (exit 0 complete, 3 partial, 1 \
+          error)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ op_arg $ circuit_arg $ netlist_arg
+      $ seed_arg $ t0_arg $ job_timeout_arg $ save_arg)
+
 (* --- tables -------------------------------------------------------------- *)
 
 let tables_cmd =
@@ -692,5 +889,5 @@ let () =
           [
             list_cmd; info_cmd; export_cmd; import_cmd; run_cmd; baseline_cmd;
             atspeed_cmd; save_cmd; verify_cmd; audit_cmd; waveform_cmd;
-            partial_cmd; tables_cmd;
+            partial_cmd; tables_cmd; serve_cmd; client_cmd;
           ]))

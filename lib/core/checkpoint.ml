@@ -19,7 +19,17 @@
      si <bits>
      v <bits>
      endtau
+     phase3 <bits>               # post-Phase-3 snapshot: uncovered faults
+     add                         # one block per Phase-3 added test
+     si <bits>
+     v <bits>
+     endadd
      crc <8 hex digits>          # CRC-32 of every byte before this line
+
+   The [phase3] line (and its [add] blocks) appear only in snapshots taken
+   at the post-Phase-3 boundary; resuming from one skips straight to
+   Phase 4.  A [phase3] line requires a [tau] block (Phase 3 cannot have
+   run without a best iterate).
 
    v2 appends a CRC-32 trailer covering the raw bytes of everything
    before the [crc] line, so a bit-flipped-but-grammatical file can never
@@ -75,13 +85,28 @@ let to_string (s : Pipeline.snapshot) =
       add "si %s\n" (Tset_io.bits_to_string t.si);
       Array.iter (fun v -> add "v %s\n" (Tset_io.bits_to_string v)) t.seq;
       add "endtau\n");
+  (match s.snap_phase3 with
+  | None -> ()
+  | Some p3 ->
+      add "phase3 %s\n"
+        (Tset_io.bits_to_string
+           (Array.init
+              (Asc_util.Bitvec.length p3.ph3_uncovered)
+              (Asc_util.Bitvec.get p3.ph3_uncovered)));
+      Array.iter
+        (fun (t : Scan_test.t) ->
+          add "add\n";
+          add "si %s\n" (Tset_io.bits_to_string t.si);
+          Array.iter (fun v -> add "v %s\n" (Tset_io.bits_to_string v)) t.seq;
+          add "endadd\n")
+        p3.ph3_added);
   (* The trailer covers every byte emitted so far, comments included. *)
   let body = Buffer.contents buf in
   body ^ Printf.sprintf "crc %s\n" (Asc_util.Crc.to_hex (Asc_util.Crc.crc32 body))
 
 (* Parser: single pass, mutable slots; [section] tracks whether v-lines
    belong to the header (none), the T_C block or the tau block. *)
-type section = Top | In_seq | In_tau
+type section = Top | In_seq | In_tau | In_add
 
 let of_string text =
   let lines = String.split_on_char '\n' text in
@@ -101,6 +126,10 @@ let of_string text =
   let tau = ref None in
   let tau_si = ref None in
   let tau_acc = ref [] in
+  let phase3_uncovered = ref None in
+  let adds = ref [] in
+  let add_si = ref None in
+  let add_acc = ref [] in
   let section = ref Top in
   let int_field line name r v =
     if !r <> None then fail line "duplicate %s" name;
@@ -180,6 +209,23 @@ let of_string text =
             if !tau_acc = [] then fail line "tau without vectors";
             tau := Some (Scan_test.create ~si ~seq:(Array.of_list (List.rev !tau_acc)));
             section := Top
+        | [ "phase3"; v ], Top ->
+            if !phase3_uncovered <> None then fail line "duplicate phase3";
+            phase3_uncovered := Some (bits line v)
+        | [ "add" ], Top ->
+            if !phase3_uncovered = None then fail line "add block before phase3";
+            add_si := None;
+            add_acc := [];
+            section := In_add
+        | [ "si"; v ], In_add ->
+            if !add_si <> None then fail line "duplicate si";
+            add_si := Some (bits line v)
+        | [ "v"; v ], In_add -> add_acc := bits line v :: !add_acc
+        | [ "endadd" ], In_add ->
+            let si = match !add_si with Some x -> x | None -> fail line "add without si" in
+            if !add_acc = [] then fail line "add without vectors";
+            adds := Scan_test.create ~si ~seq:(Array.of_list (List.rev !add_acc)) :: !adds;
+            section := Top
         | [ "crc"; v ], Top -> (
             if !crc_claim <> None then fail line "duplicate crc trailer";
             match Asc_util.Crc.of_hex v with
@@ -222,6 +268,30 @@ let of_string text =
         (fun v -> if Array.length v <> snap_pis then fail 0 "tau vector arity mismatch")
         t.seq
   | None -> ());
+  let snap_phase3 =
+    match !phase3_uncovered with
+    | None ->
+        if !adds <> [] then fail 0 "add blocks without a phase3 line";
+        None
+    | Some uncovered_bits ->
+        if !tau = None then fail 0 "phase3 without a tau block";
+        let ph3_added = Array.of_list (List.rev !adds) in
+        Array.iter
+          (fun (t : Scan_test.t) ->
+            if Array.length t.si <> snap_ffs then fail 0 "add si arity mismatch";
+            Array.iter
+              (fun v ->
+                if Array.length v <> snap_pis then fail 0 "add vector arity mismatch")
+              t.seq)
+          ph3_added;
+        Some
+          {
+            Pipeline.ph3_added;
+            ph3_uncovered =
+              Asc_util.Bitvec.init (Array.length uncovered_bits) (fun i ->
+                  uncovered_bits.(i));
+          }
+  in
   let snap_comb_size = req "comb" comb in
   if Array.length snap_selected_bits <> snap_comb_size then
     fail 0 "selected length %d does not match comb %d"
@@ -245,6 +315,7 @@ let of_string text =
     (* The file lists iterations newest-first, like the snapshot; undo the
        reversal that accumulating with [::] introduced. *)
     snap_iterations = List.rev !its;
+    snap_phase3;
   }
 
 let validate (p : Pipeline.prepared) ~(config : Pipeline.config)
@@ -262,7 +333,13 @@ let validate (p : Pipeline.prepared) ~(config : Pipeline.config)
   expect "t0 source" s.snap_t0 (Pipeline.t0_fingerprint config.t0_source);
   expect "|C|"
     (string_of_int s.snap_comb_size)
-    (string_of_int (Array.length p.comb_tests))
+    (string_of_int (Array.length p.comb_tests));
+  match s.snap_phase3 with
+  | None -> ()
+  | Some p3 ->
+      expect "phase3 fault universe"
+        (string_of_int (Asc_util.Bitvec.length p3.ph3_uncovered))
+        (string_of_int (Array.length p.faults))
 
 module Chaos = Asc_util.Chaos
 module Tel = Asc_util.Telemetry

@@ -128,6 +128,16 @@ let t0_fingerprint = function
   | Random_seq l -> Printf.sprintf "random/%d" l
   | Genetic b -> Printf.sprintf "genetic/%d" b
 
+(* Phase-3 output captured at the post-Phase-3 boundary: the added
+   length-one tests and the faults not even C covers.  Everything else a
+   resumed Phase 4 needs (initial_tests, N_cyc, coverage) is derived from
+   these plus [snap_best] by the same deterministic simulations the
+   uninterrupted run used. *)
+type phase3_snap = {
+  ph3_added : Scan_test.t array;
+  ph3_uncovered : Bitvec.t;
+}
+
 type snapshot = {
   snap_circuit : string;
   snap_pis : int;
@@ -142,6 +152,7 @@ type snapshot = {
   snap_seq : bool array array; (* T_C entering the next iteration *)
   snap_best : Scan_test.t option; (* best iterate tau so far *)
   snap_iterations : iteration list; (* newest first (loop accumulator order) *)
+  snap_phase3 : phase3_snap option; (* present once Phase 3 has completed *)
 }
 
 type stage = Stage_t0 | Stage_iterate | Stage_cover | Stage_combine
@@ -173,12 +184,16 @@ type outcome = Complete of result | Partial of partial
 let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_config)
     ?resume ?on_checkpoint (p : prepared) =
   let c = p.circuit in
-  if Array.length p.comb_tests = 0 then
+  if Array.length p.comb_tests = 0 then begin
+    (* An exhausted budget during [prepare] also leaves the set empty;
+       that is a deadline, not a diagnosis. *)
+    Budget.check budget;
     invalid_arg
       (Printf.sprintf
          "Pipeline.run: circuit %s has an empty combinational test set (no \
           detectable faults?)"
-         (Circuit.name c));
+         (Circuit.name c))
+  end;
   (match resume with
   | Some s ->
       if
@@ -251,7 +266,38 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
       snap_seq = Array.map Array.copy !current_seq;
       snap_best = (match !tau with Some (t, _) -> Some t | None -> None);
       snap_iterations = !iterations;
+      snap_phase3 = None;
     }
+  in
+  (* A post-Phase-3 snapshot implies a best iterate and an uncovered set
+     sized to this run's fault universe; reject mismatches up front like
+     the identity fields above. *)
+  (match resume with
+  | Some { snap_phase3 = Some p3; snap_best; _ } ->
+      if snap_best = None then
+        invalid_arg "Pipeline.run_bounded: phase3 snapshot without a tau block";
+      if Bitvec.length p3.ph3_uncovered <> Array.length faults then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.run_bounded: phase3 uncovered length %d does not match %d \
+              faults"
+             (Bitvec.length p3.ph3_uncovered)
+             (Array.length faults))
+  | _ -> ());
+  let resume_phase3 =
+    match resume with Some { snap_phase3 = Some p3; _ } -> Some p3 | _ -> None
+  in
+  let checkpoint_degrading snap =
+    match on_checkpoint with
+    | Some f -> (
+        try f snap
+        with Sys_error msg ->
+          (* Checkpoint.write_file already counted the failed attempts
+             under Checkpoint_write_failures. *)
+          Log.warn (fun m ->
+              m "%s: checkpoint write failed (%s); continuing without a snapshot"
+                (Circuit.name c) msg))
+    | None -> ()
   in
   let init =
     try
@@ -293,10 +339,11 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
   match init with
   | `Exhausted reason -> partial reason Stage_t0
   | `Ok -> (
-      (* --- Phases 1 + 2, iterated --------------------------------- *)
+      (* --- Phases 1 + 2, iterated (skipped entirely when resuming from
+         a post-Phase-3 snapshot: the loop's outputs are already final) *)
       let loop =
         try
-          let stop = ref false in
+          let stop = ref (resume_phase3 <> None) in
           while not !stop do
             Budget.check budget;
             incr iter;
@@ -364,23 +411,13 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
                 Bitvec.inter
                   (Seq_fsim.detect_no_scan ?pool ~budget ?tel c ~seq:!current_seq ~faults)
                   p.targets;
-              (* Iteration boundary: the only checkpoint point — resuming
-                 here replays the rest of the run bit-identically.  A
-                 persistent write failure must not abort the run: losing a
-                 snapshot costs resume granularity, aborting loses the
-                 best-so-far test set the whole run built.  (Chaos.Killed
-                 models a hard crash and is deliberately not caught.) *)
-              match on_checkpoint with
-              | Some f -> (
-                  try f (snapshot ())
-                  with Sys_error msg ->
-                    (* Checkpoint.write_file already counted the failed
-                       attempts under Checkpoint_write_failures. *)
-                    Log.warn (fun m ->
-                        m "%s iter %d: checkpoint write failed (%s); continuing \
-                           without a snapshot"
-                          (Circuit.name c) !iter msg))
-              | None -> ()
+              (* Iteration boundary: a checkpoint point — resuming here
+                 replays the rest of the run bit-identically.  A persistent
+                 write failure must not abort the run: losing a snapshot
+                 costs resume granularity, aborting loses the best-so-far
+                 test set the whole run built.  (Chaos.Killed models a
+                 hard crash and is deliberately not caught.) *)
+              checkpoint_degrading (snapshot ())
             end
           done;
           `Ok
@@ -396,30 +433,57 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
           let after_phase3 = ref None in
           try
             (* --- Phase 3: complete the coverage -------------------- *)
-            let initial_tests, cycles_initial, detected_initial, cover, added =
-              Telemetry.span tel "phase3" @@ fun () ->
-              let undetected = Bitvec.diff p.targets f_seq in
-              let matrix =
-                Asc_fault.Comb_fsim.detect_matrix ?pool ~budget ?tel ~only:undetected c
-                  ~patterns:p.comb_tests ~faults
-              in
-              let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
-              let added =
-                Array.of_list
-                  (List.map
-                     (fun j -> Scan_test.of_pattern p.comb_tests.(j))
-                     cover.selected)
-              in
-              let initial_tests = Array.append [| tau_seq |] added in
-              let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
-              let detected_initial =
-                List.fold_left
-                  (fun acc j -> Bitvec.union acc (Bitmat.row matrix j))
-                  f_seq cover.selected
-              in
-              (initial_tests, cycles_initial, detected_initial, cover, added)
+            let initial_tests, cycles_initial, detected_initial, uncovered, added =
+              match resume_phase3 with
+              | Some p3 ->
+                  (* Phase 3 already ran before the interruption: rebuild
+                     its outputs from the snapshot.  [detected_initial] is
+                     recomputed by fault simulation of the very same tests
+                     whose per-test detections the fresh path unions, so
+                     the value is bit-identical. *)
+                  let added = p3.ph3_added in
+                  let initial_tests = Array.append [| tau_seq |] added in
+                  let cycles_initial =
+                    Asc_scan.Time_model.cycles_of_tests c initial_tests
+                  in
+                  let detected_initial =
+                    Asc_scan.Tset.coverage ?pool ~budget ?tel ~only:p.targets c
+                      initial_tests ~faults
+                  in
+                  (initial_tests, cycles_initial, detected_initial, p3.ph3_uncovered, added)
+              | None ->
+                  Telemetry.span tel "phase3" @@ fun () ->
+                  let undetected = Bitvec.diff p.targets f_seq in
+                  let matrix =
+                    Asc_fault.Comb_fsim.detect_matrix ?pool ~budget ?tel ~only:undetected c
+                      ~patterns:p.comb_tests ~faults
+                  in
+                  let cover = Asc_compact.Set_cover.select ~matrix ~undetected in
+                  let added =
+                    Array.of_list
+                      (List.map
+                         (fun j -> Scan_test.of_pattern p.comb_tests.(j))
+                         cover.selected)
+                  in
+                  let initial_tests = Array.append [| tau_seq |] added in
+                  let cycles_initial = Asc_scan.Time_model.cycles_of_tests c initial_tests in
+                  let detected_initial =
+                    List.fold_left
+                      (fun acc j -> Bitvec.union acc (Bitmat.row matrix j))
+                      f_seq cover.selected
+                  in
+                  (initial_tests, cycles_initial, detected_initial, cover.uncovered, added)
             in
-            after_phase3 := Some (initial_tests, cycles_initial, detected_initial, cover, added);
+            after_phase3 := Some (initial_tests, cycles_initial, detected_initial, uncovered, added);
+            (* Post-Phase-3 boundary: checkpoint again so a late
+               interruption (or a server-side job eviction) resumes
+               straight into Phase 4 instead of replaying the iterate
+               loop.  Skipped when this run itself resumed past Phase 3 —
+               the on-disk snapshot is already this one. *)
+            if resume_phase3 = None then
+              checkpoint_degrading
+                { (snapshot ()) with
+                  snap_phase3 = Some { ph3_added = added; ph3_uncovered = uncovered } };
             (* --- Phase 4: static compaction of the result ----------- *)
             let final_tests, cycles_final, final_detected =
               Telemetry.span tel "phase4" @@ fun () ->
@@ -444,7 +508,7 @@ let run_bounded ?pool ?(budget = Budget.unlimited) ?tel ?(config = default_confi
                 f_seq;
                 iterations = List.rev !iterations;
                 added;
-                uncovered = cover.uncovered;
+                uncovered;
                 initial_tests;
                 final_tests;
                 final_detected;

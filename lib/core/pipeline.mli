@@ -101,7 +101,16 @@ val run :
 
 (** {2 Deadline-aware execution (see docs/ROBUSTNESS.md)} *)
 
+(** Phase-3 output captured at the post-Phase-3 boundary: the added
+    length-one tests and the target faults not even C covers.  A snapshot
+    carrying one resumes straight into Phase 4. *)
+type phase3_snap = {
+  ph3_added : Asc_scan.Scan_test.t array;
+  ph3_uncovered : Asc_util.Bitvec.t;
+}
+
 (** Inter-iteration state of the Phase 1+2 loop, captured at an iteration
+    boundary — or, with [snap_phase3] present, at the post-Phase-3
     boundary.  Identity fields ([snap_circuit] … [snap_comb_size]) pin the
     snapshot to one (circuit, seed, T0 source, C) combination; the rest is
     the loop's explicit state.  Derived state is recomputed on resume, so
@@ -120,6 +129,7 @@ type snapshot = {
   snap_seq : bool array array;  (** T_C entering the next iteration. *)
   snap_best : Asc_scan.Scan_test.t option;
   snap_iterations : iteration list;  (** Newest first. *)
+  snap_phase3 : phase3_snap option;  (** Present once Phase 3 completed. *)
 }
 
 (** Stable textual identity of a T0 source (recorded in snapshots). *)
@@ -153,7 +163,10 @@ type outcome = Complete of result | Partial of partial
 
     [on_checkpoint] is called with a {!snapshot} at each iteration
     boundary the loop decides to continue past (so it fires at least once
-    whenever a second iteration starts).  A [Sys_error] raised by the
+    whenever a second iteration starts), and once more — with
+    [snap_phase3] filled in — when Phase 3 completes, so an interruption
+    during Phase 4 resumes without replaying the iterate loop or the
+    Phase-3 covering.  A [Sys_error] raised by the
     callback (a persistent checkpoint-write failure) {e degrades} the run
     instead of aborting it: the failure is logged as a warning and the
     computation continues without that snapshot.  [resume] restarts from

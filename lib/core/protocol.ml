@@ -1,0 +1,141 @@
+(* Line-delimited JSON request/response codecs for the serving layer
+   (docs/SERVING.md). *)
+
+module J = Asc_util.Json
+
+let version = 1
+
+type request =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Submit of { spec : Scheduler.spec; want_tset : bool }
+
+(* Typed member access: absent is fine (gives the default), present with
+   the wrong type is a decode error. *)
+let field json key as_type ~default =
+  match J.member key json with
+  | None | Some J.Null -> Ok default
+  | Some v -> (
+      match as_type v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad %S member" key))
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let submit_of_json json =
+  let d = Scheduler.default_spec in
+  let* circuit =
+    field json "circuit" (fun v -> Option.map Option.some (J.as_str v))
+      ~default:d.Scheduler.sp_circuit
+  in
+  let* netlist =
+    field json "netlist" (fun v -> Option.map Option.some (J.as_str v))
+      ~default:d.Scheduler.sp_netlist
+  in
+  let* seed = field json "seed" J.as_int ~default:d.Scheduler.sp_seed in
+  let* t0 = field json "t0" J.as_str ~default:d.Scheduler.sp_t0 in
+  let* timeout =
+    field json "timeout" (fun v -> Option.map Option.some (J.as_float v))
+      ~default:d.Scheduler.sp_timeout
+  in
+  let* want_tset = field json "tset" J.as_bool ~default:false in
+  Ok
+    (Submit
+       {
+         spec =
+           {
+             Scheduler.sp_circuit = circuit;
+             sp_netlist = netlist;
+             sp_seed = seed;
+             sp_t0 = t0;
+             sp_timeout = timeout;
+           };
+         want_tset;
+       })
+
+let request_of_json json =
+  match J.member "op" json with
+  | None -> Error "missing \"op\" member"
+  | Some op -> (
+      match J.as_str op with
+      | None -> Error "\"op\" must be a string"
+      | Some "ping" -> Ok Ping
+      | Some "metrics" -> Ok Metrics
+      | Some "shutdown" -> Ok Shutdown
+      | Some "submit" -> submit_of_json json
+      | Some other -> Error (Printf.sprintf "unknown op %S" other))
+
+let request_of_string line =
+  match J.parse line with
+  | Error e -> Error e
+  | Ok json -> request_of_json json
+
+let request_to_json = function
+  | Ping -> J.Obj [ ("op", J.Str "ping") ]
+  | Metrics -> J.Obj [ ("op", J.Str "metrics") ]
+  | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
+  | Submit { spec; want_tset } ->
+      let opt k v = match v with None -> [] | Some x -> [ (k, x) ] in
+      J.Obj
+        ([ ("op", J.Str "submit") ]
+        @ opt "circuit" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_circuit)
+        @ opt "netlist" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_netlist)
+        @ [ ("seed", J.Int spec.Scheduler.sp_seed);
+            ("t0", J.Str spec.Scheduler.sp_t0) ]
+        @ opt "timeout" (Option.map (fun t -> J.Float t) spec.Scheduler.sp_timeout)
+        @ if want_tset then [ ("tset", J.Bool true) ] else [])
+
+(* --- Responses --------------------------------------------------------- *)
+
+let ping_response =
+  J.Obj [ ("ok", J.Bool true); ("op", J.Str "ping"); ("protocol", J.Int version) ]
+
+let shutdown_response = J.Obj [ ("ok", J.Bool true); ("op", J.Str "shutdown") ]
+
+let metrics_response ~pending ~counters =
+  J.Obj
+    [
+      ("ok", J.Bool true);
+      ("op", J.Str "metrics");
+      ("pending", J.Int pending);
+      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters));
+    ]
+
+let error_response message =
+  J.Obj [ ("ok", J.Bool false); ("error", J.Str message) ]
+
+let status_string = function
+  | Scheduler.Complete -> "complete"
+  | Scheduler.Partial _ -> "partial"
+  | Scheduler.Failed _ -> "failed"
+
+let submit_response ~id ~cached ~want_tset (r : Scheduler.result) =
+  let opt_str = function None -> J.Null | Some s -> J.Str s in
+  let reason, stage, error =
+    match r.Scheduler.r_status with
+    | Scheduler.Complete -> (None, None, None)
+    | Scheduler.Partial { reason; stage } -> (Some reason, Some stage, None)
+    | Scheduler.Failed message -> (None, None, Some message)
+  in
+  J.Obj
+    ([
+       ("ok", J.Bool (error = None));
+       ("op", J.Str "submit");
+       ("id", match id with None -> J.Null | Some i -> J.Int i);
+       ("status", J.Str (status_string r.Scheduler.r_status));
+       ("reason", opt_str reason);
+       ("stage", opt_str stage);
+       ("cached", J.Bool cached);
+       ("resumed", J.Bool r.Scheduler.r_resumed);
+       ("tests", J.Int r.Scheduler.r_tests);
+       ("cycles", J.Int r.Scheduler.r_cycles);
+       ("detected", J.Int r.Scheduler.r_detected);
+       ("targets", J.Int r.Scheduler.r_targets);
+       ("iterations", J.Int r.Scheduler.r_iterations);
+     ]
+    @ (match error with None -> [] | Some e -> [ ("error", J.Str e) ])
+    @
+    match (want_tset, r.Scheduler.r_tset) with
+    | true, Some tset -> [ ("tset", J.Str tset) ]
+    | _ -> [])

@@ -1,0 +1,53 @@
+(** The serving layer's wire protocol: line-delimited JSON over a stream
+    socket (grammar in docs/SERVING.md).
+
+    One request per line, one response object per request.  Responses to
+    [submit] are deferred until the job runs and are matched to their
+    request by the job [id] field; every other response is immediate, so
+    a connection that pipelines submissions can see responses out of
+    request order. *)
+
+(** Protocol revision, echoed in every [ping] response.  Bump on any
+    field rename or semantic change. *)
+val version : int
+
+type request =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Submit of { spec : Scheduler.spec; want_tset : bool }
+      (** [want_tset] asks for the serialized test set in the response. *)
+
+(** Decode a request object.  Unknown members are ignored (forward
+    compatibility); a missing or unknown ["op"], or a present member of
+    the wrong type, is an error. *)
+val request_of_json : Asc_util.Json.t -> (request, string) Stdlib.result
+
+(** Parse one frame (a line, without its terminator) and decode it. *)
+val request_of_string : string -> (request, string) Stdlib.result
+
+(** Encode a request — the inverse of {!request_of_json}, used by the
+    bundled client. *)
+val request_to_json : request -> Asc_util.Json.t
+
+(** {1 Responses} *)
+
+val ping_response : Asc_util.Json.t
+
+val shutdown_response : Asc_util.Json.t
+
+(** [metrics_response ~pending ~counters] — the fleet-wide counter
+    catalogue (cumulative since server start) plus the queue depth. *)
+val metrics_response : pending:int -> counters:(string * int) list -> Asc_util.Json.t
+
+val error_response : string -> Asc_util.Json.t
+
+(** [submit_response ~id ~cached ~want_tset result] — [id] is [Null] for
+    cache hits (no job ran).  The [tset] member is present only when
+    [want_tset] and the result carries a test set. *)
+val submit_response :
+  id:int option -> cached:bool -> want_tset:bool -> Scheduler.result -> Asc_util.Json.t
+
+(** The status string of a submit response: ["complete"], ["partial"] or
+    ["failed"]. *)
+val status_string : Scheduler.status -> string

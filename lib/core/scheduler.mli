@@ -1,0 +1,112 @@
+(** Job scheduling for the serving layer (docs/SERVING.md).
+
+    A scheduler owns the run-side state of [asc serve]: per-source FIFO
+    queues multiplexed round-robin over one shared {!Asc_util.Domain_pool},
+    a content-addressed cache of completed results, and per-job
+    checkpoint/resume through a state directory.
+
+    {b Fair sharing.}  The pool must never be driven from two domains at
+    once, so the scheduler time-multiplexes it at job granularity: each
+    {!run_next} dispatches exactly one job, which gets the whole pool to
+    itself.  Fairness across clients comes from the dispatch order — one
+    job per source in rotation — not from slicing the pool.  Because every
+    job runs with the full pool and the pipeline is bit-identical for any
+    domain count, a served job reproduces the one-shot [asc run] result
+    exactly.
+
+    {b Budgets.}  Each job gets a private {!Asc_util.Budget} created at
+    dispatch from its spec's timeout; the shared pool carries {e no}
+    budget.  A deadline therefore unwinds only its own job — the pool
+    survives and the next dispatch is unaffected.
+
+    {b Caching.}  Submissions are keyed by a content hash of the canonical
+    netlist text plus every result-affecting option.  Only [Complete]
+    results enter the cache; a [Partial] or failed job is recomputed on
+    resubmission (resuming from its checkpoint when one survives). *)
+
+type spec = {
+  sp_circuit : string option;  (** Registry name (see [asc list]). *)
+  sp_netlist : string option;  (** Inline [.bench] text (exclusive with [sp_circuit]). *)
+  sp_seed : int;
+  sp_t0 : string;  (** ["directed"] or ["random"]. *)
+  sp_timeout : float option;  (** Per-job wall-clock budget, seconds. *)
+}
+
+val default_spec : spec
+
+type job = {
+  j_id : int;  (** Dense, scheduler-local; echoed in protocol responses. *)
+  j_key : string;  (** Content hash; also the checkpoint file stem. *)
+  j_source : int;  (** Submitting connection, for round-robin fairness. *)
+  j_circuit : Asc_netlist.Circuit.t;
+  j_name : string;
+  j_config : Pipeline.config;
+  j_timeout : float option;
+}
+
+type status =
+  | Complete
+  | Partial of { reason : string; stage : string }
+      (** The job's budget fired; the result fields hold the best test set
+          found (maps to the CLI's exit-3 contract). *)
+  | Failed of string  (** The job raised; no result fields are meaningful. *)
+
+type result = {
+  r_status : status;
+  r_tests : int;
+  r_cycles : int;
+  r_detected : int;
+  r_targets : int;
+  r_iterations : int;
+  r_tset : string option;
+      (** The test set in {!Asc_scan.Tset_io} format — byte-identical to
+          what [asc save-tests] writes for the same inputs. *)
+  r_resumed : bool;  (** The run resumed from a checkpoint in the state dir. *)
+}
+
+type submit_outcome =
+  | Accepted of job  (** Queued; a later {!run_next} will execute it. *)
+  | Cached of result  (** Answered from the result cache. *)
+  | Rejected of string  (** Spec invalid (bad circuit, bad netlist, bad t0). *)
+
+type t
+
+(** [create ?pool ?tel ?chaos ?state_dir ()] — the pool is shared by every
+    job and must have been created {e without} a budget (job budgets are
+    per-dispatch).  [state_dir], when given, enables per-job
+    checkpointing: job [k] writes [state_dir/job-<k>.ckpt] (rotated,
+    [keep = 2]) at every snapshot boundary, and a resubmission of [k]
+    resumes from the newest valid copy.  The directory is created if
+    missing.  [chaos] arms the [serve.dispatch] point plus the checkpoint
+    I/O points of every job. *)
+val create :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?tel:Asc_util.Telemetry.t ->
+  ?chaos:Asc_util.Chaos.t ->
+  ?state_dir:string ->
+  unit ->
+  t
+
+(** The content hash a spec would be cached under.  Raises nothing: specs
+    that fail to resolve have no key and [key_of_spec] returns [Error]
+    with the same message {!submit} would reject with. *)
+val key_of_spec : spec -> (string, string) Stdlib.result
+
+(** [submit t ~source spec] resolves and enqueues a job.  Resolution
+    (registry lookup or netlist parse, option validation) happens here, so
+    a bad spec is rejected synchronously and never occupies the queue.
+    Bumps [Jobs_submitted] for every accepted or cached submission, and
+    [Result_cache_hits] / [Result_cache_misses] accordingly. *)
+val submit : t -> source:int -> spec -> submit_outcome
+
+(** Jobs queued and not yet dispatched. *)
+val pending : t -> int
+
+(** [run_next t] dispatches the next job in round-robin source order and
+    runs it to its outcome on the calling domain (blocking).  [None] when
+    no job is queued.  Completion bumps [Jobs_completed] / [Jobs_partial]
+    / [Jobs_failed]; a checkpoint resume bumps [Jobs_resumed].  A chaos
+    [Kill] propagates (the server dies like a crash); every other
+    exception is captured as [Failed].  After a [Complete] outcome the
+    job's checkpoints are deleted and the result is cached. *)
+val run_next : t -> (job * result) option

@@ -1,0 +1,242 @@
+(* The serving daemon: a single-threaded select loop over a stream
+   socket, draining the scheduler one job per iteration (docs/SERVING.md). *)
+
+module J = Asc_util.Json
+module Chaos = Asc_util.Chaos
+module Telemetry = Asc_util.Telemetry
+
+type listen = Unix_socket of string | Tcp of string * int
+
+type config = { listen : listen; state_dir : string option; max_frame : int }
+
+let default_max_frame = 8 * 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  buf : Buffer.t;
+  mutable alive : bool;
+}
+
+type state = {
+  sched : Scheduler.t;
+  tel : Telemetry.t option;
+  chaos : Chaos.t option;
+  max_frame : int;
+  conns : (int, conn) Hashtbl.t;
+  waiting : (int, int * bool) Hashtbl.t;  (* job id -> (conn id, want tset) *)
+  cumulative : (string, int) Hashtbl.t;  (* counters across telemetry drains *)
+  mutable next_cid : int;
+  mutable running : bool;
+}
+
+let close_conn state conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    Hashtbl.remove state.conns conn.cid;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Blocking write of one response line; a failure (client gone, or an
+   injected serve.write fault) closes the connection.  Chaos [Kill]
+   propagates like a crash. *)
+let write_response state conn json =
+  let line = J.to_string ~compact:true json ^ "\n" in
+  try
+    Chaos.hit state.chaos Chaos.serve_write;
+    let n = String.length line in
+    let sent = ref 0 in
+    while !sent < n do
+      sent := !sent + Unix.write_substring conn.fd line !sent (n - !sent)
+    done
+  with
+  | Chaos.Killed _ as e -> raise e
+  | Unix.Unix_error _ | Sys_error _ -> close_conn state conn
+
+(* Fold a fresh telemetry drain into the cumulative table ([drain]
+   resets the handle, so the server must aggregate to stay monotonic). *)
+let accumulate state =
+  Option.iter
+    (fun tel ->
+      let snap = Telemetry.drain tel in
+      List.iter
+        (fun (k, v) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt state.cumulative k) in
+          Hashtbl.replace state.cumulative k (prev + v))
+        snap.Telemetry.counters)
+    state.tel
+
+let metrics state =
+  accumulate state;
+  let counters =
+    List.map
+      (fun c ->
+        let name = Telemetry.counter_name c in
+        (name, Option.value ~default:0 (Hashtbl.find_opt state.cumulative name)))
+      Telemetry.all_counters
+  in
+  Protocol.metrics_response ~pending:(Scheduler.pending state.sched) ~counters
+
+let handle_request state conn = function
+  | Protocol.Ping -> write_response state conn Protocol.ping_response
+  | Protocol.Metrics -> write_response state conn (metrics state)
+  | Protocol.Shutdown ->
+      write_response state conn Protocol.shutdown_response;
+      state.running <- false
+  | Protocol.Submit { spec; want_tset } -> (
+      match Scheduler.submit state.sched ~source:conn.cid spec with
+      | Scheduler.Rejected message ->
+          write_response state conn (Protocol.error_response message)
+      | Scheduler.Cached result ->
+          write_response state conn
+            (Protocol.submit_response ~id:None ~cached:true ~want_tset result)
+      | Scheduler.Accepted job ->
+          (* Deferred: the response is written when the job runs. *)
+          Hashtbl.replace state.waiting job.Scheduler.j_id (conn.cid, want_tset))
+
+let handle_frame state conn line =
+  try
+    Chaos.hit state.chaos Chaos.serve_read;
+    match Protocol.request_of_string line with
+    | Error message -> write_response state conn (Protocol.error_response message)
+    | Ok request -> handle_request state conn request
+  with
+  | Chaos.Killed _ as e -> raise e
+  | Sys_error _ -> close_conn state conn
+
+(* Split complete frames out of the connection's buffer. *)
+let drain_frames state conn =
+  let continue = ref true in
+  while !continue && conn.alive do
+    let text = Buffer.contents conn.buf in
+    match String.index_opt text '\n' with
+    | Some i ->
+        let line = String.sub text 0 i in
+        let line =
+          if i > 0 && line.[i - 1] = '\r' then String.sub line 0 (i - 1) else line
+        in
+        Buffer.clear conn.buf;
+        Buffer.add_substring conn.buf text (i + 1) (String.length text - i - 1);
+        if line <> "" then handle_frame state conn line
+    | None ->
+        if Buffer.length conn.buf > state.max_frame then begin
+          write_response state conn
+            (Protocol.error_response
+               (Printf.sprintf "frame exceeds %d bytes" state.max_frame));
+          close_conn state conn
+        end;
+        continue := false
+  done
+
+let read_conn state conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn state conn
+  | n ->
+      Buffer.add_subbytes conn.buf chunk 0 n;
+      drain_frames state conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn state conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let accept_conn state listener =
+  match Unix.accept listener with
+  | fd, _ ->
+      let conn = { fd; cid = state.next_cid; buf = Buffer.create 256; alive = true } in
+      state.next_cid <- state.next_cid + 1;
+      Hashtbl.replace state.conns conn.cid conn
+  | exception Unix.Unix_error _ -> ()
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+let bind_listener = function
+  | Unix_socket path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen fd 16;
+      fd
+
+(* Deliver one finished job's response to its submitter, if the
+   connection is still around. *)
+let deliver state (job, result) =
+  match Hashtbl.find_opt state.waiting job.Scheduler.j_id with
+  | None -> ()
+  | Some (cid, want_tset) -> (
+      Hashtbl.remove state.waiting job.Scheduler.j_id;
+      match Hashtbl.find_opt state.conns cid with
+      | Some conn when conn.alive ->
+          write_response state conn
+            (Protocol.submit_response ~id:(Some job.Scheduler.j_id) ~cached:false
+               ~want_tset result)
+      | _ -> ())
+
+let serve ?pool ?tel ?chaos ?on_ready config =
+  (* A client that disconnects mid-write must not kill the server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let sched = Scheduler.create ?pool ?tel ?chaos ?state_dir:config.state_dir () in
+  let state =
+    {
+      sched;
+      tel;
+      chaos;
+      max_frame = config.max_frame;
+      conns = Hashtbl.create 16;
+      waiting = Hashtbl.create 16;
+      cumulative = Hashtbl.create 64;
+      next_cid = 0;
+      running = true;
+    }
+  in
+  let listener = bind_listener config.listen in
+  Option.iter (fun f -> f ()) on_ready;
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ conn -> close_conn state conn)
+        (Hashtbl.copy state.conns);
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      match config.listen with
+      | Unix_socket path -> (
+          try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | Tcp _ -> ())
+    (fun () ->
+      while state.running do
+        (* Service the socket first — short timeout when work is queued so
+           a burst of submissions lands before the next dispatch. *)
+        let timeout = if Scheduler.pending state.sched > 0 then 0.0 else 0.2 in
+        let fds =
+          listener :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) state.conns []
+        in
+        let readable =
+          match Unix.select fds [] [] timeout with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if state.running then
+              if fd == listener then accept_conn state listener
+              else
+                let found =
+                  Hashtbl.fold
+                    (fun _ c acc -> if c.fd == fd then Some c else acc)
+                    state.conns None
+                in
+                Option.iter (fun c -> read_conn state c) found)
+          readable;
+        (* Then run exactly one queued job to completion. *)
+        if state.running then
+          Option.iter (deliver state) (Scheduler.run_next state.sched)
+      done)

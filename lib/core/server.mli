@@ -1,0 +1,45 @@
+(** The [asc serve] daemon: a single-threaded select loop that accepts
+    {!Protocol} requests over a stream socket and drains the
+    {!Scheduler}'s queue between socket services (docs/SERVING.md).
+
+    One loop iteration services every readable connection (accepting new
+    ones, buffering frames, answering [ping] / [metrics] / [shutdown] and
+    enqueuing [submit]s), then dispatches {e one} queued job to
+    completion.  Jobs therefore never interleave — each gets the whole
+    shared pool — while the socket stays responsive between jobs at job
+    granularity.
+
+    Failure contract: a malformed frame gets an error response and the
+    connection stays open; an over-long frame (no newline within
+    [max_frame] bytes) gets an error response and the connection is
+    closed; a write failure (client gone) closes the connection and the
+    job's result is dropped.  A chaos [Kill] at any armed point
+    propagates out of {!serve} like a crash — deliberately: the soak
+    test restarts the server and expects checkpointed jobs to resume. *)
+
+type listen =
+  | Unix_socket of string  (** Path; a stale socket file is replaced. *)
+  | Tcp of string * int  (** Host (name or dotted quad) and port. *)
+
+type config = {
+  listen : listen;
+  state_dir : string option;  (** Enables per-job checkpoint/resume. *)
+  max_frame : int;  (** Per-frame byte cap; {!default_max_frame}. *)
+}
+
+val default_max_frame : int
+
+(** [serve ?pool ?tel ?chaos ?on_ready config] runs until a client sends
+    [shutdown] (queued jobs are discarded; interrupted jobs left their
+    checkpoints in [state_dir]).  [pool] must carry no budget — job
+    deadlines are per-submission.  [tel] feeds the [metrics] op; counters
+    are accumulated across {!Asc_util.Telemetry.drain} calls, so they are
+    cumulative since server start.  [on_ready] fires once the socket is
+    bound and listening. *)
+val serve :
+  ?pool:Asc_util.Domain_pool.t ->
+  ?tel:Asc_util.Telemetry.t ->
+  ?chaos:Asc_util.Chaos.t ->
+  ?on_ready:(unit -> unit) ->
+  config ->
+  unit

@@ -56,11 +56,15 @@ let pool_task = "pool.task"
 let pool_poll = "pool.poll"
 let bench_io_read = "bench_io.read"
 let tset_io_read = "tset_io.read"
+let serve_read = "serve.read"
+let serve_write = "serve.write"
+let serve_dispatch = "serve.dispatch"
 
 let all_points =
   [
     checkpoint_open; checkpoint_output; checkpoint_rename; checkpoint_rotate;
     checkpoint_read; pool_task; pool_poll; bench_io_read; tset_io_read;
+    serve_read; serve_write; serve_dispatch;
   ]
 
 let create ?tel rules =

@@ -82,6 +82,16 @@ val tset_io_read : string
 (** Mid-read of a test-set file ({!Asc_scan.Tset_io}), after the file is
     opened. *)
 
+val serve_read : string
+(** Each complete protocol frame the server reads off a client socket,
+    before it is parsed ({!Asc_core.Server}). *)
+
+val serve_write : string
+(** Each protocol response the server is about to write back. *)
+
+val serve_dispatch : string
+(** Immediately before the scheduler dispatches a queued job. *)
+
 val all_points : string list
 
 (** {1 Schedules}

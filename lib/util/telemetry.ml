@@ -47,6 +47,13 @@ type counter =
   | Trace_cache_hits  (** good-machine trace cache hits *)
   | Trace_cache_misses  (** good-machine trace cache misses (trace computed) *)
   | Cone_gates_evaluated  (** gates evaluated by the levelized cone kernel *)
+  | Jobs_submitted  (** jobs accepted by the serving scheduler *)
+  | Jobs_completed  (** served jobs that ran to a Complete result *)
+  | Jobs_partial  (** served jobs returned Partial (deadline/cancel) *)
+  | Jobs_failed  (** served jobs rejected or failed during execution *)
+  | Jobs_resumed  (** served jobs that resumed from a checkpoint *)
+  | Result_cache_hits  (** served submissions answered from the result cache *)
+  | Result_cache_misses  (** served submissions that had to compute *)
 
 let counter_index = function
   | Faults_simulated -> 0
@@ -69,6 +76,13 @@ let counter_index = function
   | Trace_cache_hits -> 17
   | Trace_cache_misses -> 18
   | Cone_gates_evaluated -> 19
+  | Jobs_submitted -> 20
+  | Jobs_completed -> 21
+  | Jobs_partial -> 22
+  | Jobs_failed -> 23
+  | Jobs_resumed -> 24
+  | Result_cache_hits -> 25
+  | Result_cache_misses -> 26
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -91,6 +105,13 @@ let counter_name = function
   | Trace_cache_hits -> "trace_cache_hits"
   | Trace_cache_misses -> "trace_cache_misses"
   | Cone_gates_evaluated -> "cone_gates_evaluated"
+  | Jobs_submitted -> "jobs_submitted"
+  | Jobs_completed -> "jobs_completed"
+  | Jobs_partial -> "jobs_partial"
+  | Jobs_failed -> "jobs_failed"
+  | Jobs_resumed -> "jobs_resumed"
+  | Result_cache_hits -> "result_cache_hits"
+  | Result_cache_misses -> "result_cache_misses"
 
 let all_counters =
   [
@@ -100,6 +121,8 @@ let all_counters =
     Checkpoint_recoveries; Chaos_injections; Pool_tasks;
     Tgen_candidates; Tgen_commits;
     Trace_cache_hits; Trace_cache_misses; Cone_gates_evaluated;
+    Jobs_submitted; Jobs_completed; Jobs_partial; Jobs_failed; Jobs_resumed;
+    Result_cache_hits; Result_cache_misses;
   ]
 
 let n_counters = List.length all_counters

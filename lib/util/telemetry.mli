@@ -46,6 +46,13 @@ type counter =
   | Trace_cache_hits  (** good-machine trace cache hits *)
   | Trace_cache_misses  (** good-machine trace cache misses (trace computed) *)
   | Cone_gates_evaluated  (** gates evaluated by the levelized cone kernel *)
+  | Jobs_submitted  (** jobs accepted by the serving scheduler *)
+  | Jobs_completed  (** served jobs that ran to a Complete result *)
+  | Jobs_partial  (** served jobs returned Partial (deadline/cancel) *)
+  | Jobs_failed  (** served jobs rejected or failed during execution *)
+  | Jobs_resumed  (** served jobs that resumed from a checkpoint *)
+  | Result_cache_hits  (** served submissions answered from the result cache *)
+  | Result_cache_misses  (** served submissions that had to compute *)
 
 val counter_name : counter -> string
 

@@ -146,6 +146,7 @@ let ckpt_snapshot =
     snap_best = None;
     snap_iterations =
       [ { Pipeline.si_index = 2; u_so = 9; len_after_omission = 7; detected_count = 40 } ];
+    snap_phase3 = None;
   }
 
 let with_ckpt_path f =

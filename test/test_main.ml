@@ -37,4 +37,5 @@ let () =
          Test_robustness.suite;
          Test_chaos.suite;
          Test_kernel.suite;
+         Test_serve.suite;
        ])

@@ -150,6 +150,7 @@ let synthetic_snapshot () =
         { Pipeline.si_index = 2; u_so = 9; len_after_omission = 7; detected_count = 40 };
         { Pipeline.si_index = 1; u_so = 12; len_after_omission = 9; detected_count = 37 };
       ];
+    snap_phase3 = None;
   }
 
 let test_checkpoint_roundtrip () =
@@ -255,6 +256,13 @@ let snapshot_equal (a : Pipeline.snapshot) (b : Pipeline.snapshot) =
      | None, None -> true
      | _ -> false)
   && a.snap_iterations = b.snap_iterations
+  && (match (a.snap_phase3, b.snap_phase3) with
+     | Some x, Some y ->
+         Bitvec.equal x.Pipeline.ph3_uncovered y.Pipeline.ph3_uncovered
+         && Array.length x.ph3_added = Array.length y.ph3_added
+         && Array.for_all2 Scan_test.equal x.ph3_added y.ph3_added
+     | None, None -> true
+     | _ -> false)
 
 let random_snapshot rng =
   let pis = 1 + Rng.int rng 6 in
@@ -287,6 +295,31 @@ let random_snapshot rng =
             len_after_omission = Rng.int rng 50;
             detected_count = i + Rng.int rng 100;
           });
+    snap_phase3 = None;
+  }
+
+(* A random post-Phase-3 snapshot: tau is mandatory, plus 0–3 added
+   length-one tests and an uncovered set over a random fault universe. *)
+let random_phase3_snapshot rng =
+  let base = random_snapshot rng in
+  let pis = base.Pipeline.snap_pis and ffs = base.Pipeline.snap_ffs in
+  let bits n = Array.init n (fun _ -> Rng.int rng 2 = 1) in
+  let n_faults = 1 + Rng.int rng 40 in
+  {
+    base with
+    Pipeline.snap_best =
+      Some
+        (Scan_test.create ~si:(bits ffs)
+           ~seq:(Array.init (1 + Rng.int rng 3) (fun _ -> bits pis)));
+    snap_phase3 =
+      Some
+        {
+          Pipeline.ph3_added =
+            Array.init (Rng.int rng 4) (fun _ ->
+                Scan_test.create ~si:(bits ffs) ~seq:[| bits pis |]);
+          ph3_uncovered =
+            Bitvec.init n_faults (fun _ -> Rng.int rng 2 = 1);
+        };
   }
 
 (* For 40 random snapshots: the serialized form round-trips exactly, and
@@ -294,8 +327,12 @@ let random_snapshot rng =
    snapshot that differs from what was saved. *)
 let test_checkpoint_durability_property () =
   let rng = Rng.of_name ~seed:11 "robust/durability" in
-  for _ = 1 to 40 do
-    let s = random_snapshot rng in
+  for round = 1 to 40 do
+    (* Every third round exercises the post-Phase-3 extension of the
+       format (phase3 line + add blocks). *)
+    let s =
+      if round mod 3 = 0 then random_phase3_snapshot rng else random_snapshot rng
+    in
     let text = Checkpoint.to_string s in
     Alcotest.(check bool) "round-trips exactly" true
       (snapshot_equal s (Checkpoint.of_string text));
@@ -406,6 +443,99 @@ let check_resume_deterministic name =
 let test_resume_s298 () = check_resume_deterministic "s298"
 let test_resume_s344 () = check_resume_deterministic "s344"
 
+(* Late interruption: capture the post-Phase-3 snapshot (the last one a
+   run writes), resume from it — straight into Phase 4 — and require the
+   final result bit-identical to the uninterrupted reference, sequentially
+   and on a 4-domain pool, including after a trip through the file
+   format. *)
+let test_resume_from_phase3_snapshot () =
+  let name = "s298" in
+  let c = Asc_circuits.Registry.get name in
+  let config =
+    Asc_core.Experiments.config_for ~seed:1
+      ~t0_source:(Pipeline.Directed (Asc_circuits.Registry.t0_budget name))
+  in
+  let prepared = Pipeline.prepare ~config c in
+  let last_snap = ref None in
+  let reference =
+    match
+      Pipeline.run_bounded ~config
+        ~on_checkpoint:(fun snap -> last_snap := Some snap)
+        prepared
+    with
+    | Pipeline.Complete r -> r
+    | Pipeline.Partial _ -> Alcotest.fail "reference run must complete"
+  in
+  let snap =
+    match !last_snap with
+    | Some s -> s
+    | None -> Alcotest.fail "no checkpoint recorded"
+  in
+  Alcotest.(check bool) "last snapshot is the post-Phase-3 one" true
+    (snap.Pipeline.snap_phase3 <> None);
+  let check_resumed label resumed =
+    Alcotest.(check bool) (label ^ ": tests bit-identical") true
+      (Array.length resumed.Pipeline.final_tests
+       = Array.length reference.final_tests
+      && Array.for_all2 Scan_test.equal reference.final_tests resumed.final_tests);
+    Alcotest.(check int) (label ^ ": N_cyc") reference.cycles_final
+      resumed.cycles_final;
+    Alcotest.(check int) (label ^ ": N_cyc initial") reference.cycles_initial
+      resumed.cycles_initial;
+    Alcotest.(check bool) (label ^ ": coverage") true
+      (Bitvec.equal reference.final_detected resumed.final_detected);
+    Alcotest.(check bool) (label ^ ": uncovered") true
+      (Bitvec.equal reference.uncovered resumed.uncovered);
+    Alcotest.(check bool) (label ^ ": added tests") true
+      (Array.length resumed.added = Array.length reference.added
+      && Array.for_all2 Scan_test.equal reference.added resumed.added);
+    Alcotest.(check bool) (label ^ ": iteration log") true
+      (reference.iterations = resumed.iterations)
+  in
+  let resume_with pool snap =
+    match Pipeline.run_bounded ?pool ~config ~resume:snap prepared with
+    | Pipeline.Complete r -> r
+    | Pipeline.Partial _ -> Alcotest.fail "resumed run must complete"
+  in
+  check_resumed "phase3 resume (sequential)" (resume_with None snap);
+  with_pool 4 (fun pool ->
+      check_resumed "phase3 resume (4 domains)" (resume_with (Some pool) snap));
+  let snap' = Checkpoint.of_string (Checkpoint.to_string snap) in
+  Checkpoint.validate prepared ~config snap';
+  Alcotest.(check bool) "phase3 survives the file format" true
+    (snap'.Pipeline.snap_phase3 <> None);
+  check_resumed "phase3 resume via serialized checkpoint" (resume_with None snap')
+
+(* A phase3 snapshot whose uncovered set is sized to a different fault
+   universe must be rejected, both by validate and by run_bounded. *)
+let test_phase3_snapshot_rejects_mismatch () =
+  let name = "s27" in
+  let c = Asc_circuits.Registry.get name in
+  let config = Pipeline.default_config in
+  let prepared = Pipeline.prepare ~config c in
+  let last_snap = ref None in
+  (match
+     Pipeline.run_bounded ~config
+       ~on_checkpoint:(fun snap -> last_snap := Some snap)
+       prepared
+   with
+  | Pipeline.Complete _ -> ()
+  | Pipeline.Partial _ -> Alcotest.fail "run must complete");
+  let snap = match !last_snap with Some s -> s | None -> Alcotest.fail "no snap" in
+  let bad =
+    {
+      snap with
+      Pipeline.snap_phase3 =
+        Some { Pipeline.ph3_added = [||]; ph3_uncovered = Bitvec.create 1 };
+    }
+  in
+  (match Checkpoint.validate prepared ~config bad with
+  | () -> Alcotest.fail "validate must reject a mismatched phase3 universe"
+  | exception Checkpoint.Incompatible _ -> ());
+  match Pipeline.run_bounded ~config ~resume:bad prepared with
+  | _ -> Alcotest.fail "run_bounded must reject a mismatched phase3 universe"
+  | exception Invalid_argument _ -> ()
+
 let test_resume_rejects_mismatch () =
   let c = Asc_circuits.Registry.get "s27" in
   let config = Pipeline.default_config in
@@ -445,5 +575,9 @@ let suite =
           test_resume_s298;
         Alcotest.test_case "interrupt/resume is bit-identical on s344" `Slow
           test_resume_s344;
+        Alcotest.test_case "post-Phase-3 resume is bit-identical" `Slow
+          test_resume_from_phase3_snapshot;
+        Alcotest.test_case "phase3 snapshot universe mismatch is rejected" `Quick
+          test_phase3_snapshot_rejects_mismatch;
       ] );
   ]

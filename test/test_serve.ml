@@ -1,0 +1,759 @@
+(* Tests for the serving layer (docs/SERVING.md): scheduler fairness,
+   budgets and caching; protocol codecs (including QCheck round-trips of
+   the JSON parser and the test-set format the responses embed); and
+   black-box suites driving the real `asc serve` binary over a Unix
+   socket — protocol conformance with golden transcripts, malformed-frame
+   fuzzing, served-vs-one-shot determinism at several pool sizes, and a
+   chaos kill/resume soak. *)
+
+open Asc_util
+module Scheduler = Asc_core.Scheduler
+module Protocol = Asc_core.Protocol
+module Scan_test = Asc_scan.Scan_test
+module Tset_io = Asc_scan.Tset_io
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let spec ?circuit ?netlist ?(seed = 1) ?(t0 = "directed") ?timeout () =
+  { Scheduler.sp_circuit = circuit; sp_netlist = netlist; sp_seed = seed;
+    sp_t0 = t0; sp_timeout = timeout }
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Run a spec on a throwaway scheduler and return its result — the
+   reference the sharing/serving tests compare against. *)
+let solo_result ?pool sp =
+  let sched = Scheduler.create ?pool () in
+  match Scheduler.submit sched ~source:0 sp with
+  | Scheduler.Accepted _ -> (
+      match Scheduler.run_next sched with
+      | Some (_, r) -> r
+      | None -> Alcotest.fail "solo job did not run")
+  | _ -> Alcotest.fail "solo submit not accepted"
+
+(* --- Scheduler: resolution, fairness, caching -------------------------- *)
+
+let test_scheduler_rejects () =
+  let sched = Scheduler.create () in
+  let reject sp msg_part =
+    match Scheduler.submit sched ~source:0 sp with
+    | Scheduler.Rejected m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "rejection mentions %S (got %S)" msg_part m)
+          true (contains m msg_part)
+    | _ -> Alcotest.failf "spec should be rejected (%s)" msg_part
+  in
+  reject (spec ()) "needs a circuit";
+  reject (spec ~circuit:"nosuch" ()) "unknown circuit";
+  reject (spec ~circuit:"s27" ~netlist:"INPUT(a)" ()) "not both";
+  reject (spec ~circuit:"s27" ~t0:"genetic?" ()) "bad t0";
+  reject (spec ~netlist:"a = FROB(b)" ()) "parse error";
+  Alcotest.(check int) "nothing queued" 0 (Scheduler.pending sched)
+
+let test_scheduler_round_robin () =
+  let sched = Scheduler.create () in
+  let submit source seed =
+    match Scheduler.submit sched ~source (spec ~circuit:"s27" ~seed ()) with
+    | Scheduler.Accepted j -> j.Scheduler.j_id
+    | _ -> Alcotest.fail "expected Accepted"
+  in
+  (* Source 1 floods three jobs before source 2's single job arrives; the
+     rotation must still serve source 2 second, not last. *)
+  let a = submit 1 1 and b = submit 1 2 and c = submit 1 3 in
+  let d = submit 2 4 in
+  Alcotest.(check int) "pending" 4 (Scheduler.pending sched);
+  let order =
+    List.map
+      (fun _ ->
+        match Scheduler.run_next sched with
+        | Some (j, _) -> j.Scheduler.j_id
+        | None -> Alcotest.fail "queue drained early")
+      [ (); (); (); () ]
+  in
+  Alcotest.(check (list int)) "round-robin dispatch order" [ a; d; b; c ] order;
+  Alcotest.(check int) "drained" 0 (Scheduler.pending sched)
+
+let test_scheduler_cache_and_counters () =
+  let tel = Telemetry.create () in
+  let sched = Scheduler.create ~tel () in
+  let sp = spec ~circuit:"s27" () in
+  (match Scheduler.submit sched ~source:0 sp with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "first submit should queue");
+  let first =
+    match Scheduler.run_next sched with
+    | Some (_, r) -> r
+    | None -> Alcotest.fail "job did not run"
+  in
+  Alcotest.(check bool) "first completes" true
+    (first.Scheduler.r_status = Scheduler.Complete);
+  (match Scheduler.submit sched ~source:5 sp with
+  | Scheduler.Cached r ->
+      Alcotest.(check bool) "cached result carries the same test set" true
+        (r.Scheduler.r_tset = first.Scheduler.r_tset && r.Scheduler.r_tset <> None)
+  | _ -> Alcotest.fail "second submit should hit the cache");
+  let snap = Telemetry.drain tel in
+  let count name = Telemetry.counter_value snap name in
+  Alcotest.(check int) "jobs_submitted" 2 (count "jobs_submitted");
+  Alcotest.(check int) "jobs_completed" 1 (count "jobs_completed");
+  Alcotest.(check int) "result_cache_hits" 1 (count "result_cache_hits");
+  Alcotest.(check int) "result_cache_misses" 1 (count "result_cache_misses")
+
+let test_scheduler_key_canonical () =
+  let key sp =
+    match Scheduler.key_of_spec sp with
+    | Ok k -> k
+    | Error e -> Alcotest.failf "key_of_spec failed: %s" e
+  in
+  let text =
+    Asc_netlist.Bench_io.to_string (Asc_circuits.Registry.get ~seed:1 "s27")
+  in
+  (* Reformatting the same netlist (comments, blank lines) must not change
+     the cache line: the key hashes the canonical rendering. *)
+  let noisy = "# reformatted copy\n\n" ^ text ^ "\n# trailing comment\n" in
+  Alcotest.(check string) "whitespace-insensitive key"
+    (key (spec ~netlist:text ()))
+    (key (spec ~netlist:noisy ()));
+  Alcotest.(check bool) "seed changes the key" true
+    (key (spec ~circuit:"s27" ~seed:1 ()) <> key (spec ~circuit:"s27" ~seed:2 ()));
+  Alcotest.(check bool) "t0 source changes the key" true
+    (key (spec ~circuit:"s27" ~t0:"directed" ())
+    <> key (spec ~circuit:"s27" ~t0:"random" ()));
+  Alcotest.(check bool) "timeout does not change the key" true
+    (key (spec ~circuit:"s27" ()) = key (spec ~circuit:"s27" ~timeout:9.0 ()))
+
+(* Satellite: two jobs sharing one pool; the first hits its deadline and
+   must neither poison the pool nor starve the second job. *)
+let test_contention_deadline_isolation () =
+  let pool = Domain_pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      let sched = Scheduler.create ~pool () in
+      (* s1423 is far too big to finish in 1ms even with a warm
+         good-trace cache (smaller circuits can, when the full suite has
+         already populated the process-global cache). *)
+      (match
+         Scheduler.submit sched ~source:1 (spec ~circuit:"s1423" ~timeout:0.001 ())
+       with
+      | Scheduler.Accepted _ -> ()
+      | _ -> Alcotest.fail "deadline job should queue");
+      (match Scheduler.submit sched ~source:2 (spec ~circuit:"s27" ()) with
+      | Scheduler.Accepted _ -> ()
+      | _ -> Alcotest.fail "second job should queue");
+      let doomed =
+        match Scheduler.run_next sched with
+        | Some (j, r) ->
+            Alcotest.(check string) "deadline job first" "s1423" j.Scheduler.j_name;
+            r
+        | None -> Alcotest.fail "no job ran"
+      in
+      (match doomed.Scheduler.r_status with
+      | Scheduler.Partial { reason; _ } ->
+          Alcotest.(check string) "deadline reason" "deadline" reason
+      | Scheduler.Complete -> Alcotest.fail "1ms job completed"
+      | Scheduler.Failed m -> Alcotest.failf "1ms job failed: %s" m);
+      let survivor =
+        match Scheduler.run_next sched with
+        | Some (_, r) -> r
+        | None -> Alcotest.fail "second job vanished"
+      in
+      Alcotest.(check bool) "survivor completes" true
+        (survivor.Scheduler.r_status = Scheduler.Complete);
+      (* Bit-identical to a run that never shared anything. *)
+      let reference = solo_result (spec ~circuit:"s27" ()) in
+      Alcotest.(check bool) "survivor matches solo run" true
+        (survivor.Scheduler.r_tset = reference.Scheduler.r_tset
+        && survivor.Scheduler.r_tset <> None))
+
+(* In-process mirror of the kill/resume soak: a chaos Kill during the
+   second checkpoint write crashes the job; a fresh scheduler over the
+   same state dir resumes it and must reproduce the uninterrupted result
+   bit-identically. *)
+let test_kill_resume_in_process () =
+  let state = temp_dir "asc-serve-state" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf state)
+    (fun () ->
+      let sp = spec ~circuit:"s298" () in
+      let chaos =
+        Chaos.create
+          [ { Chaos.point = Chaos.checkpoint_output; occurrence = 2;
+              action = Chaos.Kill } ]
+      in
+      let sched = Scheduler.create ~chaos ~state_dir:state () in
+      (match Scheduler.submit sched ~source:0 sp with
+      | Scheduler.Accepted _ -> ()
+      | _ -> Alcotest.fail "submit should queue");
+      (match Scheduler.run_next sched with
+      | exception Chaos.Killed _ -> ()
+      | _ -> Alcotest.fail "chaos Kill must propagate out of run_next");
+      (* The crash left a valid snapshot; a new scheduler resumes it. *)
+      let tel = Telemetry.create () in
+      let sched2 = Scheduler.create ~tel ~state_dir:state () in
+      (match Scheduler.submit sched2 ~source:0 sp with
+      | Scheduler.Accepted _ -> ()
+      | _ -> Alcotest.fail "resubmit should queue (new cache)");
+      let resumed =
+        match Scheduler.run_next sched2 with
+        | Some (_, r) -> r
+        | None -> Alcotest.fail "resumed job did not run"
+      in
+      Alcotest.(check bool) "resumed job completes" true
+        (resumed.Scheduler.r_status = Scheduler.Complete);
+      Alcotest.(check bool) "r_resumed set" true resumed.Scheduler.r_resumed;
+      let snap = Telemetry.drain tel in
+      Alcotest.(check int) "jobs_resumed counter" 1
+        (Telemetry.counter_value snap "jobs_resumed");
+      let reference = solo_result sp in
+      Alcotest.(check bool) "bit-identical to uninterrupted run" true
+        (resumed.Scheduler.r_tset = reference.Scheduler.r_tset
+        && resumed.Scheduler.r_tset <> None))
+
+(* --- Protocol codecs --------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let roundtrip r =
+    let line = Json.to_string ~compact:true (Protocol.request_to_json r) in
+    match Protocol.request_of_string line with
+    | Ok r' ->
+        Alcotest.(check bool) (Printf.sprintf "roundtrip %s" line) true (r = r')
+    | Error e -> Alcotest.failf "roundtrip of %s failed: %s" line e
+  in
+  roundtrip Protocol.Ping;
+  roundtrip Protocol.Metrics;
+  roundtrip Protocol.Shutdown;
+  roundtrip (Protocol.Submit { spec = spec ~circuit:"s298" (); want_tset = false });
+  roundtrip
+    (Protocol.Submit
+       {
+         spec =
+           spec ~netlist:"INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n" ~seed:7 ~t0:"random"
+             ~timeout:2.5 ();
+         want_tset = true;
+       })
+
+let test_protocol_decode_errors () =
+  let expect_error line msg_part =
+    match Protocol.request_of_string line with
+    | Error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error mentions %S (got %S)" line msg_part m)
+          true (contains m msg_part)
+    | Ok _ -> Alcotest.failf "%S should not decode" line
+  in
+  expect_error "" "at offset";
+  expect_error "{nope" "at offset";
+  expect_error "[1,2]" "missing \"op\"";
+  expect_error "{\"op\":42}" "must be a string";
+  expect_error "{\"op\":\"zap\"}" "unknown op";
+  expect_error "{\"op\":\"submit\",\"seed\":\"one\"}" "bad \"seed\"";
+  expect_error "{\"op\":\"submit\",\"tset\":1}" "bad \"tset\"";
+  expect_error "{\"op\":\"submit\",\"timeout\":\"fast\"}" "bad \"timeout\""
+
+let test_submit_response_shape () =
+  let result =
+    { Scheduler.r_status = Scheduler.Complete; r_tests = 3; r_cycles = 41;
+      r_detected = 30; r_targets = 32; r_iterations = 2;
+      r_tset = Some "tset body"; r_resumed = true }
+  in
+  let json =
+    Protocol.submit_response ~id:(Some 7) ~cached:false ~want_tset:true result
+  in
+  let get k = Json.member k json in
+  Alcotest.(check (option bool)) "ok" (Some true) (Option.bind (get "ok") Json.as_bool);
+  Alcotest.(check (option int)) "id" (Some 7) (Option.bind (get "id") Json.as_int);
+  Alcotest.(check (option string)) "status" (Some "complete")
+    (Option.bind (get "status") Json.as_str);
+  Alcotest.(check (option bool)) "resumed" (Some true)
+    (Option.bind (get "resumed") Json.as_bool);
+  Alcotest.(check (option string)) "tset included" (Some "tset body")
+    (Option.bind (get "tset") Json.as_str);
+  (* Without want_tset the body is withheld even when present; a cache
+     hit has no job id. *)
+  let lean = Protocol.submit_response ~id:None ~cached:true ~want_tset:false result in
+  Alcotest.(check bool) "tset withheld" true (Json.member "tset" lean = None);
+  Alcotest.(check bool) "cached id is null" true
+    (Json.member "id" lean = Some Json.Null);
+  let failed =
+    Protocol.submit_response ~id:(Some 1) ~cached:false ~want_tset:false
+      { result with Scheduler.r_status = Scheduler.Failed "boom" }
+  in
+  Alcotest.(check (option bool)) "failed not ok" (Some false)
+    (Option.bind (Json.member "ok" failed) Json.as_bool);
+  Alcotest.(check (option string)) "failure message" (Some "boom")
+    (Option.bind (Json.member "error" failed) Json.as_str)
+
+(* --- QCheck round-trips ------------------------------------------------ *)
+
+(* Floats are excluded by construction: the writer prints integral floats
+   without a point, which re-parse as Int — a representation change the
+   round-trip equality would flag — and NaN has no JSON spelling at all. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let key =
+    string_size
+      ~gen:(map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 25))
+      (int_range 1 6)
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            ( 1,
+              map (fun l -> Json.List l) (list_size (int_bound 4) (self (depth - 1)))
+            );
+            ( 1,
+              map (fun l -> Json.Obj l)
+                (list_size (int_bound 4) (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json parse inverts printing (compact and indented)"
+    ~count:500
+    (QCheck.make ~print:(Json.to_string ~compact:true) json_gen)
+    (fun v ->
+      Json.of_string (Json.to_string ~compact:true v) = v
+      && Json.of_string (Json.to_string ~compact:false v) = v)
+
+(* Satellite: Tset_io write -> read is the identity over random test sets
+   (the serving layer ships results through exactly this format). *)
+let tset_gen =
+  let c = Asc_circuits.S27.circuit () in
+  let n_si = Asc_netlist.Circuit.n_dffs c in
+  let n_pi = Asc_netlist.Circuit.n_inputs c in
+  let open QCheck.Gen in
+  let bools n = array_size (return n) bool in
+  let test_gen =
+    int_range 1 5 >>= fun len ->
+    bools n_si >>= fun si ->
+    array_size (return len) (bools n_pi) >>= fun seq ->
+    return (Scan_test.create ~si ~seq)
+  in
+  array_size (int_bound 6) test_gen
+
+let prop_tset_roundtrip =
+  QCheck.Test.make ~name:"Tset_io read inverts write over random test sets"
+    ~count:200
+    (QCheck.make
+       ~print:(fun tests -> Tset_io.to_string (Asc_circuits.S27.circuit ()) tests)
+       tset_gen)
+    (fun tests ->
+      let c = Asc_circuits.S27.circuit () in
+      let name, back = Tset_io.of_string (Tset_io.to_string c tests) in
+      name = Asc_netlist.Circuit.name c
+      && Array.length back = Array.length tests
+      && Array.for_all2 Scan_test.equal back tests)
+
+(* --- Black-box suites over the real binary ----------------------------- *)
+
+let asc_exe =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    "bin/asc.exe"
+
+let spawn_server ?(env = []) args log =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  (* getenv returns the FIRST match, so appending cannot override an
+     entry a putenv-using test (test_chaos) left behind; rebuild the
+     environment with ASC_CHAOS and any overridden names stripped. *)
+  let name_of kv =
+    match String.index_opt kv '=' with
+    | Some i -> String.sub kv 0 i
+    | None -> kv
+  in
+  let overridden = List.map name_of env in
+  let inherited =
+    List.filter
+      (fun kv ->
+        let name = name_of kv in
+        name <> Chaos.env_var && not (List.mem name overridden))
+      (Array.to_list (Unix.environment ()))
+  in
+  let envp = Array.of_list (inherited @ env) in
+  let pid =
+    Unix.create_process_env asc_exe
+      (Array.of_list ("asc" :: args))
+      envp Unix.stdin fd fd
+  in
+  Unix.close fd;
+  pid
+
+let wait_for_socket path =
+  let rec go n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.failf "server socket %s never appeared" path
+    else begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 200
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let client_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let client_send c text =
+  let n = String.length text in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring c.fd text !sent (n - !sent)
+  done
+
+let client_request c line = client_send c (line ^ "\n")
+
+let client_recv c = input_line c.ic
+
+let client_close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Spawn `asc serve` on a fresh Unix socket, run [f socket_path], then
+   reap the process (the body normally shuts the server down itself; the
+   kill in [finally] is the safety net so one failure cannot hang the
+   suite).  Returns the server's exit status. *)
+let with_server ?env ?(domains = 2) ?state_dir f =
+  let dir = temp_dir "asc-serve" in
+  let sock = Filename.concat dir "asc.sock" in
+  let args =
+    [ "serve"; "--socket"; sock; "--domains"; string_of_int domains ]
+    @ match state_dir with None -> [] | Some d -> [ "--state-dir"; d ]
+  in
+  let pid = spawn_server ?env args (Filename.concat dir "server.log") in
+  let status = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !status with
+      | Some _ -> ()
+      | None -> (
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()));
+      rm_rf dir)
+    (fun () ->
+      wait_for_socket sock;
+      f sock;
+      let _, st = Unix.waitpid [] pid in
+      status := Some st;
+      st)
+
+let ping_golden = "{\"ok\":true,\"op\":\"ping\",\"protocol\":1}"
+
+let shutdown_server c =
+  client_request c "{\"op\":\"shutdown\"}";
+  Alcotest.(check string) "shutdown golden response"
+    "{\"ok\":true,\"op\":\"shutdown\"}" (client_recv c)
+
+let submit_line ?(tset = false) ?timeout ?(seed = 1) circuit =
+  let timeout_part =
+    match timeout with None -> "" | Some t -> Printf.sprintf ",\"timeout\":%g" t
+  in
+  Printf.sprintf "{\"op\":\"submit\",\"circuit\":%S,\"seed\":%d%s%s}" circuit seed
+    timeout_part
+    (if tset then ",\"tset\":true" else "")
+
+let response_member resp key =
+  match Json.parse resp with
+  | Error e -> Alcotest.failf "unparseable response %S: %s" resp e
+  | Ok json -> Json.member key json
+
+let check_bool_member resp key expected =
+  Alcotest.(check (option bool))
+    (Printf.sprintf "%s of %s" key (String.sub resp 0 (min 60 (String.length resp))))
+    (Some expected)
+    (Option.bind (response_member resp key) Json.as_bool)
+
+let int_member resp key =
+  match Option.bind (response_member resp key) Json.as_int with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks int %S: %s" key resp
+
+let str_member resp key =
+  match Option.bind (response_member resp key) Json.as_str with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks string %S: %s" key resp
+
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote asc_exe)
+      (String.concat " " (List.map Filename.quote args))
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "reference CLI run failed: asc %s" (String.concat " " args)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Conformance: golden transcripts for the stable frames, field checks
+   against a one-shot `asc run --json` for the computed ones, and framing
+   edge cases (pipelining, CRLF, blank lines, malformed frames). *)
+let test_server_conformance () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else
+    let st =
+      with_server (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          client_request c "{\"op\":\"ping\"}";
+          Alcotest.(check string) "ping golden response" ping_golden (client_recv c);
+          (* Pipelining: two frames in one write, two responses. *)
+          client_send c "{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n";
+          Alcotest.(check string) "pipelined 1" ping_golden (client_recv c);
+          Alcotest.(check string) "pipelined 2" ping_golden (client_recv c);
+          (* CRLF and blank lines are tolerated silently. *)
+          client_send c "\r\n\n{\"op\":\"ping\"}\r\n";
+          Alcotest.(check string) "crlf framing" ping_golden (client_recv c);
+          (* Malformed frames answer with an error and keep the line open. *)
+          client_request c "{not json";
+          check_bool_member (client_recv c) "ok" false;
+          client_request c "{\"op\":\"zap\"}";
+          check_bool_member (client_recv c) "ok" false;
+          client_request c "{\"op\":\"submit\",\"circuit\":\"nosuch\"}";
+          let resp = client_recv c in
+          check_bool_member resp "ok" false;
+          Alcotest.(check bool) "names the circuit" true
+            (contains (str_member resp "error") "nosuch");
+          (* A served submit matches the one-shot CLI's --json summary. *)
+          let dir = temp_dir "asc-conf" in
+          Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+          let ref_json = Filename.concat dir "ref.json" in
+          run_cli [ "run"; "s27"; "--domains"; "1"; "--json"; ref_json ];
+          let reference = Json.of_string (read_file ref_json) in
+          client_request c (submit_line "s27");
+          let resp = client_recv c in
+          check_bool_member resp "ok" true;
+          Alcotest.(check string) "served status" "complete"
+            (str_member resp "status");
+          List.iter
+            (fun key ->
+              Alcotest.(check int)
+                (Printf.sprintf "served %s matches one-shot --json" key)
+                (match Option.bind (Json.member key reference) Json.as_int with
+                | Some v -> v
+                | None -> Alcotest.failf "reference lacks %s" key)
+                (int_member resp key))
+            [ "tests"; "cycles"; "detected"; "targets"; "iterations" ];
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit" true (st = Unix.WEXITED 0)
+
+(* Fuzz: random garbage frames must each draw an error response — never a
+   crash, never a stuck connection. *)
+let test_server_fuzz_malformed () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else
+    let st =
+      with_server (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          let rng = Rng.create 20260808 in
+          let charset = "{}[]\",:truefalsn0123456789.eE+- \\x" in
+          for _ = 1 to 60 do
+            let len = 1 + Rng.int rng 40 in
+            let frame =
+              String.init len (fun _ -> charset.[Rng.int rng (String.length charset)])
+            in
+            client_request c frame;
+            check_bool_member (client_recv c) "ok" false
+          done;
+          (* Every strict prefix of a valid request is still just an error. *)
+          let valid = "{\"op\":\"submit\",\"circuit\":\"s27\",\"seed\":1}" in
+          for len = 1 to String.length valid - 1 do
+            client_request c (String.sub valid 0 len);
+            check_bool_member (client_recv c) "ok" false
+          done;
+          (* The connection survived all of it. *)
+          client_request c "{\"op\":\"ping\"}";
+          Alcotest.(check string) "healthy after fuzz" ping_golden (client_recv c);
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit" true (st = Unix.WEXITED 0)
+
+(* Determinism: concurrently served jobs are byte-identical to one-shot
+   `asc save-tests`, whatever the server's pool size; resubmission is
+   answered from the cache, observable in the metrics counters. *)
+let test_server_determinism () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let dir = temp_dir "asc-det" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let reference circuit =
+      let path = Filename.concat dir (circuit ^ ".ref") in
+      run_cli [ "save-tests"; circuit; path; "--domains"; "1" ];
+      read_file path
+    in
+    let ref_s27 = reference "s27" and ref_s298 = reference "s298" in
+    List.iter
+      (fun domains ->
+        let st =
+          with_server ~domains (fun sock ->
+              (* Three clients submit before any response is read: the
+                 server queues them all and drains round-robin. *)
+              let c1 = client_connect sock in
+              let c2 = client_connect sock in
+              let c3 = client_connect sock in
+              Fun.protect
+                ~finally:(fun () -> List.iter client_close [ c1; c2; c3 ])
+              @@ fun () ->
+              client_request c1 (submit_line ~tset:true "s27");
+              client_request c2 (submit_line ~tset:true "s298");
+              client_request c3 (submit_line ~tset:true ~seed:2 "s27");
+              let r1 = client_recv c1 in
+              let r2 = client_recv c2 in
+              let r3 = client_recv c3 in
+              List.iter (fun r -> check_bool_member r "ok" true) [ r1; r2; r3 ];
+              Alcotest.(check string)
+                (Printf.sprintf "s27 served = one-shot (domains=%d)" domains)
+                ref_s27 (str_member r1 "tset");
+              Alcotest.(check string)
+                (Printf.sprintf "s298 served = one-shot (domains=%d)" domains)
+                ref_s298 (str_member r2 "tset");
+              Alcotest.(check bool) "seed-2 job completed too" true
+                (str_member r3 "status" = "complete");
+              (* Resubmission: cache hit, visible to the client and in the
+                 fleet counters. *)
+              client_request c1 (submit_line ~tset:true "s27");
+              let again = client_recv c1 in
+              check_bool_member again "cached" true;
+              Alcotest.(check string) "cached tset identical" ref_s27
+                (str_member again "tset");
+              client_request c1 "{\"op\":\"metrics\"}";
+              let m = client_recv c1 in
+              let counter name =
+                match
+                  Option.bind (response_member m "counters") (Json.member name)
+                with
+                | Some v -> Option.value ~default:(-1) (Json.as_int v)
+                | None -> Alcotest.failf "metrics lacks counter %s" name
+              in
+              Alcotest.(check int) "one cache hit" 1 (counter "result_cache_hits");
+              Alcotest.(check int) "three misses" 3 (counter "result_cache_misses");
+              Alcotest.(check int) "three completions" 3 (counter "jobs_completed");
+              Alcotest.(check int) "four submissions" 4 (counter "jobs_submitted");
+              shutdown_server c1)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "clean exit (domains=%d)" domains)
+          true
+          (st = Unix.WEXITED 0))
+      [ 1; 2; 4 ]
+  end
+
+(* Chaos soak: kill the server mid-job (second checkpoint write), restart
+   it over the same state dir, and require the resubmitted job to resume
+   from the snapshot and land bit-identically on the one-shot result. *)
+let test_server_chaos_soak () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let dir = temp_dir "asc-soak" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let ref_path = Filename.concat dir "s298.ref" in
+    run_cli [ "save-tests"; "s298"; ref_path; "--domains"; "1" ];
+    let reference = read_file ref_path in
+    let state = Filename.concat dir "state" in
+    let sock = Filename.concat dir "asc.sock" in
+    (* Round 1: the armed server dies mid-job with the kill exit code. *)
+    let pid =
+      spawn_server
+        ~env:[ "ASC_CHAOS=" ^ Chaos.checkpoint_output ^ "@2=kill" ]
+        [ "serve"; "--socket"; sock; "--domains"; "2"; "--state-dir"; state ]
+        (Filename.concat dir "server1.log")
+    in
+    wait_for_socket sock;
+    let c = client_connect sock in
+    client_request c (submit_line ~tset:true "s298");
+    (match client_recv c with
+    | exception End_of_file -> ()
+    | line -> Alcotest.failf "expected the server to die, got %s" line);
+    client_close c;
+    let _, st = Unix.waitpid [] pid in
+    Alcotest.(check bool) "chaos kill exits 137" true (st = Unix.WEXITED 137);
+    Alcotest.(check bool) "a checkpoint survived the crash" true
+      (Sys.file_exists state
+      && Array.exists
+           (fun f -> contains f ".ckpt")
+           (Sys.readdir state));
+    (* Round 2: a fresh server over the same state dir resumes the job. *)
+    let pid2 =
+      spawn_server
+        [ "serve"; "--socket"; sock; "--domains"; "2"; "--state-dir"; state ]
+        (Filename.concat dir "server2.log")
+    in
+    wait_for_socket sock;
+    let c = client_connect sock in
+    Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+    client_request c (submit_line ~tset:true "s298");
+    let resp = client_recv c in
+    check_bool_member resp "ok" true;
+    check_bool_member resp "resumed" true;
+    Alcotest.(check string) "resumed job completes" "complete"
+      (str_member resp "status");
+    Alcotest.(check string) "resumed tset = one-shot" reference
+      (str_member resp "tset");
+    shutdown_server c;
+    let _, st2 = Unix.waitpid [] pid2 in
+    Alcotest.(check bool) "clean exit after resume" true (st2 = Unix.WEXITED 0)
+  end
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "scheduler rejects bad specs" `Quick
+          test_scheduler_rejects;
+        Alcotest.test_case "scheduler is round-robin fair across sources" `Quick
+          test_scheduler_round_robin;
+        Alcotest.test_case "result cache hits with counters" `Quick
+          test_scheduler_cache_and_counters;
+        Alcotest.test_case "cache key is canonical" `Quick
+          test_scheduler_key_canonical;
+        Alcotest.test_case "deadline job cannot poison or starve a peer" `Quick
+          test_contention_deadline_isolation;
+        Alcotest.test_case "kill mid-checkpoint, resume bit-identically" `Quick
+          test_kill_resume_in_process;
+        Alcotest.test_case "protocol requests round-trip" `Quick
+          test_protocol_roundtrip;
+        Alcotest.test_case "protocol decode errors" `Quick
+          test_protocol_decode_errors;
+        Alcotest.test_case "submit response shape" `Quick test_submit_response_shape;
+        qtest prop_json_roundtrip;
+        qtest prop_tset_roundtrip;
+        Alcotest.test_case "server conformance over a socket" `Quick
+          test_server_conformance;
+        Alcotest.test_case "server survives malformed-frame fuzzing" `Quick
+          test_server_fuzz_malformed;
+        Alcotest.test_case "served jobs are deterministic and cached" `Slow
+          test_server_determinism;
+        Alcotest.test_case "chaos kill/resume soak" `Slow test_server_chaos_soak;
+      ] );
+  ]
