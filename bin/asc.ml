@@ -676,17 +676,35 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "state-dir" ] ~doc ~docv:"DIR")
   in
-  let run socket tcp state_dir domains sim_kernel verbose =
+  let workers_arg =
+    let doc =
+      "Fork $(docv) supervised worker processes; jobs run crash-isolated \
+       with per-job retry budgets and exponential-backoff restarts.  0 \
+       (the default) serves in-process, one job at a time."
+    in
+    Arg.(value & opt int 0 & info [ "workers" ] ~doc ~docv:"N")
+  in
+  let job_retries_arg =
+    let doc =
+      "Total dispatch attempts per job before a worker-crashing job \
+       fails with a typed $(b,worker_crash) error (supervised mode only)."
+    in
+    Arg.(
+      value
+      & opt (positive_int "job retries") 3
+      & info [ "job-retries" ] ~doc ~docv:"K")
+  in
+  let run socket tcp state_dir domains workers job_retries sim_kernel verbose =
     guard @@ fun () ->
     setup_logs verbose;
     apply_sim_kernel sim_kernel;
+    if workers < 0 then die exit_usage "--workers must be >= 0";
     let listen = resolve_listen socket tcp in
     (* The pool carries no budget: deadlines are per-job, created by the
        scheduler at dispatch, so one job's deadline cannot poison the
        pool for the jobs after it. *)
     let tel = Some (Asc_util.Telemetry.create ()) in
     let chaos = chaos_of_env ?tel () in
-    let pool = make_pool ?tel ?chaos domains in
     let config =
       { Asc_core.Server.listen; state_dir;
         max_frame = Asc_core.Server.default_max_frame }
@@ -696,9 +714,18 @@ let serve_cmd =
       | Asc_core.Server.Unix_socket p -> p
       | Asc_core.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
     in
-    Asc_core.Server.serve ?pool ?tel ?chaos
-      ~on_ready:(fun () -> Printf.printf "asc: serving on %s\n%!" where)
-      config;
+    let on_ready () = Printf.printf "asc: serving on %s\n%!" where in
+    if workers > 0 then
+      (* Domains do not survive fork, so the parent owns no pool; each
+         worker builds its own through [make_pool], recording into its
+         own telemetry handle. *)
+      Asc_core.Server.serve ?tel ?chaos ~on_ready ~workers ~job_retries
+        ~make_pool:(fun ~tel -> make_pool ~tel ?chaos domains)
+        config
+    else begin
+      let pool = make_pool ?tel ?chaos domains in
+      Asc_core.Server.serve ?pool ?tel ?chaos ~on_ready config
+    end;
     Printf.printf "asc: server shut down\n%!"
   in
   Cmd.v
@@ -708,7 +735,7 @@ let serve_cmd =
           docs/SERVING.md)")
     Term.(
       const run $ socket_arg $ tcp_arg $ state_dir_arg $ domains_arg
-      $ sim_kernel_arg $ verbose_arg)
+      $ workers_arg $ job_retries_arg $ sim_kernel_arg $ verbose_arg)
 
 let client_cmd =
   let op_arg =
@@ -743,21 +770,60 @@ let client_cmd =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let connect listen =
-    try
-      match listen with
-      | Asc_core.Server.Unix_socket path ->
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          Unix.connect fd (Unix.ADDR_UNIX path);
-          fd
-      | Asc_core.Server.Tcp (host, port) ->
-          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-          fd
-    with Unix.Unix_error (e, _, _) ->
-      die exit_input "cannot connect: %s" (Unix.error_message e)
+  let retries_arg =
+    let doc =
+      "Retry a failed connection (or a connection dropped before the \
+       response arrived) up to $(docv) more times.  Resubmission is \
+       idempotent: results are keyed by content hash, so a retried \
+       submit is answered from the server's result cache when the first \
+       attempt already completed."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~doc ~docv:"K")
   in
-  let run socket tcp op circuit netlist seed t0 job_timeout save =
+  let retry_backoff_arg =
+    let doc =
+      "Base backoff between retries, in milliseconds; attempt $(i,n) \
+       sleeps $(docv) * 2^$(i,n) before reconnecting."
+    in
+    Arg.(value & opt int 100 & info [ "retry-backoff" ] ~doc ~docv:"MS")
+  in
+  let connect listen =
+    match listen with
+    | Asc_core.Server.Unix_socket path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Asc_core.Server.Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        fd
+  in
+  (* One connect/send/receive round trip, with every connection-level
+     failure turned into [Error] so the caller can retry.  Protocol-level
+     failures (an unparseable response) are not retried. *)
+  let try_request listen line =
+    match connect listen with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+    | fd -> (
+        let finish r =
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          r
+        in
+        try
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          finish (Ok (input_line ic))
+        with
+        | End_of_file -> finish (Error "server closed the connection")
+        | Sys_error msg -> finish (Error msg)
+        | Unix.Unix_error (e, _, _) -> finish (Error (Unix.error_message e)))
+  in
+  let run socket tcp op circuit netlist seed t0 job_timeout save retries
+      retry_backoff =
     guard @@ fun () ->
     let module J = Asc_util.Json in
     let module P = Asc_core.Protocol in
@@ -788,17 +854,21 @@ let client_cmd =
           die exit_usage "unknown client op %S (ping|metrics|shutdown|submit|raw)"
             other
     in
-    let fd = connect (resolve_listen socket tcp) in
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    output_string oc line;
-    output_char oc '\n';
-    flush oc;
-    let response =
-      try input_line ic
-      with End_of_file -> die exit_input "server closed the connection"
+    let listen = resolve_listen socket tcp in
+    let rec attempt n =
+      match try_request listen line with
+      | Ok response -> response
+      | Error msg when n < retries ->
+          let delay =
+            float_of_int retry_backoff /. 1000. *. (2. ** float_of_int n)
+          in
+          Printf.eprintf "asc: %s; retry %d/%d in %.1fs\n%!" msg (n + 1)
+            retries delay;
+          Unix.sleepf delay;
+          attempt (n + 1)
+      | Error msg -> die exit_input "%s" msg
     in
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let response = attempt 0 in
     match J.parse response with
     | Error e -> die exit_input "unparseable response: %s" e
     | Ok json ->
@@ -833,7 +903,8 @@ let client_cmd =
           error)")
     Term.(
       const run $ socket_arg $ tcp_arg $ op_arg $ circuit_arg $ netlist_arg
-      $ seed_arg $ t0_arg $ job_timeout_arg $ save_arg)
+      $ seed_arg $ t0_arg $ job_timeout_arg $ save_arg $ retries_arg
+      $ retry_backoff_arg)
 
 (* --- tables -------------------------------------------------------------- *)
 

@@ -23,7 +23,9 @@ let field json key as_type ~default =
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
 
-let submit_of_json json =
+(* The spec members of a submit object — shared with the supervisor's
+   control channel, whose job messages carry the same encoding. *)
+let spec_of_json json =
   let d = Scheduler.default_spec in
   let* circuit =
     field json "circuit" (fun v -> Option.map Option.some (J.as_str v))
@@ -39,20 +41,26 @@ let submit_of_json json =
     field json "timeout" (fun v -> Option.map Option.some (J.as_float v))
       ~default:d.Scheduler.sp_timeout
   in
-  let* want_tset = field json "tset" J.as_bool ~default:false in
   Ok
-    (Submit
-       {
-         spec =
-           {
-             Scheduler.sp_circuit = circuit;
-             sp_netlist = netlist;
-             sp_seed = seed;
-             sp_t0 = t0;
-             sp_timeout = timeout;
-           };
-         want_tset;
-       })
+    {
+      Scheduler.sp_circuit = circuit;
+      sp_netlist = netlist;
+      sp_seed = seed;
+      sp_t0 = t0;
+      sp_timeout = timeout;
+    }
+
+let spec_to_members (spec : Scheduler.spec) =
+  let opt k v = match v with None -> [] | Some x -> [ (k, x) ] in
+  opt "circuit" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_circuit)
+  @ opt "netlist" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_netlist)
+  @ [ ("seed", J.Int spec.Scheduler.sp_seed); ("t0", J.Str spec.Scheduler.sp_t0) ]
+  @ opt "timeout" (Option.map (fun t -> J.Float t) spec.Scheduler.sp_timeout)
+
+let submit_of_json json =
+  let* spec = spec_of_json json in
+  let* want_tset = field json "tset" J.as_bool ~default:false in
+  Ok (Submit { spec; want_tset })
 
 let request_of_json json =
   match J.member "op" json with
@@ -76,14 +84,9 @@ let request_to_json = function
   | Metrics -> J.Obj [ ("op", J.Str "metrics") ]
   | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
   | Submit { spec; want_tset } ->
-      let opt k v = match v with None -> [] | Some x -> [ (k, x) ] in
       J.Obj
         ([ ("op", J.Str "submit") ]
-        @ opt "circuit" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_circuit)
-        @ opt "netlist" (Option.map (fun s -> J.Str s) spec.Scheduler.sp_netlist)
-        @ [ ("seed", J.Int spec.Scheduler.sp_seed);
-            ("t0", J.Str spec.Scheduler.sp_t0) ]
-        @ opt "timeout" (Option.map (fun t -> J.Float t) spec.Scheduler.sp_timeout)
+        @ spec_to_members spec
         @ if want_tset then [ ("tset", J.Bool true) ] else [])
 
 (* --- Responses --------------------------------------------------------- *)
@@ -91,7 +94,9 @@ let request_to_json = function
 let ping_response =
   J.Obj [ ("ok", J.Bool true); ("op", J.Str "ping"); ("protocol", J.Int version) ]
 
-let shutdown_response = J.Obj [ ("ok", J.Bool true); ("op", J.Str "shutdown") ]
+let shutdown_response ~drained =
+  J.Obj
+    [ ("ok", J.Bool true); ("op", J.Str "shutdown"); ("drained", J.Int drained) ]
 
 let metrics_response ~pending ~counters =
   J.Obj

@@ -34,7 +34,9 @@ val request_to_json : request -> Asc_util.Json.t
 
 val ping_response : Asc_util.Json.t
 
-val shutdown_response : Asc_util.Json.t
+(** [shutdown_response ~drained] — [drained] reports how many queued or
+    in-flight jobs the server finished during drain before exiting. *)
+val shutdown_response : drained:int -> Asc_util.Json.t
 
 (** [metrics_response ~pending ~counters] — the fleet-wide counter
     catalogue (cumulative since server start) plus the queue depth. *)
@@ -51,3 +53,14 @@ val submit_response :
 (** The status string of a submit response: ["complete"], ["partial"] or
     ["failed"]. *)
 val status_string : Scheduler.status -> string
+
+(** {1 Spec codec} — shared with {!Supervisor}'s control channel, whose
+    job messages carry the same member encoding as [submit] requests. *)
+
+(** Decode the spec members of an object (absent members default as in a
+    [submit] request). *)
+val spec_of_json : Asc_util.Json.t -> (Scheduler.spec, string) Stdlib.result
+
+(** The spec rendered as object members (the inverse of
+    {!spec_of_json}). *)
+val spec_to_members : Scheduler.spec -> (string * Asc_util.Json.t) list

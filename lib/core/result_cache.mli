@@ -1,0 +1,56 @@
+(** Persistent content-addressed result cache for the serving layer
+    (docs/SERVING.md).
+
+    A cache is an in-memory table over an optional on-disk store: one
+    [result-<key>.res] file per completed job under the state directory,
+    CRC-32-trailed and written atomically (temp file + rename) following
+    the Checkpoint v2 discipline, so completed results survive daemon
+    restarts and a crash mid-write leaves no readable garbage.
+
+    Only [Complete] results are stored (the {!Scheduler} converts), so a
+    loaded entry is complete by construction.  A file that fails to
+    decode — truncation, bit flip, foreign content — is skipped {e and
+    deleted} on access: corruption costs one recomputation, never an
+    error. *)
+
+type entry = {
+  e_key : string;  (** The job's content hash ({!Scheduler.key_of_spec}). *)
+  e_tests : int;
+  e_cycles : int;
+  e_detected : int;
+  e_targets : int;
+  e_iterations : int;
+  e_tset : string;
+      (** The test set in {!Asc_scan.Tset_io} format, byte-identical to
+          the serving response's [tset] member. *)
+}
+
+type t
+
+(** [create ?dir ()] — with [dir], entries are persisted there (the
+    directory is created if missing); without, the cache is memory-only. *)
+val create : ?dir:string -> unit -> t
+
+(** [find t key] — [Some (entry, from_disk)] where [from_disk] reports
+    that the entry was faulted in from the persistent store rather than
+    answered from memory (the [result_cache_persisted_hits] signal).
+    Never raises: unreadable or corrupt files are deleted and reported as
+    a miss. *)
+val find : t -> string -> (entry * bool) option
+
+(** [store t entry] — insert in memory and, when persistent, write the
+    entry's file atomically.  Disk failures are swallowed after a bounded
+    retry: the on-disk copy is an availability optimisation, and a failed
+    write must not fail the job that produced the result. *)
+val store : t -> entry -> unit
+
+(** The file a key persists to — exposed for tests and operators. *)
+val path : dir:string -> string -> string
+
+(** {1 Codec} — exposed for the corruption property tests. *)
+
+val entry_to_string : entry -> string
+
+(** Decode one file's bytes.  [Error] on any malformation: bad magic,
+    truncation, CRC mismatch, trailing bytes. *)
+val entry_of_string : string -> (entry, string) result

@@ -31,6 +31,8 @@ type job = {
   j_name : string;
   j_config : Pipeline.config;
   j_timeout : float option;
+  j_spec : spec;
+  mutable j_attempts : int;
 }
 
 type status =
@@ -135,8 +137,9 @@ type t = {
   tel : Telemetry.t option;
   chaos : Chaos.t option;
   state_dir : string option;
-  cache : (string, result) Hashtbl.t;
+  cache : Result_cache.t;
   queues : (int, job Queue.t) Hashtbl.t;
+  redo : job Queue.t;  (* requeued in-flight jobs, served before fresh work *)
   mutable rotation : int list;  (* sources with queued work, service order *)
   mutable next_id : int;
   mutable pending : int;
@@ -149,21 +152,74 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?pool ?tel ?chaos ?state_dir () =
+let create ?pool ?tel ?chaos ?state_dir ?(persist_results = true) () =
   Option.iter mkdir_p state_dir;
   {
     pool;
     tel;
     chaos;
     state_dir;
-    cache = Hashtbl.create 64;
+    cache =
+      Result_cache.create
+        ?dir:(if persist_results then state_dir else None)
+        ();
     queues = Hashtbl.create 8;
+    redo = Queue.create ();
     rotation = [];
     next_id = 0;
     pending = 0;
   }
 
 let pending t = t.pending
+
+(* Only Complete results (which always carry a test set) enter the
+   cache; Partial and Failed outcomes are recomputed on resubmission. *)
+let cache_store t ~key result =
+  match (result.r_status, result.r_tset) with
+  | Complete, Some tset ->
+      Result_cache.store t.cache
+        {
+          Result_cache.e_key = key;
+          e_tests = result.r_tests;
+          e_cycles = result.r_cycles;
+          e_detected = result.r_detected;
+          e_targets = result.r_targets;
+          e_iterations = result.r_iterations;
+          e_tset = tset;
+        }
+  | _ -> ()
+
+let result_of_entry (e : Result_cache.entry) =
+  {
+    r_status = Complete;
+    r_tests = e.Result_cache.e_tests;
+    r_cycles = e.Result_cache.e_cycles;
+    r_detected = e.Result_cache.e_detected;
+    r_targets = e.Result_cache.e_targets;
+    r_iterations = e.Result_cache.e_iterations;
+    r_tset = Some e.Result_cache.e_tset;
+    r_resumed = false;
+  }
+
+(* Resolve a spec into a runnable job without touching the queue or the
+   submission counters — the worker side of the supervised control
+   channel, where the parent already accounted for the submission. *)
+let job_of_spec ~id ~source spec =
+  match resolve spec with
+  | Error _ as e -> e
+  | Ok rv ->
+      Ok
+        {
+          j_id = id;
+          j_key = rv.rv_key;
+          j_source = source;
+          j_circuit = rv.rv_circuit;
+          j_name = rv.rv_name;
+          j_config = rv.rv_config;
+          j_timeout = spec.sp_timeout;
+          j_spec = spec;
+          j_attempts = 0;
+        }
 
 let submit t ~source spec =
   match resolve spec with
@@ -172,10 +228,12 @@ let submit t ~source spec =
       Rejected message
   | Ok rv -> (
       Telemetry.incr t.tel Telemetry.Jobs_submitted;
-      match Hashtbl.find_opt t.cache rv.rv_key with
-      | Some result ->
+      match Result_cache.find t.cache rv.rv_key with
+      | Some (entry, from_disk) ->
           Telemetry.incr t.tel Telemetry.Result_cache_hits;
-          Cached result
+          if from_disk then
+            Telemetry.incr t.tel Telemetry.Result_cache_persisted_hits;
+          Cached (result_of_entry entry)
       | None ->
           Telemetry.incr t.tel Telemetry.Result_cache_misses;
           let job =
@@ -187,6 +245,8 @@ let submit t ~source spec =
               j_name = rv.rv_name;
               j_config = rv.rv_config;
               j_timeout = spec.sp_timeout;
+              j_spec = spec;
+              j_attempts = 0;
             }
           in
           t.next_id <- t.next_id + 1;
@@ -204,21 +264,33 @@ let submit t ~source spec =
           t.pending <- t.pending + 1;
           Accepted job)
 
-(* Pop one job in round-robin source order: serve the head source, then
+(* Pop one job: requeued in-flight jobs first (they already waited their
+   turn), then round-robin source order — serve the head source, then
    rotate it to the tail (or retire it if its queue drained). *)
 let pick t =
-  match t.rotation with
-  | [] -> None
-  | source :: rest -> (
-      match Hashtbl.find_opt t.queues source with
-      | None ->
-          t.rotation <- rest;
-          None
-      | Some q ->
-          let job = Queue.pop q in
-          t.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
-          t.pending <- t.pending - 1;
-          Some job)
+  if not (Queue.is_empty t.redo) then begin
+    t.pending <- t.pending - 1;
+    Some (Queue.pop t.redo)
+  end
+  else
+    match t.rotation with
+    | [] -> None
+    | source :: rest -> (
+        match Hashtbl.find_opt t.queues source with
+        | None ->
+            t.rotation <- rest;
+            None
+        | Some q ->
+            let job = Queue.pop q in
+            t.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
+            t.pending <- t.pending - 1;
+            Some job)
+
+(* Put a dispatched job back at the head of the line (a worker crashed
+   under it).  The caller owns the retry budget. *)
+let requeue t job =
+  Queue.push job t.redo;
+  t.pending <- t.pending + 1
 
 (* --- Job execution ----------------------------------------------------- *)
 
@@ -238,7 +310,7 @@ let empty_result status =
   { r_status = status; r_tests = 0; r_cycles = 0; r_detected = 0; r_targets = 0;
     r_iterations = 0; r_tset = None; r_resumed = false }
 
-let run_job t job =
+let execute t job =
   let budget = Budget.create ?timeout:job.j_timeout () in
   let config = job.j_config in
   let resumed = ref false in
@@ -291,7 +363,7 @@ let run_job t job =
           }
         in
         Telemetry.incr t.tel Telemetry.Jobs_completed;
-        Hashtbl.replace t.cache job.j_key result;
+        cache_store t ~key:job.j_key result;
         result
     | Pipeline.Partial p ->
         Telemetry.incr t.tel Telemetry.Jobs_partial;
@@ -331,4 +403,4 @@ let run_next t =
   | None -> None
   | Some job ->
       Chaos.hit t.chaos Chaos.serve_dispatch;
-      Some (job, run_job t job)
+      Some (job, execute t job)

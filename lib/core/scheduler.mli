@@ -42,6 +42,12 @@ type job = {
   j_name : string;
   j_config : Pipeline.config;
   j_timeout : float option;
+  j_spec : spec;
+      (** The original submission, kept so a supervisor can ship the job
+          to a worker process verbatim (re-resolving the {e spec}, not
+          the canonical netlist, preserves registry-vs-inline budgets). *)
+  mutable j_attempts : int;
+      (** Dispatch attempts so far — the supervisor's retry budget. *)
 }
 
 type status =
@@ -69,6 +75,9 @@ type submit_outcome =
   | Cached of result  (** Answered from the result cache. *)
   | Rejected of string  (** Spec invalid (bad circuit, bad netlist, bad t0). *)
 
+(** A result with the given status and every other field zero/absent. *)
+val empty_result : status -> result
+
 type t
 
 (** [create ?pool ?tel ?chaos ?state_dir ()] — the pool is shared by every
@@ -78,12 +87,19 @@ type t
     [keep = 2]) at every snapshot boundary, and a resubmission of [k]
     resumes from the newest valid copy.  The directory is created if
     missing.  [chaos] arms the [serve.dispatch] point plus the checkpoint
-    I/O points of every job. *)
+    I/O points of every job.
+
+    [persist_results] (default [true]) additionally backs the result
+    cache with {!Result_cache} files under [state_dir], so completed
+    results survive restarts.  Workers in a supervised server pass
+    [false]: the parent is the single writer of the results store, while
+    workers still own their per-key job checkpoints. *)
 val create :
   ?pool:Asc_util.Domain_pool.t ->
   ?tel:Asc_util.Telemetry.t ->
   ?chaos:Asc_util.Chaos.t ->
   ?state_dir:string ->
+  ?persist_results:bool ->
   unit ->
   t
 
@@ -96,11 +112,46 @@ val key_of_spec : spec -> (string, string) Stdlib.result
     (registry lookup or netlist parse, option validation) happens here, so
     a bad spec is rejected synchronously and never occupies the queue.
     Bumps [Jobs_submitted] for every accepted or cached submission, and
-    [Result_cache_hits] / [Result_cache_misses] accordingly. *)
+    [Result_cache_hits] / [Result_cache_misses] accordingly; a hit served
+    from the on-disk store additionally bumps
+    [Result_cache_persisted_hits]. *)
 val submit : t -> source:int -> spec -> submit_outcome
 
 (** Jobs queued and not yet dispatched. *)
 val pending : t -> int
+
+(** {1 Supervisor interface}
+
+    A supervised server splits dispatch from execution: the parent
+    {!pick}s jobs and ships their specs to worker processes, workers
+    {!job_of_spec} + {!execute} them, and the parent folds results back
+    with {!cache_store}.  In-process serving keeps using {!run_next},
+    which composes the same pieces. *)
+
+(** Pop the next job — requeued in-flight jobs first, then round-robin
+    source order.  [None] when nothing is queued. *)
+val pick : t -> job option
+
+(** Put a dispatched job back at the head of the line (its worker
+    crashed).  The caller owns the retry budget ([j_attempts]). *)
+val requeue : t -> job -> unit
+
+(** Resolve a spec into a runnable job {e without} queueing it or bumping
+    the submission counters — the worker side of the control channel,
+    where the parent already accounted for the submission.  [id] is the
+    parent's job id, echoed so results match up. *)
+val job_of_spec : id:int -> source:int -> spec -> (job, string) Stdlib.result
+
+(** Run one job to its outcome on the calling domain (blocking) — the
+    execution half of {!run_next}, with identical telemetry, checkpoint
+    and chaos behaviour. *)
+val execute : t -> job -> result
+
+(** Record a finished job's result: [Complete] results (which always
+    carry a test set) enter the cache — and its persistent store, when
+    enabled; anything else is a no-op.  The supervised parent calls this
+    with worker-produced results. *)
+val cache_store : t -> key:string -> result -> unit
 
 (** [run_next t] dispatches the next job in round-robin source order and
     runs it to its outcome on the calling domain (blocking).  [None] when

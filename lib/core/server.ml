@@ -1,5 +1,7 @@
 (* The serving daemon: a single-threaded select loop over a stream
-   socket, draining the scheduler one job per iteration (docs/SERVING.md). *)
+   socket.  In-process mode drains the scheduler one job per iteration;
+   supervised mode ([workers > 0]) forks a Supervisor fleet and the loop
+   only dispatches and collects (docs/SERVING.md). *)
 
 module J = Asc_util.Json
 module Chaos = Asc_util.Chaos
@@ -26,8 +28,12 @@ type state = {
   conns : (int, conn) Hashtbl.t;
   waiting : (int, int * bool) Hashtbl.t;  (* job id -> (conn id, want tset) *)
   cumulative : (string, int) Hashtbl.t;  (* counters across telemetry drains *)
+  mutable sup : Supervisor.t option;
   mutable next_cid : int;
   mutable running : bool;
+  mutable draining : bool;  (* shutdown received with work outstanding *)
+  mutable drained : int;  (* jobs finished during drain *)
+  mutable shutdown_waiters : int list;  (* conns owed a shutdown response *)
 }
 
 let close_conn state conn =
@@ -53,17 +59,19 @@ let write_response state conn json =
   | Chaos.Killed _ as e -> raise e
   | Unix.Unix_error _ | Sys_error _ -> close_conn state conn
 
+(* Fold a counter list into the cumulative table. *)
+let fold_counters state counters =
+  List.iter
+    (fun (k, v) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt state.cumulative k) in
+      Hashtbl.replace state.cumulative k (prev + v))
+    counters
+
 (* Fold a fresh telemetry drain into the cumulative table ([drain]
    resets the handle, so the server must aggregate to stay monotonic). *)
 let accumulate state =
   Option.iter
-    (fun tel ->
-      let snap = Telemetry.drain tel in
-      List.iter
-        (fun (k, v) ->
-          let prev = Option.value ~default:0 (Hashtbl.find_opt state.cumulative k) in
-          Hashtbl.replace state.cumulative k (prev + v))
-        snap.Telemetry.counters)
+    (fun tel -> fold_counters state (Telemetry.drain tel).Telemetry.counters)
     state.tel
 
 let metrics state =
@@ -77,22 +85,41 @@ let metrics state =
   in
   Protocol.metrics_response ~pending:(Scheduler.pending state.sched) ~counters
 
+let busy_count state =
+  match state.sup with Some s -> Supervisor.busy_count s | None -> 0
+
+let outstanding state = Scheduler.pending state.sched + busy_count state
+
 let handle_request state conn = function
   | Protocol.Ping -> write_response state conn Protocol.ping_response
   | Protocol.Metrics -> write_response state conn (metrics state)
   | Protocol.Shutdown ->
-      write_response state conn Protocol.shutdown_response;
-      state.running <- false
+      if outstanding state = 0 && not state.draining then begin
+        write_response state conn
+          (Protocol.shutdown_response ~drained:state.drained);
+        state.running <- false
+      end
+      else begin
+        (* Drain mode: finish queued and in-flight jobs first; the
+           response (with the drained count) is deferred to drain
+           completion. *)
+        state.draining <- true;
+        state.shutdown_waiters <- conn.cid :: state.shutdown_waiters
+      end
   | Protocol.Submit { spec; want_tset } -> (
-      match Scheduler.submit state.sched ~source:conn.cid spec with
-      | Scheduler.Rejected message ->
-          write_response state conn (Protocol.error_response message)
-      | Scheduler.Cached result ->
-          write_response state conn
-            (Protocol.submit_response ~id:None ~cached:true ~want_tset result)
-      | Scheduler.Accepted job ->
-          (* Deferred: the response is written when the job runs. *)
-          Hashtbl.replace state.waiting job.Scheduler.j_id (conn.cid, want_tset))
+      if state.draining then
+        write_response state conn
+          (Protocol.error_response "server is draining for shutdown")
+      else
+        match Scheduler.submit state.sched ~source:conn.cid spec with
+        | Scheduler.Rejected message ->
+            write_response state conn (Protocol.error_response message)
+        | Scheduler.Cached result ->
+            write_response state conn
+              (Protocol.submit_response ~id:None ~cached:true ~want_tset result)
+        | Scheduler.Accepted job ->
+            (* Deferred: the response is written when the job runs. *)
+            Hashtbl.replace state.waiting job.Scheduler.j_id (conn.cid, want_tset))
 
 let handle_frame state conn line =
   try
@@ -171,6 +198,7 @@ let bind_listener = function
 (* Deliver one finished job's response to its submitter, if the
    connection is still around. *)
 let deliver state (job, result) =
+  if state.draining then state.drained <- state.drained + 1;
   match Hashtbl.find_opt state.waiting job.Scheduler.j_id with
   | None -> ()
   | Some (cid, want_tset) -> (
@@ -182,10 +210,39 @@ let deliver state (job, result) =
                ~want_tset result)
       | _ -> ())
 
-let serve ?pool ?tel ?chaos ?on_ready config =
+(* Collect supervised results: fold each worker's telemetry drain into
+   the cumulative table (so [metrics] reflects multi-worker runs),
+   persist the result, answer the submitter. *)
+let collect_supervised state sup =
+  List.iter
+    (fun (job, result, counters) ->
+      fold_counters state counters;
+      Scheduler.cache_store state.sched ~key:job.Scheduler.j_key result;
+      deliver state (job, result))
+    (Supervisor.take_results sup)
+
+(* Drain complete: answer every shutdown in arrival order, then stop. *)
+let finish_drain state =
+  if state.draining && outstanding state = 0 then begin
+    List.iter
+      (fun cid ->
+        match Hashtbl.find_opt state.conns cid with
+        | Some conn when conn.alive ->
+            write_response state conn
+              (Protocol.shutdown_response ~drained:state.drained)
+        | _ -> ())
+      (List.rev state.shutdown_waiters);
+    state.shutdown_waiters <- [];
+    state.running <- false
+  end
+
+let serve ?pool ?tel ?chaos ?on_ready ?(workers = 0) ?job_retries ?make_pool
+    config =
   (* A client that disconnects mid-write must not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  if workers > 0 && pool <> None then
+    invalid_arg "Server.serve: a supervised parent must not own a pool";
   let sched = Scheduler.create ?pool ?tel ?chaos ?state_dir:config.state_dir () in
   let state =
     {
@@ -196,14 +253,34 @@ let serve ?pool ?tel ?chaos ?on_ready config =
       conns = Hashtbl.create 16;
       waiting = Hashtbl.create 16;
       cumulative = Hashtbl.create 64;
+      sup = None;
       next_cid = 0;
       running = true;
+      draining = false;
+      drained = 0;
+      shutdown_waiters = [];
     }
   in
   let listener = bind_listener config.listen in
+  if workers > 0 then
+    state.sup <-
+      Some
+        (Supervisor.create ?tel ?chaos ?state_dir:config.state_dir ?job_retries
+           ?make_pool
+           ~on_child_fork:(fun () ->
+             (* Children must not hold the server's sockets: a stray
+                duplicate would keep client connections half-open past
+                the parent's close. *)
+             (try Unix.close listener with Unix.Unix_error _ -> ());
+             Hashtbl.iter
+               (fun _ c ->
+                 try Unix.close c.fd with Unix.Unix_error _ -> ())
+               state.conns)
+           ~workers ());
   Option.iter (fun f -> f ()) on_ready;
   Fun.protect
     ~finally:(fun () ->
+      Option.iter Supervisor.stop state.sup;
       Hashtbl.iter (fun _ conn -> close_conn state conn)
         (Hashtbl.copy state.conns);
       (try Unix.close listener with Unix.Unix_error _ -> ());
@@ -213,11 +290,24 @@ let serve ?pool ?tel ?chaos ?on_ready config =
       | Tcp _ -> ())
     (fun () ->
       while state.running do
-        (* Service the socket first — short timeout when work is queued so
-           a burst of submissions lands before the next dispatch. *)
-        let timeout = if Scheduler.pending state.sched > 0 then 0.0 else 0.2 in
+        (* Service the socket first — zero timeout when a dispatch can
+           happen right now so a burst of submissions lands before it. *)
+        let dispatch_ready =
+          Scheduler.pending state.sched > 0
+          &&
+          match state.sup with
+          | None -> true
+          | Some s ->
+              Supervisor.live_count s - Supervisor.busy_count s > 0
+              || (Supervisor.all_retired s && Supervisor.live_count s = 0)
+        in
+        let timeout = if dispatch_ready then 0.0 else 0.2 in
+        let sup_fds =
+          match state.sup with Some s -> Supervisor.fds s | None -> []
+        in
         let fds =
-          listener :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) state.conns []
+          (listener :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) state.conns [])
+          @ sup_fds
         in
         let readable =
           match Unix.select fds [] [] timeout with
@@ -234,9 +324,28 @@ let serve ?pool ?tel ?chaos ?on_ready config =
                     (fun _ c acc -> if c.fd == fd then Some c else acc)
                     state.conns None
                 in
-                Option.iter (fun c -> read_conn state c) found)
+                match found with
+                | Some c -> read_conn state c
+                | None ->
+                    Option.iter
+                      (fun s -> Supervisor.handle_readable s ~sched fd)
+                      state.sup)
           readable;
-        (* Then run exactly one queued job to completion. *)
-        if state.running then
-          Option.iter (deliver state) (Scheduler.run_next state.sched)
+        if state.running then begin
+          (match state.sup with
+          | None ->
+              (* In-process mode: run exactly one queued job to
+                 completion. *)
+              Option.iter (deliver state) (Scheduler.run_next sched)
+          | Some s ->
+              Supervisor.pump s ~sched;
+              if Supervisor.all_retired s && Supervisor.live_count s = 0 then
+                (* Every slot burned its restart budget: degrade to
+                   in-process execution (no pool in the parent, so
+                   single-domain — still bit-identical). *)
+                Option.iter (deliver state) (Scheduler.run_next sched)
+              else Supervisor.dispatch s ~sched;
+              collect_supervised state s);
+          finish_drain state
+        end
       done)

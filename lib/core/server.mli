@@ -29,17 +29,34 @@ type config = {
 
 val default_max_frame : int
 
-(** [serve ?pool ?tel ?chaos ?on_ready config] runs until a client sends
-    [shutdown] (queued jobs are discarded; interrupted jobs left their
-    checkpoints in [state_dir]).  [pool] must carry no budget — job
-    deadlines are per-submission.  [tel] feeds the [metrics] op; counters
-    are accumulated across {!Asc_util.Telemetry.drain} calls, so they are
-    cumulative since server start.  [on_ready] fires once the socket is
-    bound and listening. *)
+(** [serve ?pool ?tel ?chaos ?on_ready ?workers ?job_retries ?make_pool
+    config] runs until a client sends [shutdown].  A shutdown with work
+    outstanding enters {e drain mode}: queued and in-flight jobs finish
+    first (new submissions are rejected with ["server is draining for
+    shutdown"]), then the shutdown response reports how many jobs were
+    drained.
+
+    [workers = 0] (default) serves in-process: one job at a time on the
+    calling domain with [pool].  [workers > 0] forks a {!Supervisor}
+    fleet: the parent must {e not} own a pool (domains do not survive
+    fork) — pass [make_pool] instead, which runs in each worker after
+    fork.  [job_retries] bounds dispatch attempts per job before a
+    worker-crashing job fails with [worker_crash].  When every worker
+    slot exhausts its restart budget the server degrades to in-process
+    (single-domain, still bit-identical) execution.
+
+    [pool] must carry no budget — job deadlines are per-submission.
+    [tel] feeds the [metrics] op; counters are accumulated across
+    {!Asc_util.Telemetry.drain} calls — including each worker's drains,
+    shipped with its results — so they are cumulative since server
+    start.  [on_ready] fires once the socket is bound and listening. *)
 val serve :
   ?pool:Asc_util.Domain_pool.t ->
   ?tel:Asc_util.Telemetry.t ->
   ?chaos:Asc_util.Chaos.t ->
   ?on_ready:(unit -> unit) ->
+  ?workers:int ->
+  ?job_retries:int ->
+  ?make_pool:(tel:Asc_util.Telemetry.t -> Asc_util.Domain_pool.t option) ->
   config ->
   unit

@@ -59,12 +59,16 @@ let tset_io_read = "tset_io.read"
 let serve_read = "serve.read"
 let serve_write = "serve.write"
 let serve_dispatch = "serve.dispatch"
+let worker_fork = "worker.fork"
+let worker_heartbeat = "worker.heartbeat"
+let supervisor_dispatch = "supervisor.dispatch"
 
 let all_points =
   [
     checkpoint_open; checkpoint_output; checkpoint_rename; checkpoint_rotate;
     checkpoint_read; pool_task; pool_poll; bench_io_read; tset_io_read;
-    serve_read; serve_write; serve_dispatch;
+    serve_read; serve_write; serve_dispatch; worker_fork; worker_heartbeat;
+    supervisor_dispatch;
   ]
 
 let create ?tel rules =

@@ -92,6 +92,21 @@ val serve_write : string
 val serve_dispatch : string
 (** Immediately before the scheduler dispatches a queued job. *)
 
+val worker_fork : string
+(** In the supervisor, immediately before forking a worker process
+    ({!Asc_core.Supervisor}).  A [Fail] rule models a failed spawn and
+    exercises the restart/backoff path. *)
+
+val worker_heartbeat : string
+(** In a worker, immediately before each idle heartbeat is written to
+    the control pipe.  A [Kill] rule crashes an idle worker. *)
+
+val supervisor_dispatch : string
+(** In the supervisor, immediately before a job is handed to an idle
+    worker.  A [Kill] rule here is translated by the supervisor into a
+    [SIGKILL] of the chosen worker — modelling a worker crash mid-job —
+    so occurrence counting stays parent-side and deterministic. *)
+
 val all_points : string list
 
 (** {1 Schedules}

@@ -54,6 +54,11 @@ type counter =
   | Jobs_resumed  (** served jobs that resumed from a checkpoint *)
   | Result_cache_hits  (** served submissions answered from the result cache *)
   | Result_cache_misses  (** served submissions that had to compute *)
+  | Worker_restarts  (** worker processes restarted by the supervisor *)
+  | Jobs_requeued  (** in-flight jobs requeued after a worker crash *)
+  | Worker_crashes  (** worker exits the supervisor classed as crashes *)
+  | Result_cache_persisted_hits
+      (** result-cache hits served from the on-disk store *)
 
 let counter_index = function
   | Faults_simulated -> 0
@@ -83,6 +88,10 @@ let counter_index = function
   | Jobs_resumed -> 24
   | Result_cache_hits -> 25
   | Result_cache_misses -> 26
+  | Worker_restarts -> 27
+  | Jobs_requeued -> 28
+  | Worker_crashes -> 29
+  | Result_cache_persisted_hits -> 30
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -112,6 +121,10 @@ let counter_name = function
   | Jobs_resumed -> "jobs_resumed"
   | Result_cache_hits -> "result_cache_hits"
   | Result_cache_misses -> "result_cache_misses"
+  | Worker_restarts -> "worker_restarts"
+  | Jobs_requeued -> "jobs_requeued"
+  | Worker_crashes -> "worker_crashes"
+  | Result_cache_persisted_hits -> "result_cache_persisted_hits"
 
 let all_counters =
   [
@@ -123,6 +136,7 @@ let all_counters =
     Trace_cache_hits; Trace_cache_misses; Cone_gates_evaluated;
     Jobs_submitted; Jobs_completed; Jobs_partial; Jobs_failed; Jobs_resumed;
     Result_cache_hits; Result_cache_misses;
+    Worker_restarts; Jobs_requeued; Worker_crashes; Result_cache_persisted_hits;
   ]
 
 let n_counters = List.length all_counters

@@ -53,6 +53,11 @@ type counter =
   | Jobs_resumed  (** served jobs that resumed from a checkpoint *)
   | Result_cache_hits  (** served submissions answered from the result cache *)
   | Result_cache_misses  (** served submissions that had to compute *)
+  | Worker_restarts  (** worker processes restarted by the supervisor *)
+  | Jobs_requeued  (** in-flight jobs requeued after a worker crash *)
+  | Worker_crashes  (** worker exits the supervisor classed as crashes *)
+  | Result_cache_persisted_hits
+      (** result-cache hits served from the on-disk store *)
 
 val counter_name : counter -> string
 

@@ -226,6 +226,130 @@ let test_kill_resume_in_process () =
         (resumed.Scheduler.r_tset = reference.Scheduler.r_tset
         && resumed.Scheduler.r_tset <> None))
 
+(* --- Result_cache: persistence, codec, corruption tolerance ------------ *)
+
+module Result_cache = Asc_core.Result_cache
+
+(* A daemon restart is a fresh scheduler over the same state dir: the
+   resubmission must be served from the on-disk result store, flagged by
+   the persisted-hits counter, with the test set byte-identical. *)
+let test_persisted_cache_restart () =
+  let state = temp_dir "asc-rescache" in
+  Fun.protect ~finally:(fun () -> rm_rf state) @@ fun () ->
+  let sp = spec ~circuit:"s27" () in
+  let sched = Scheduler.create ~state_dir:state () in
+  (match Scheduler.submit sched ~source:0 sp with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "first submit should queue");
+  let first =
+    match Scheduler.run_next sched with
+    | Some (_, r) -> r
+    | None -> Alcotest.fail "job did not run"
+  in
+  Alcotest.(check bool) "first completes" true
+    (first.Scheduler.r_status = Scheduler.Complete);
+  let tel = Telemetry.create () in
+  let sched2 = Scheduler.create ~tel ~state_dir:state () in
+  (match Scheduler.submit sched2 ~source:0 sp with
+  | Scheduler.Cached r ->
+      Alcotest.(check bool) "persisted result is byte-identical" true
+        (r.Scheduler.r_tset = first.Scheduler.r_tset
+        && r.Scheduler.r_tset <> None)
+  | _ -> Alcotest.fail "restart resubmit should hit the persistent cache");
+  let snap = Telemetry.drain tel in
+  Alcotest.(check int) "result_cache_persisted_hits" 1
+    (Telemetry.counter_value snap "result_cache_persisted_hits");
+  Alcotest.(check int) "result_cache_hits" 1
+    (Telemetry.counter_value snap "result_cache_hits")
+
+(* Corruption is skipped and deleted on access; valid neighbours keep
+   being served. *)
+let test_persisted_cache_corruption () =
+  let dir = temp_dir "asc-rescache-corrupt" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let entry key =
+    { Result_cache.e_key = key; e_tests = 3; e_cycles = 41; e_detected = 30;
+      e_targets = 32; e_iterations = 2; e_tset = "tset bytes\n\x00\xff" }
+  in
+  let cache = Result_cache.create ~dir () in
+  Result_cache.store cache (entry "aaaa");
+  Result_cache.store cache (entry "bbbb");
+  let victim = Result_cache.path ~dir "aaaa" in
+  let bytes =
+    Bytes.of_string (In_channel.with_open_bin victim In_channel.input_all)
+  in
+  let mid = Bytes.length bytes / 2 in
+  Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0x20));
+  Out_channel.with_open_bin victim (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  (* A fresh handle over the same dir models the restarted daemon. *)
+  let cache2 = Result_cache.create ~dir () in
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Result_cache.find cache2 "aaaa" = None);
+  Alcotest.(check bool) "corrupt file deleted on access" false
+    (Sys.file_exists victim);
+  (match Result_cache.find cache2 "bbbb" with
+  | Some (e, from_disk) ->
+      Alcotest.(check bool) "valid neighbour served from disk" true from_disk;
+      Alcotest.(check string) "tset intact" (entry "bbbb").Result_cache.e_tset
+        e.Result_cache.e_tset
+  | None -> Alcotest.fail "valid entry lost")
+
+let result_cache_entry_gen =
+  let open QCheck.Gen in
+  let hex = map (fun i -> "0123456789abcdef".[i]) (int_bound 15) in
+  let bytes = string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 64) in
+  string_size ~gen:hex (int_range 1 16) >>= fun key ->
+  small_nat >>= fun tests ->
+  small_nat >>= fun cycles ->
+  small_nat >>= fun detected ->
+  small_nat >>= fun targets ->
+  small_nat >>= fun iterations ->
+  bytes >>= fun tset ->
+  return
+    { Result_cache.e_key = key; e_tests = tests; e_cycles = cycles;
+      e_detected = detected; e_targets = targets; e_iterations = iterations;
+      e_tset = tset }
+
+let prop_result_cache_roundtrip =
+  QCheck.Test.make ~name:"Result_cache decode inverts encode" ~count:300
+    (QCheck.make ~print:Result_cache.entry_to_string result_cache_entry_gen)
+    (fun e ->
+      Result_cache.entry_of_string (Result_cache.entry_to_string e) = Ok e)
+
+(* Any byte-level damage — truncation, a changed byte, trailing junk —
+   must decode to [Error], never raise and never yield a wrong entry
+   (the CRC-32 trailer plus strict framing catch all three). *)
+let prop_result_cache_corruption =
+  let open QCheck.Gen in
+  let mutation_gen =
+    result_cache_entry_gen >>= fun e ->
+    let file = Result_cache.entry_to_string e in
+    let n = String.length file in
+    oneof
+      [
+        (int_bound (n - 1) >>= fun k -> return (e, String.sub file 0 k));
+        ( int_bound (n - 1) >>= fun k ->
+          int_bound 254 >>= fun d ->
+          let b = Bytes.of_string file in
+          Bytes.set b k (Char.chr ((Char.code (Bytes.get b k) + 1 + d) mod 256));
+          return (e, Bytes.to_string b) );
+        ( string_size ~gen:(map Char.chr (int_bound 255)) (int_range 1 8)
+          >>= fun junk -> return (e, file ^ junk) );
+      ]
+  in
+  QCheck.Test.make
+    ~name:"Result_cache rejects truncated, flipped and padded files"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (_, damaged) -> String.escaped damaged)
+       mutation_gen)
+    (fun (e, damaged) ->
+      (match Result_cache.entry_of_string damaged with
+      | Error _ -> true
+      | Ok _ -> false)
+      && Result_cache.entry_of_string (Result_cache.entry_to_string e) = Ok e)
+
 (* --- Protocol codecs --------------------------------------------------- *)
 
 let test_protocol_roundtrip () =
@@ -443,12 +567,13 @@ let client_close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
    reap the process (the body normally shuts the server down itself; the
    kill in [finally] is the safety net so one failure cannot hang the
    suite).  Returns the server's exit status. *)
-let with_server ?env ?(domains = 2) ?state_dir f =
+let with_server ?env ?(domains = 2) ?state_dir ?(args = []) f =
   let dir = temp_dir "asc-serve" in
   let sock = Filename.concat dir "asc.sock" in
   let args =
     [ "serve"; "--socket"; sock; "--domains"; string_of_int domains ]
-    @ match state_dir with None -> [] | Some d -> [ "--state-dir"; d ]
+    @ (match state_dir with None -> [] | Some d -> [ "--state-dir"; d ])
+    @ args
   in
   let pid = spawn_server ?env args (Filename.concat dir "server.log") in
   let status = ref None in
@@ -472,7 +597,7 @@ let ping_golden = "{\"ok\":true,\"op\":\"ping\",\"protocol\":1}"
 let shutdown_server c =
   client_request c "{\"op\":\"shutdown\"}";
   Alcotest.(check string) "shutdown golden response"
-    "{\"ok\":true,\"op\":\"shutdown\"}" (client_recv c)
+    "{\"ok\":true,\"op\":\"shutdown\",\"drained\":0}" (client_recv c)
 
 let submit_line ?(tset = false) ?timeout ?(seed = 1) circuit =
   let timeout_part =
@@ -725,6 +850,165 @@ let test_server_chaos_soak () =
     Alcotest.(check bool) "clean exit after resume" true (st2 = Unix.WEXITED 0)
   end
 
+(* Supervised serving: --workers 2 results are byte-identical to the
+   one-shot CLI, a shutdown with jobs in flight drains them first and
+   reports the count, and a restarted daemon answers the same submission
+   from the persistent result store. *)
+let test_server_supervised () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let dir = temp_dir "asc-sup" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let reference circuit =
+      let path = Filename.concat dir (circuit ^ ".ref") in
+      run_cli [ "save-tests"; circuit; path; "--domains"; "1" ];
+      read_file path
+    in
+    let ref_s298 = reference "s298" and ref_s344 = reference "s344" in
+    let state = Filename.concat dir "state" in
+    (* Round 1: two jobs in flight on two workers, then shutdown — the
+       server must drain both before answering. *)
+    let st =
+      with_server ~state_dir:state ~args:[ "--workers"; "2" ] (fun sock ->
+          let c1 = client_connect sock in
+          let c2 = client_connect sock in
+          let c3 = client_connect sock in
+          Fun.protect ~finally:(fun () -> List.iter client_close [ c1; c2; c3 ])
+          @@ fun () ->
+          client_request c1 (submit_line ~tset:true "s298");
+          client_request c2 (submit_line ~tset:true "s344");
+          (* Give the server a moment to read both submits so the
+             shutdown finds work outstanding. *)
+          Unix.sleepf 0.3;
+          client_request c3 "{\"op\":\"shutdown\"}";
+          let r1 = client_recv c1 in
+          let r2 = client_recv c2 in
+          let sh = client_recv c3 in
+          List.iter (fun r -> check_bool_member r "ok" true) [ r1; r2; sh ];
+          Alcotest.(check string) "supervised s298 = one-shot" ref_s298
+            (str_member r1 "tset");
+          Alcotest.(check string) "supervised s344 = one-shot" ref_s344
+            (str_member r2 "tset");
+          Alcotest.(check bool) "shutdown drained in-flight jobs" true
+            (int_member sh "drained" >= 1))
+    in
+    Alcotest.(check bool) "clean supervised exit" true (st = Unix.WEXITED 0);
+    (* Round 2: a restarted daemon serves the same submission from the
+       persistent result store, byte-identically. *)
+    let st2 =
+      with_server ~state_dir:state ~args:[ "--workers"; "2" ] (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          client_request c (submit_line ~tset:true "s298");
+          let resp = client_recv c in
+          check_bool_member resp "ok" true;
+          check_bool_member resp "cached" true;
+          Alcotest.(check string) "persisted tset = one-shot" ref_s298
+            (str_member resp "tset");
+          client_request c "{\"op\":\"metrics\"}";
+          let m = client_recv c in
+          let counter name =
+            match Option.bind (response_member m "counters") (Json.member name) with
+            | Some v -> Option.value ~default:(-1) (Json.as_int v)
+            | None -> Alcotest.failf "metrics lacks counter %s" name
+          in
+          Alcotest.(check int) "persisted hit counted" 1
+            (counter "result_cache_persisted_hits");
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit after restart" true (st2 = Unix.WEXITED 0)
+  end
+
+(* Supervised chaos: a SIGKILL'd worker (supervisor.dispatch kill rule)
+   costs nothing but a requeue — both jobs land byte-identical to the
+   one-shot CLI and the crash/requeue/restart counters tell the story. *)
+let test_server_supervised_chaos () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let dir = temp_dir "asc-sup-chaos" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let ref_path = Filename.concat dir "s298.ref" in
+    run_cli [ "save-tests"; "s298"; ref_path; "--domains"; "1" ];
+    let reference = read_file ref_path in
+    let st =
+      with_server
+        ~env:[ "ASC_CHAOS=" ^ Chaos.supervisor_dispatch ^ "@1=kill" ]
+        ~state_dir:(Filename.concat dir "state")
+        ~args:[ "--workers"; "2" ]
+        (fun sock ->
+          let c1 = client_connect sock in
+          let c2 = client_connect sock in
+          Fun.protect ~finally:(fun () -> List.iter client_close [ c1; c2 ])
+          @@ fun () ->
+          client_request c1 (submit_line ~tset:true "s298");
+          client_request c2 (submit_line ~tset:true "s27");
+          let r1 = client_recv c1 in
+          let r2 = client_recv c2 in
+          List.iter (fun r -> check_bool_member r "ok" true) [ r1; r2 ];
+          Alcotest.(check string) "killed-and-retried job = one-shot" reference
+            (str_member r1 "tset");
+          client_request c1 "{\"op\":\"metrics\"}";
+          let m = client_recv c1 in
+          let counter name =
+            match Option.bind (response_member m "counters") (Json.member name) with
+            | Some v -> Option.value ~default:(-1) (Json.as_int v)
+            | None -> Alcotest.failf "metrics lacks counter %s" name
+          in
+          Alcotest.(check bool) "a worker was crashed" true
+            (counter "worker_crashes" >= 1);
+          Alcotest.(check bool) "its job was requeued" true
+            (counter "jobs_requeued" >= 1);
+          Alcotest.(check bool) "the slot was restarted" true
+            (counter "worker_restarts" >= 1);
+          Alcotest.(check int) "both jobs completed" 2
+            (counter "jobs_completed");
+          shutdown_server c1)
+    in
+    Alcotest.(check bool) "clean exit despite worker kills" true
+      (st = Unix.WEXITED 0)
+  end
+
+(* Poison job: a chaos rule that crashes the worker on every attempt
+   must exhaust the per-job retry budget and fail that job with the
+   typed worker_crash error — the server itself stays up. *)
+let test_server_supervised_poison () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else
+    let dir = temp_dir "asc-sup-poison" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let st =
+      with_server
+        ~env:[ "ASC_CHAOS=" ^ Chaos.checkpoint_open ^ "@1=kill" ]
+        ~state_dir:(Filename.concat dir "state")
+        ~args:[ "--workers"; "1"; "--job-retries"; "2" ]
+        (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          client_request c (submit_line "s298");
+          let resp = client_recv c in
+          check_bool_member resp "ok" false;
+          Alcotest.(check string) "typed failure" "worker_crash"
+            (str_member resp "error");
+          Alcotest.(check string) "failed status" "failed"
+            (str_member resp "status");
+          client_request c "{\"op\":\"metrics\"}";
+          let m = client_recv c in
+          let counter name =
+            match Option.bind (response_member m "counters") (Json.member name) with
+            | Some v -> Option.value ~default:(-1) (Json.as_int v)
+            | None -> Alcotest.failf "metrics lacks counter %s" name
+          in
+          Alcotest.(check int) "two crashes = the retry budget" 2
+            (counter "worker_crashes");
+          Alcotest.(check int) "job failed once" 1 (counter "jobs_failed");
+          (* The server survived its poison job. *)
+          client_request c "{\"op\":\"ping\"}";
+          Alcotest.(check string) "server healthy" ping_golden (client_recv c);
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit after poison job" true
+      (st = Unix.WEXITED 0)
+
 let suite =
   [
     ( "serve",
@@ -741,6 +1025,12 @@ let suite =
           test_contention_deadline_isolation;
         Alcotest.test_case "kill mid-checkpoint, resume bit-identically" `Quick
           test_kill_resume_in_process;
+        Alcotest.test_case "persistent result cache survives a restart" `Quick
+          test_persisted_cache_restart;
+        Alcotest.test_case "corrupt result-cache files are skipped and deleted"
+          `Quick test_persisted_cache_corruption;
+        qtest prop_result_cache_roundtrip;
+        qtest prop_result_cache_corruption;
         Alcotest.test_case "protocol requests round-trip" `Quick
           test_protocol_roundtrip;
         Alcotest.test_case "protocol decode errors" `Quick
@@ -755,5 +1045,11 @@ let suite =
         Alcotest.test_case "served jobs are deterministic and cached" `Slow
           test_server_determinism;
         Alcotest.test_case "chaos kill/resume soak" `Slow test_server_chaos_soak;
+        Alcotest.test_case "supervised workers: determinism, drain, restart"
+          `Slow test_server_supervised;
+        Alcotest.test_case "supervised workers survive chaos kills" `Slow
+          test_server_supervised_chaos;
+        Alcotest.test_case "poison job exhausts its retry budget" `Slow
+          test_server_supervised_poison;
       ] );
   ]
