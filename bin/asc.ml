@@ -694,7 +694,34 @@ let serve_cmd =
       & opt (positive_int "job retries") 3
       & info [ "job-retries" ] ~doc ~docv:"K")
   in
-  let run socket tcp state_dir domains workers job_retries sim_kernel verbose =
+  let log_file_arg =
+    let doc =
+      "Append structured JSONL lifecycle events (job submitted / \
+       dispatched / completed, worker crash / restart) to $(docv), \
+       rotated by size; see docs/OBSERVABILITY.md."
+    in
+    Arg.(value & opt (some string) None & info [ "log-file" ] ~doc ~docv:"FILE")
+  in
+  let log_level_arg =
+    let doc = "Event-log threshold: debug, info, warn or error." in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~doc ~docv:"LEVEL")
+  in
+  let trace_arg =
+    let doc =
+      "Write one stitched Chrome/Perfetto trace of the whole fleet \
+       (supervisor plus every worker process) to $(docv) at shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let prom_file_arg =
+    let doc =
+      "Keep a Prometheus text-exposition snapshot of the metrics current \
+       in $(docv) (rewritten atomically after each delivered job)."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-file" ] ~doc ~docv:"FILE")
+  in
+  let run socket tcp state_dir domains workers job_retries log_file log_level
+      trace prom_file sim_kernel verbose =
     guard @@ fun () ->
     setup_logs verbose;
     apply_sim_kernel sim_kernel;
@@ -705,6 +732,16 @@ let serve_cmd =
        pool for the jobs after it. *)
     let tel = Some (Asc_util.Telemetry.create ()) in
     let chaos = chaos_of_env ?tel () in
+    let level =
+      match Asc_util.Log.level_of_string log_level with
+      | Some l -> l
+      | None -> die exit_usage "bad --log-level %S (debug|info|warn|error)"
+          log_level
+    in
+    let log =
+      Option.map (fun path -> Asc_util.Log.create ~level ?tel ?chaos path)
+        log_file
+    in
     let config =
       { Asc_core.Server.listen; state_dir;
         max_frame = Asc_core.Server.default_max_frame }
@@ -715,17 +752,22 @@ let serve_cmd =
       | Asc_core.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
     in
     let on_ready () = Printf.printf "asc: serving on %s\n%!" where in
-    if workers > 0 then
-      (* Domains do not survive fork, so the parent owns no pool; each
-         worker builds its own through [make_pool], recording into its
-         own telemetry handle. *)
-      Asc_core.Server.serve ?tel ?chaos ~on_ready ~workers ~job_retries
-        ~make_pool:(fun ~tel -> make_pool ~tel ?chaos domains)
-        config
-    else begin
-      let pool = make_pool ?tel ?chaos domains in
-      Asc_core.Server.serve ?pool ?tel ?chaos ~on_ready config
-    end;
+    Fun.protect
+      ~finally:(fun () -> Asc_util.Log.close log)
+      (fun () ->
+        if workers > 0 then
+          (* Domains do not survive fork, so the parent owns no pool; each
+             worker builds its own through [make_pool], recording into its
+             own telemetry handle. *)
+          Asc_core.Server.serve ?tel ?chaos ?log ?trace_file:trace
+            ?prom_file ~on_ready ~workers ~job_retries
+            ~make_pool:(fun ~tel -> make_pool ~tel ?chaos domains)
+            config
+        else begin
+          let pool = make_pool ?tel ?chaos domains in
+          Asc_core.Server.serve ?pool ?tel ?chaos ?log ?trace_file:trace
+            ?prom_file ~on_ready config
+        end);
     Printf.printf "asc: server shut down\n%!"
   in
   Cmd.v
@@ -735,7 +777,8 @@ let serve_cmd =
           docs/SERVING.md)")
     Term.(
       const run $ socket_arg $ tcp_arg $ state_dir_arg $ domains_arg
-      $ workers_arg $ job_retries_arg $ sim_kernel_arg $ verbose_arg)
+      $ workers_arg $ job_retries_arg $ log_file_arg $ log_level_arg
+      $ trace_arg $ prom_file_arg $ sim_kernel_arg $ verbose_arg)
 
 let client_cmd =
   let op_arg =
@@ -787,6 +830,13 @@ let client_cmd =
     in
     Arg.(value & opt int 100 & info [ "retry-backoff" ] ~doc ~docv:"MS")
   in
+  let prometheus_arg =
+    let doc =
+      "Render the metrics response in the Prometheus text exposition \
+       format instead of JSON (metrics op only)."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
   let connect listen =
     match listen with
     | Asc_core.Server.Unix_socket path ->
@@ -823,10 +873,12 @@ let client_cmd =
         | Unix.Unix_error (e, _, _) -> finish (Error (Unix.error_message e)))
   in
   let run socket tcp op circuit netlist seed t0 job_timeout save retries
-      retry_backoff =
+      retry_backoff prometheus =
     guard @@ fun () ->
     let module J = Asc_util.Json in
     let module P = Asc_core.Protocol in
+    if prometheus && op <> "metrics" then
+      die exit_usage "--prometheus only applies to the metrics op";
     let line =
       match op with
       | "ping" -> J.to_string ~compact:true (P.request_to_json P.Ping)
@@ -871,6 +923,10 @@ let client_cmd =
     let response = attempt 0 in
     match J.parse response with
     | Error e -> die exit_input "unparseable response: %s" e
+    | Ok json when prometheus -> (
+        match P.prometheus_of_metrics json with
+        | Ok text -> print_string text
+        | Error e -> die exit_input "%s" e)
     | Ok json ->
         (* The serialized test set can be large: divert it to --save and
            print the response without it. *)
@@ -904,7 +960,7 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ op_arg $ circuit_arg $ netlist_arg
       $ seed_arg $ t0_arg $ job_timeout_arg $ save_arg $ retries_arg
-      $ retry_backoff_arg)
+      $ retry_backoff_arg $ prometheus_arg)
 
 (* --- tables -------------------------------------------------------------- *)
 

@@ -38,9 +38,24 @@ val ping_response : Asc_util.Json.t
     in-flight jobs the server finished during drain before exiting. *)
 val shutdown_response : drained:int -> Asc_util.Json.t
 
-(** [metrics_response ~pending ~counters] — the fleet-wide counter
-    catalogue (cumulative since server start) plus the queue depth. *)
-val metrics_response : pending:int -> counters:(string * int) list -> Asc_util.Json.t
+(** Revision of the metrics payload (not the wire protocol): version 2
+    added the [gauges] and [histograms] sections.  Version-1 clients
+    ignore unknown members, so the extension is additive. *)
+val metrics_version : int
+
+(** [metrics_response ~pending ~counters ()] — the fleet-wide counter
+    catalogue (cumulative since server start) plus the queue depth, and,
+    since metrics version 2, instantaneous [gauges] and per-job latency
+    [histograms] ({!Asc_util.Histogram.to_json} shape).  Counter, gauge
+    and histogram keys are emitted sorted, so equal state renders
+    byte-identically. *)
+val metrics_response :
+  ?gauges:(string * float) list ->
+  ?histograms:(string * Asc_util.Histogram.t) list ->
+  pending:int ->
+  counters:(string * int) list ->
+  unit ->
+  Asc_util.Json.t
 
 val error_response : string -> Asc_util.Json.t
 
@@ -64,3 +79,12 @@ val spec_of_json : Asc_util.Json.t -> (Scheduler.spec, string) Stdlib.result
 (** The spec rendered as object members (the inverse of
     {!spec_of_json}). *)
 val spec_to_members : Scheduler.spec -> (string * Asc_util.Json.t) list
+
+(** {1 Prometheus exposition} *)
+
+(** Render a metrics response in the Prometheus text exposition format:
+    counters as [asc_<name>_total], [pending] and the gauges as
+    [asc_<name>] gauges, histograms as cumulative
+    [asc_<name>_bucket{le="..."}] series ending at [le="+Inf"] with
+    [_sum]/[_count].  Errors when the JSON is not a metrics response. *)
+val prometheus_of_metrics : Asc_util.Json.t -> (string, string) Stdlib.result

@@ -7,6 +7,8 @@ module Budget = Asc_util.Budget
 module Chaos = Asc_util.Chaos
 module Crc = Asc_util.Crc
 module Telemetry = Asc_util.Telemetry
+module Log = Asc_util.Log
+module Json = Asc_util.Json
 module Circuit = Asc_netlist.Circuit
 module Bench_io = Asc_netlist.Bench_io
 module Tset_io = Asc_scan.Tset_io
@@ -33,6 +35,8 @@ type job = {
   j_timeout : float option;
   j_spec : spec;
   mutable j_attempts : int;
+  j_submitted : float; (* Unix.gettimeofday at submission *)
+  mutable j_dispatched : float; (* stamped by [pick]; feeds the latency histograms *)
 }
 
 type status =
@@ -136,13 +140,13 @@ type t = {
   pool : Asc_util.Domain_pool.t option;
   tel : Telemetry.t option;
   chaos : Chaos.t option;
+  log : Log.t option;
   state_dir : string option;
   cache : Result_cache.t;
   queues : (int, job Queue.t) Hashtbl.t;
   redo : job Queue.t;  (* requeued in-flight jobs, served before fresh work *)
   mutable rotation : int list;  (* sources with queued work, service order *)
   mutable next_id : int;
-  mutable pending : int;
 }
 
 let rec mkdir_p dir =
@@ -152,12 +156,13 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?pool ?tel ?chaos ?state_dir ?(persist_results = true) () =
+let create ?pool ?tel ?chaos ?log ?state_dir ?(persist_results = true) () =
   Option.iter mkdir_p state_dir;
   {
     pool;
     tel;
     chaos;
+    log;
     state_dir;
     cache =
       Result_cache.create
@@ -167,10 +172,16 @@ let create ?pool ?tel ?chaos ?state_dir ?(persist_results = true) () =
     redo = Queue.create ();
     rotation = [];
     next_id = 0;
-    pending = 0;
   }
 
-let pending t = t.pending
+(* Queue depth, computed from the queues themselves — the redo queue plus
+   every per-source FIFO — so it cannot drift from the structures it
+   describes. *)
+let pending t =
+  Hashtbl.fold
+    (fun _ q acc -> acc + Queue.length q)
+    t.queues
+    (Queue.length t.redo)
 
 (* Only Complete results (which always carry a test set) enter the
    cache; Partial and Failed outcomes are recomputed on resubmission. *)
@@ -208,6 +219,7 @@ let job_of_spec ~id ~source spec =
   match resolve spec with
   | Error _ as e -> e
   | Ok rv ->
+      let now = Unix.gettimeofday () in
       Ok
         {
           j_id = id;
@@ -219,12 +231,16 @@ let job_of_spec ~id ~source spec =
           j_timeout = spec.sp_timeout;
           j_spec = spec;
           j_attempts = 0;
+          j_submitted = now;
+          j_dispatched = now;
         }
 
 let submit t ~source spec =
   match resolve spec with
   | Error message ->
       Telemetry.incr t.tel Telemetry.Jobs_failed;
+      Log.emit t.log "job.rejected" ~level:Log.Warn
+        ~fields:[ ("source", Json.Int source); ("reason", Json.Str message) ];
       Rejected message
   | Ok rv -> (
       Telemetry.incr t.tel Telemetry.Jobs_submitted;
@@ -233,6 +249,12 @@ let submit t ~source spec =
           Telemetry.incr t.tel Telemetry.Result_cache_hits;
           if from_disk then
             Telemetry.incr t.tel Telemetry.Result_cache_persisted_hits;
+          Log.emit t.log "job.cache_hit" ~job:rv.rv_key
+            ~fields:
+              [
+                ("source", Json.Int source);
+                ("store", Json.Str (if from_disk then "disk" else "memory"));
+              ];
           Cached (result_of_entry entry)
       | None ->
           Telemetry.incr t.tel Telemetry.Result_cache_misses;
@@ -247,6 +269,8 @@ let submit t ~source spec =
               j_timeout = spec.sp_timeout;
               j_spec = spec;
               j_attempts = 0;
+              j_submitted = Unix.gettimeofday ();
+              j_dispatched = 0.0;
             }
           in
           t.next_id <- t.next_id + 1;
@@ -261,17 +285,24 @@ let submit t ~source spec =
           Queue.push job q;
           if not (List.mem source t.rotation) then
             t.rotation <- t.rotation @ [ source ];
-          t.pending <- t.pending + 1;
+          Log.emit t.log "job.submitted" ~job:job.j_key
+            ~fields:
+              [
+                ("id", Json.Int job.j_id);
+                ("source", Json.Int source);
+                ("circuit", Json.Str job.j_name);
+              ];
           Accepted job)
 
 (* Pop one job: requeued in-flight jobs first (they already waited their
    turn), then round-robin source order — serve the head source, then
    rotate it to the tail (or retire it if its queue drained). *)
 let pick t =
-  if not (Queue.is_empty t.redo) then begin
-    t.pending <- t.pending - 1;
-    Some (Queue.pop t.redo)
-  end
+  let stamp job =
+    job.j_dispatched <- Unix.gettimeofday ();
+    job
+  in
+  if not (Queue.is_empty t.redo) then Some (stamp (Queue.pop t.redo))
   else
     match t.rotation with
     | [] -> None
@@ -283,14 +314,11 @@ let pick t =
         | Some q ->
             let job = Queue.pop q in
             t.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
-            t.pending <- t.pending - 1;
-            Some job)
+            Some (stamp job))
 
 (* Put a dispatched job back at the head of the line (a worker crashed
    under it).  The caller owns the retry budget. *)
-let requeue t job =
-  Queue.push job t.redo;
-  t.pending <- t.pending + 1
+let requeue t job = Queue.push job t.redo
 
 (* --- Job execution ----------------------------------------------------- *)
 
@@ -403,4 +431,7 @@ let run_next t =
   | None -> None
   | Some job ->
       Chaos.hit t.chaos Chaos.serve_dispatch;
+      Log.emit t.log "job.dispatched" ~job:job.j_key
+        ~fields:
+          [ ("id", Json.Int job.j_id); ("worker", Json.Str "in-process") ];
       Some (job, execute t job)

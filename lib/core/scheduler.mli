@@ -48,6 +48,12 @@ type job = {
           the canonical netlist, preserves registry-vs-inline budgets). *)
   mutable j_attempts : int;
       (** Dispatch attempts so far — the supervisor's retry budget. *)
+  j_submitted : float;  (** [Unix.gettimeofday] at submission. *)
+  mutable j_dispatched : float;
+      (** Stamped by {!pick}.  With [j_submitted] and the delivery time,
+          the server derives the queue-wait / execute / end-to-end
+          latency histograms — pure observability, never consulted by
+          scheduling decisions. *)
 }
 
 type status =
@@ -93,11 +99,16 @@ type t
     cache with {!Result_cache} files under [state_dir], so completed
     results survive restarts.  Workers in a supervised server pass
     [false]: the parent is the single writer of the results store, while
-    workers still own their per-key job checkpoints. *)
+    workers still own their per-key job checkpoints.
+
+    [log], when given, receives structured lifecycle events
+    ([job.submitted] / [job.cache_hit] / [job.rejected] /
+    [job.dispatched]) — see {!Asc_util.Log}. *)
 val create :
   ?pool:Asc_util.Domain_pool.t ->
   ?tel:Asc_util.Telemetry.t ->
   ?chaos:Asc_util.Chaos.t ->
+  ?log:Asc_util.Log.t ->
   ?state_dir:string ->
   ?persist_results:bool ->
   unit ->
@@ -117,7 +128,9 @@ val key_of_spec : spec -> (string, string) Stdlib.result
     [Result_cache_persisted_hits]. *)
 val submit : t -> source:int -> spec -> submit_outcome
 
-(** Jobs queued and not yet dispatched. *)
+(** Jobs queued and not yet dispatched — the redo queue plus every
+    per-source FIFO, computed from the queues themselves so the count
+    cannot drift. *)
 val pending : t -> int
 
 (** {1 Supervisor interface}

@@ -1,11 +1,25 @@
 (* The serving daemon: a single-threaded select loop over a stream
    socket.  In-process mode drains the scheduler one job per iteration;
    supervised mode ([workers > 0]) forks a Supervisor fleet and the loop
-   only dispatches and collects (docs/SERVING.md). *)
+   only dispatches and collects (docs/SERVING.md).
+
+   Observability (docs/OBSERVABILITY.md "Serving metrics"): the server
+   owns three latency histograms — queue wait, execution, end-to-end —
+   recorded at each delivery from the job's submission/dispatch stamps;
+   instantaneous gauges are computed at metrics time.  Both ride the
+   version-2 [metrics] payload and the optional [--prom-file]
+   exposition.  With [--trace], span buffers (the parent's own plus
+   those each worker ships with its results, already re-based onto the
+   parent's timeline) accumulate per process and are written as one
+   stitched Chrome trace at exit.  None of this is consulted by any
+   scheduling decision: results are byte-identical with observability
+   on or off. *)
 
 module J = Asc_util.Json
 module Chaos = Asc_util.Chaos
 module Telemetry = Asc_util.Telemetry
+module Histogram = Asc_util.Histogram
+module Log = Asc_util.Log
 
 type listen = Unix_socket of string | Tcp of string * int
 
@@ -24,16 +38,27 @@ type state = {
   sched : Scheduler.t;
   tel : Telemetry.t option;
   chaos : Chaos.t option;
+  log : Log.t option;
+  trace_file : string option;
+  prom_file : string option;
+  started : float;
   max_frame : int;
   conns : (int, conn) Hashtbl.t;
   waiting : (int, int * bool) Hashtbl.t;  (* job id -> (conn id, want tset) *)
   cumulative : (string, int) Hashtbl.t;  (* counters across telemetry drains *)
+  h_queue_wait : Histogram.t;  (* submit -> dispatch *)
+  h_execute : Histogram.t;  (* dispatch -> delivery *)
+  h_e2e : Histogram.t;  (* submit -> delivery *)
+  mutable parent_tracks : Telemetry.track list;  (* preserved across drains *)
+  worker_tracks : (int, Telemetry.track list) Hashtbl.t;  (* by worker pid *)
   mutable sup : Supervisor.t option;
   mutable next_cid : int;
   mutable running : bool;
   mutable draining : bool;  (* shutdown received with work outstanding *)
   mutable drained : int;  (* jobs finished during drain *)
   mutable shutdown_waiters : int list;  (* conns owed a shutdown response *)
+  mutable prom_dirty : bool;  (* a delivery happened since the last write *)
+  mutable prom_failed : bool;  (* warn once, then drop silently *)
 }
 
 let close_conn state conn =
@@ -68,11 +93,20 @@ let fold_counters state counters =
     counters
 
 (* Fold a fresh telemetry drain into the cumulative table ([drain]
-   resets the handle, so the server must aggregate to stay monotonic). *)
+   resets the handle, so the server must aggregate to stay monotonic).
+   When stitching a trace, the parent's span buffers — folded away with
+   the drain before — are preserved the same way. *)
 let accumulate state =
   Option.iter
-    (fun tel -> fold_counters state (Telemetry.drain tel).Telemetry.counters)
+    (fun tel ->
+      let snap = Telemetry.drain tel in
+      fold_counters state snap.Telemetry.counters;
+      if state.trace_file <> None && snap.Telemetry.tracks <> [] then
+        state.parent_tracks <- state.parent_tracks @ snap.Telemetry.tracks)
     state.tel
+
+let live_workers state =
+  match state.sup with Some s -> Supervisor.live_count s | None -> 0
 
 let metrics state =
   accumulate state;
@@ -83,7 +117,45 @@ let metrics state =
         (name, Option.value ~default:0 (Hashtbl.find_opt state.cumulative name)))
       Telemetry.all_counters
   in
-  Protocol.metrics_response ~pending:(Scheduler.pending state.sched) ~counters
+  let gauges =
+    [
+      ("queue_depth", float_of_int (Scheduler.pending state.sched));
+      ("live_workers", float_of_int (live_workers state));
+      ("uptime_seconds", Unix.gettimeofday () -. state.started);
+    ]
+  in
+  let histograms =
+    [
+      ("job_queue_wait_seconds", state.h_queue_wait);
+      ("job_execute_seconds", state.h_execute);
+      ("job_e2e_seconds", state.h_e2e);
+    ]
+  in
+  Protocol.metrics_response ~gauges ~histograms
+    ~pending:(Scheduler.pending state.sched) ~counters ()
+
+(* Rewrite the Prometheus exposition file (write-then-rename, so a
+   scraper never reads a torn file).  A sink failure warns once and
+   disables further writes — observability never takes the server
+   down. *)
+let write_prom state =
+  match state.prom_file with
+  | None -> ()
+  | Some path when not state.prom_failed -> (
+      match Protocol.prometheus_of_metrics (metrics state) with
+      | Error _ -> ()
+      | Ok text -> (
+          let tmp = path ^ ".tmp" in
+          try
+            let oc = open_out tmp in
+            output_string oc text;
+            close_out oc;
+            Sys.rename tmp path
+          with Sys_error reason | Unix.Unix_error (_, reason, _) ->
+            state.prom_failed <- true;
+            Printf.eprintf "asc: prometheus file %s: %s; disabling\n%!" path
+              reason))
+  | Some _ -> ()
 
 let busy_count state =
   match state.sup with Some s -> Supervisor.busy_count s | None -> 0
@@ -196,8 +268,33 @@ let bind_listener = function
       fd
 
 (* Deliver one finished job's response to its submitter, if the
-   connection is still around. *)
+   connection is still around.  Delivery is where the latency
+   histograms are fed — the only consumer of the job's
+   submission/dispatch stamps — and where the lifecycle event for the
+   outcome is logged. *)
 let deliver state (job, result) =
+  let now = Unix.gettimeofday () in
+  if job.Scheduler.j_dispatched > 0.0 then begin
+    Histogram.record state.h_queue_wait
+      (job.Scheduler.j_dispatched -. job.Scheduler.j_submitted);
+    Histogram.record state.h_execute (now -. job.Scheduler.j_dispatched)
+  end;
+  Histogram.record state.h_e2e (now -. job.Scheduler.j_submitted);
+  let event, level =
+    match result.Scheduler.r_status with
+    | Scheduler.Complete -> ("job.completed", Log.Info)
+    | Scheduler.Partial _ -> ("job.partial", Log.Warn)
+    | Scheduler.Failed _ -> ("job.failed", Log.Error)
+  in
+  Log.emit state.log event ~level ~job:job.Scheduler.j_key
+    ~fields:
+      [
+        ("id", J.Int job.Scheduler.j_id);
+        ("tests", J.Int result.Scheduler.r_tests);
+        ("detected", J.Int result.Scheduler.r_detected);
+        ("seconds", J.Float (now -. job.Scheduler.j_submitted));
+      ];
+  state.prom_dirty <- true;
   if state.draining then state.drained <- state.drained + 1;
   match Hashtbl.find_opt state.waiting job.Scheduler.j_id with
   | None -> ()
@@ -211,15 +308,53 @@ let deliver state (job, result) =
       | _ -> ())
 
 (* Collect supervised results: fold each worker's telemetry drain into
-   the cumulative table (so [metrics] reflects multi-worker runs),
-   persist the result, answer the submitter. *)
+   the cumulative table (so [metrics] reflects multi-worker runs), keep
+   its span tracks by worker pid when stitching a trace, persist the
+   result, answer the submitter. *)
 let collect_supervised state sup =
   List.iter
-    (fun (job, result, counters) ->
-      fold_counters state counters;
-      Scheduler.cache_store state.sched ~key:job.Scheduler.j_key result;
-      deliver state (job, result))
+    (fun (o : Supervisor.outcome) ->
+      fold_counters state o.Supervisor.o_counters;
+      if o.Supervisor.o_tracks <> [] && o.Supervisor.o_worker_pid > 0 then begin
+        let pid = o.Supervisor.o_worker_pid in
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt state.worker_tracks pid)
+        in
+        Hashtbl.replace state.worker_tracks pid (prev @ o.Supervisor.o_tracks)
+      end;
+      Scheduler.cache_store state.sched ~key:o.Supervisor.o_job.Scheduler.j_key
+        o.Supervisor.o_result;
+      deliver state (o.Supervisor.o_job, o.Supervisor.o_result))
     (Supervisor.take_results sup)
+
+(* One stitched Chrome trace for the whole fleet: the parent process
+   first (its own spans — everything in-process mode ran, or just the
+   select loop's in supervised mode), then one process per worker pid
+   in pid order.  A respawned slot has a fresh pid, so its spans land
+   on their own process track. *)
+let write_trace state =
+  match state.trace_file with
+  | None -> ()
+  | Some path -> (
+      accumulate state;
+      let parent_name = if state.sup = None then "asc" else "asc supervisor" in
+      let workers =
+        List.sort compare
+          (Hashtbl.fold
+             (fun pid tracks acc -> (pid, "asc worker", tracks) :: acc)
+             state.worker_tracks [])
+      in
+      let doc =
+        Telemetry.stitched_trace_json
+          ((Unix.getpid (), parent_name, state.parent_tracks) :: workers)
+      in
+      try
+        let oc = open_out path in
+        output_string oc (J.to_string doc);
+        output_char oc '\n';
+        close_out oc
+      with Sys_error reason ->
+        Printf.eprintf "asc: trace file %s: %s; trace dropped\n%!" path reason)
 
 (* Drain complete: answer every shutdown in arrival order, then stop. *)
 let finish_drain state =
@@ -236,37 +371,50 @@ let finish_drain state =
     state.running <- false
   end
 
-let serve ?pool ?tel ?chaos ?on_ready ?(workers = 0) ?job_retries ?make_pool
-    config =
+let serve ?pool ?tel ?chaos ?log ?trace_file ?prom_file ?on_ready ?(workers = 0)
+    ?job_retries ?make_pool config =
   (* A client that disconnects mid-write must not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   if workers > 0 && pool <> None then
     invalid_arg "Server.serve: a supervised parent must not own a pool";
-  let sched = Scheduler.create ?pool ?tel ?chaos ?state_dir:config.state_dir () in
+  let sched =
+    Scheduler.create ?pool ?tel ?chaos ?log ?state_dir:config.state_dir ()
+  in
   let state =
     {
       sched;
       tel;
       chaos;
+      log;
+      trace_file;
+      prom_file;
+      started = Unix.gettimeofday ();
       max_frame = config.max_frame;
       conns = Hashtbl.create 16;
       waiting = Hashtbl.create 16;
       cumulative = Hashtbl.create 64;
+      h_queue_wait = Histogram.create ();
+      h_execute = Histogram.create ();
+      h_e2e = Histogram.create ();
+      parent_tracks = [];
+      worker_tracks = Hashtbl.create 8;
       sup = None;
       next_cid = 0;
       running = true;
       draining = false;
       drained = 0;
       shutdown_waiters = [];
+      prom_dirty = false;
+      prom_failed = false;
     }
   in
   let listener = bind_listener config.listen in
   if workers > 0 then
     state.sup <-
       Some
-        (Supervisor.create ?tel ?chaos ?state_dir:config.state_dir ?job_retries
-           ?make_pool
+        (Supervisor.create ?tel ?chaos ?log ~trace:(trace_file <> None)
+           ?state_dir:config.state_dir ?job_retries ?make_pool
            ~on_child_fork:(fun () ->
              (* Children must not hold the server's sockets: a stray
                 duplicate would keep client connections half-open past
@@ -277,10 +425,24 @@ let serve ?pool ?tel ?chaos ?on_ready ?(workers = 0) ?job_retries ?make_pool
                  try Unix.close c.fd with Unix.Unix_error _ -> ())
                state.conns)
            ~workers ());
+  Log.emit log "server.start"
+    ~fields:
+      [
+        ("workers", J.Int workers);
+        ( "listen",
+          J.Str
+            (match config.listen with
+            | Unix_socket path -> path
+            | Tcp (host, port) -> Printf.sprintf "%s:%d" host port) );
+      ];
+  write_prom state;
   Option.iter (fun f -> f ()) on_ready;
   Fun.protect
     ~finally:(fun () ->
       Option.iter Supervisor.stop state.sup;
+      Log.emit log "server.shutdown" ~fields:[ ("drained", J.Int state.drained) ];
+      write_prom state;
+      write_trace state;
       Hashtbl.iter (fun _ conn -> close_conn state conn)
         (Hashtbl.copy state.conns);
       (try Unix.close listener with Unix.Unix_error _ -> ());
@@ -346,6 +508,10 @@ let serve ?pool ?tel ?chaos ?on_ready ?(workers = 0) ?job_retries ?make_pool
                 Option.iter (deliver state) (Scheduler.run_next sched)
               else Supervisor.dispatch s ~sched;
               collect_supervised state s);
+          if state.prom_dirty then begin
+            state.prom_dirty <- false;
+            write_prom state
+          end;
           finish_drain state
         end
       done)

@@ -49,11 +49,26 @@ val default_max_frame : int
     [tel] feeds the [metrics] op; counters are accumulated across
     {!Asc_util.Telemetry.drain} calls — including each worker's drains,
     shipped with its results — so they are cumulative since server
-    start.  [on_ready] fires once the socket is bound and listening. *)
+    start.  [on_ready] fires once the socket is bound and listening.
+
+    {b Observability} (docs/OBSERVABILITY.md "Serving metrics") — all of
+    it optional, and none of it consulted by any scheduling decision, so
+    served results are byte-identical with these on or off.  [log]
+    receives structured lifecycle events for every job and worker (see
+    {!Asc_util.Log}).  [trace_file] writes one stitched Chrome trace at
+    exit: the parent's spans plus, in supervised mode, one process
+    track per worker pid (workers ship their span buffers with each
+    result, re-based onto the parent's timeline).  [prom_file] keeps a
+    Prometheus text-exposition file current (rewritten write-then-rename
+    after each delivery batch and at shutdown); a sink failure warns
+    once and disables the file, never the server. *)
 val serve :
   ?pool:Asc_util.Domain_pool.t ->
   ?tel:Asc_util.Telemetry.t ->
   ?chaos:Asc_util.Chaos.t ->
+  ?log:Asc_util.Log.t ->
+  ?trace_file:string ->
+  ?prom_file:string ->
   ?on_ready:(unit -> unit) ->
   ?workers:int ->
   ?job_retries:int ->

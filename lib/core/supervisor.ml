@@ -48,6 +48,7 @@
 module J = Asc_util.Json
 module Chaos = Asc_util.Chaos
 module Telemetry = Asc_util.Telemetry
+module Log = Asc_util.Log
 
 type worker = {
   w_slot : int;
@@ -63,9 +64,24 @@ type worker = {
   mutable w_last_hb : float;
 }
 
+(* One finished job as the parent collects it: the worker's counter drain
+   folds into the fleet table, and — only when trace stitching is on —
+   the worker's span tracks, already re-based onto the parent's
+   telemetry timeline, tagged with the worker process that ran them. *)
+type outcome = {
+  o_job : Scheduler.job;
+  o_result : Scheduler.result;
+  o_counters : (string * int) list;
+  o_worker_pid : int; (* -1 when no worker produced the result *)
+  o_worker_slot : int;
+  o_tracks : Telemetry.track list;
+}
+
 type t = {
   tel : Telemetry.t option;
   chaos : Chaos.t option;
+  log : Log.t option;
+  trace : bool; (* ship worker span buffers with each result *)
   state_dir : string option;
   job_retries : int;
   restart_limit : int;
@@ -74,7 +90,7 @@ type t = {
   make_pool : (tel:Telemetry.t -> Asc_util.Domain_pool.t option) option;
   on_child_fork : (unit -> unit) option;
   workers : worker array;
-  results : (Scheduler.job * Scheduler.result * (string * int) list) Queue.t;
+  results : outcome Queue.t;
   mutable stopping : bool;
 }
 
@@ -103,7 +119,89 @@ let job_message (job : Scheduler.job) =
 
 let hb_message = J.Obj [ ("op", J.Str "hb") ]
 
-let result_message ~id (r : Scheduler.result) counters =
+(* Worker span tracks on the wire: compact per-event objects
+   ([{"b":name,"t":ts,"a":{...}}] / [{"e":name,"t":ts}]) under one
+   ["spans"] member, with ["dt"] — the worker origin minus the parent
+   origin, computed worker-side where both origins are known exactly —
+   letting the parent re-base every relative timestamp onto its own
+   timeline without shipping absolute epoch floats (which would lose
+   sub-millisecond precision to the JSON float format). *)
+let spans_to_json ~dt (tracks : Telemetry.track list) =
+  let event_json = function
+    | Telemetry.Begin { name; ts; args } ->
+        J.Obj
+          ([ ("b", J.Str name); ("t", J.Float ts) ]
+          @
+          if args = [] then []
+          else [ ("a", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) args)) ])
+    | Telemetry.End { name; ts } ->
+        J.Obj [ ("e", J.Str name); ("t", J.Float ts) ]
+  in
+  J.Obj
+    [
+      ("dt", J.Float dt);
+      ( "tracks",
+        J.List
+          (List.map
+             (fun (tr : Telemetry.track) ->
+               J.Obj
+                 [
+                   ("dom", J.Int tr.Telemetry.dom);
+                   ("events", J.List (List.map event_json tr.Telemetry.events));
+                 ])
+             tracks) );
+    ]
+
+let spans_of_message json =
+  match J.member "spans" json with
+  | None -> []
+  | Some spans -> (
+      let dt =
+        Option.value ~default:0.0
+          (Option.bind (J.member "dt" spans) J.as_float)
+      in
+      let event_of = function
+        | J.Obj _ as e -> (
+            let ts =
+              Option.value ~default:0.0 (Option.bind (J.member "t" e) J.as_float)
+              +. dt
+            in
+            match J.member "b" e with
+            | Some (J.Str name) ->
+                let args =
+                  match J.member "a" e with
+                  | Some (J.Obj members) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          Option.map (fun s -> (k, s)) (J.as_str v))
+                        members
+                  | _ -> []
+                in
+                Some (Telemetry.Begin { name; ts; args })
+            | _ -> (
+                match J.member "e" e with
+                | Some (J.Str name) -> Some (Telemetry.End { name; ts })
+                | _ -> None))
+        | _ -> None
+      in
+      match J.member "tracks" spans with
+      | Some (J.List tracks) ->
+          List.filter_map
+            (function
+              | J.Obj _ as tr -> (
+                  match (J.member "dom" tr, J.member "events" tr) with
+                  | Some (J.Int dom), Some (J.List events) ->
+                      Some
+                        {
+                          Telemetry.dom;
+                          events = List.filter_map event_of events;
+                        }
+                  | _ -> None)
+              | _ -> None)
+            tracks
+      | _ -> [])
+
+let result_message ?spans ~id (r : Scheduler.result) counters =
   let opt_str = function None -> J.Null | Some s -> J.Str s in
   let reason, stage, error =
     match r.Scheduler.r_status with
@@ -112,22 +210,23 @@ let result_message ~id (r : Scheduler.result) counters =
     | Scheduler.Failed message -> (None, None, Some message)
   in
   J.Obj
-    [
-      ("op", J.Str "result");
-      ("id", J.Int id);
-      ("status", J.Str (Protocol.status_string r.Scheduler.r_status));
-      ("reason", opt_str reason);
-      ("stage", opt_str stage);
-      ("error", opt_str error);
-      ("tests", J.Int r.Scheduler.r_tests);
-      ("cycles", J.Int r.Scheduler.r_cycles);
-      ("detected", J.Int r.Scheduler.r_detected);
-      ("targets", J.Int r.Scheduler.r_targets);
-      ("iterations", J.Int r.Scheduler.r_iterations);
-      ("resumed", J.Bool r.Scheduler.r_resumed);
-      ("tset", opt_str r.Scheduler.r_tset);
-      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters));
-    ]
+    ([
+       ("op", J.Str "result");
+       ("id", J.Int id);
+       ("status", J.Str (Protocol.status_string r.Scheduler.r_status));
+       ("reason", opt_str reason);
+       ("stage", opt_str stage);
+       ("error", opt_str error);
+       ("tests", J.Int r.Scheduler.r_tests);
+       ("cycles", J.Int r.Scheduler.r_cycles);
+       ("detected", J.Int r.Scheduler.r_detected);
+       ("targets", J.Int r.Scheduler.r_targets);
+       ("iterations", J.Int r.Scheduler.r_iterations);
+       ("resumed", J.Bool r.Scheduler.r_resumed);
+       ("tset", opt_str r.Scheduler.r_tset);
+       ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters));
+     ]
+    @ match spans with None -> [] | Some s -> [ ("spans", s) ])
 
 let member_int json key =
   Option.bind (J.member key json) J.as_int
@@ -198,9 +297,26 @@ let worker_main t ~from_parent ~to_parent =
     | () -> true
     | exception (Unix.Unix_error _ | Sys_error _) -> false
   in
-  let drain_counters () =
+  (* The worker's telemetry origin minus the parent's: both known exactly
+     here, so re-based span timestamps lose no precision on the wire. *)
+  let dt =
+    match t.tel with
+    | Some parent_tel -> Telemetry.origin tel -. Telemetry.origin parent_tel
+    | None -> 0.0
+  in
+  let drain () =
     let snap = Telemetry.drain tel in
-    List.filter (fun (_, v) -> v <> 0) snap.Telemetry.counters
+    let counters =
+      List.filter (fun (_, v) -> v <> 0) snap.Telemetry.counters
+    in
+    let spans =
+      (* Span buffers are preserved only when the parent stitches traces;
+         otherwise they are folded away with the drain as before. *)
+      if t.trace && snap.Telemetry.tracks <> [] then
+        Some (spans_to_json ~dt snap.Telemetry.tracks)
+      else None
+    in
+    (counters, spans)
   in
   let run_line line =
     match J.parse line with
@@ -217,7 +333,8 @@ let worker_main t ~from_parent ~to_parent =
                   Scheduler.empty_result (Scheduler.Failed message)
               | Ok job -> Scheduler.execute sched job)
         in
-        send (result_message ~id result (drain_counters ())))
+        let counters, spans = drain () in
+        send (result_message ?spans ~id result counters))
   in
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 65536 in
@@ -294,7 +411,15 @@ let spawn t w =
       w.w_alive <- true;
       w.w_busy <- None;
       Buffer.clear w.w_buf;
-      w.w_last_hb <- Unix.gettimeofday ()
+      w.w_last_hb <- Unix.gettimeofday ();
+      Log.emit t.log
+        (if w.w_restarts = 0 then "worker.start" else "worker.restart")
+        ~fields:
+          [
+            ("slot", J.Int w.w_slot);
+            ("pid", J.Int pid);
+            ("restarts", J.Int w.w_restarts);
+          ]
 
 let failed_result message =
   {
@@ -311,6 +436,16 @@ let failed_result message =
 (* A worker died (pipe EOF, or we killed it for a stale heartbeat): reap
    it, requeue or fail its in-flight job against the retry budget, and
    schedule the slot's respawn with exponential backoff. *)
+let parent_outcome job result =
+  {
+    o_job = job;
+    o_result = result;
+    o_counters = [];
+    o_worker_pid = -1;
+    o_worker_slot = -1;
+    o_tracks = [];
+  }
+
 let handle_death t ~sched w =
   if w.w_alive then begin
     w.w_alive <- false;
@@ -320,6 +455,8 @@ let handle_death t ~sched w =
     (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
     if not t.stopping then begin
       Telemetry.incr t.tel Telemetry.Worker_crashes;
+      Log.emit t.log "worker.crash" ~level:Log.Warn
+        ~fields:[ ("slot", J.Int w.w_slot); ("pid", J.Int w.w_pid) ];
       (match w.w_busy with
       | None -> ()
       | Some job ->
@@ -328,10 +465,18 @@ let handle_death t ~sched w =
             (* Poison job: every attempt took a worker down.  Fail it
                with the typed reason instead of crash-looping. *)
             Telemetry.incr t.tel Telemetry.Jobs_failed;
-            Queue.push (job, failed_result "worker_crash", []) t.results
+            Queue.push (parent_outcome job (failed_result "worker_crash"))
+              t.results
           end
           else begin
             Telemetry.incr t.tel Telemetry.Jobs_requeued;
+            Log.emit t.log "job.requeued" ~level:Log.Warn
+              ~job:job.Scheduler.j_key
+              ~fields:
+                [
+                  ("id", J.Int job.Scheduler.j_id);
+                  ("attempts", J.Int job.Scheduler.j_attempts);
+                ];
             Scheduler.requeue sched job
           end);
       w.w_restart_at <- Unix.gettimeofday () +. backoff t w.w_restarts
@@ -345,7 +490,12 @@ let pump t ~sched =
   Array.iter
     (fun w ->
       if (not w.w_alive) && (not w.w_retired) && now >= w.w_restart_at then begin
-        if w.w_restarts >= t.restart_limit then w.w_retired <- true
+        if w.w_restarts >= t.restart_limit then begin
+          w.w_retired <- true;
+          Log.emit t.log "worker.retired" ~level:Log.Warn
+            ~fields:
+              [ ("slot", J.Int w.w_slot); ("restarts", J.Int w.w_restarts) ]
+        end
         else begin
           w.w_restarts <- w.w_restarts + 1;
           match spawn t w with
@@ -374,7 +524,14 @@ let handle_message t w json =
         when Some job.Scheduler.j_id = member_int json "id" ->
           w.w_busy <- None;
           Queue.push
-            (job, result_of_message json, counters_of_message json)
+            {
+              o_job = job;
+              o_result = result_of_message json;
+              o_counters = counters_of_message json;
+              o_worker_pid = w.w_pid;
+              o_worker_slot = w.w_slot;
+              o_tracks = (if t.trace then spans_of_message json else []);
+            }
             t.results
       | _ -> () (* stale or duplicate result: drop *))
   | _ -> ()
@@ -443,6 +600,13 @@ let dispatch t ~sched =
             match send_line w.w_to (job_message job) with
             | () ->
                 w.w_busy <- Some job;
+                Log.emit t.log "job.dispatched" ~job:job.Scheduler.j_key
+                  ~fields:
+                    [
+                      ("id", J.Int job.Scheduler.j_id);
+                      ("worker", J.Int w.w_slot);
+                      ("pid", J.Int w.w_pid);
+                    ];
                 if kill_after then
                   (try Unix.kill w.w_pid Sys.sigkill
                    with Unix.Unix_error _ -> ());
@@ -453,10 +617,18 @@ let dispatch t ~sched =
                 handle_death t ~sched w;
                 if job.Scheduler.j_attempts >= t.job_retries then begin
                   Telemetry.incr t.tel Telemetry.Jobs_failed;
-                  Queue.push (job, failed_result "worker_crash", []) t.results
+                  Queue.push (parent_outcome job (failed_result "worker_crash"))
+                    t.results
                 end
                 else begin
                   Telemetry.incr t.tel Telemetry.Jobs_requeued;
+                  Log.emit t.log "job.requeued" ~level:Log.Warn
+                    ~job:job.Scheduler.j_key
+                    ~fields:
+                      [
+                        ("id", J.Int job.Scheduler.j_id);
+                        ("attempts", J.Int job.Scheduler.j_attempts);
+                      ];
                   Scheduler.requeue sched job
                 end;
                 go ()))
@@ -465,15 +637,17 @@ let dispatch t ~sched =
 
 (* --- Lifecycle and queries ---------------------------------------------- *)
 
-let create ?tel ?chaos ?state_dir ?(job_retries = 3) ?(restart_limit = 5)
-    ?(backoff_base = 0.05) ?(hb_stale = 30.0) ?make_pool ?on_child_fork
-    ~workers () =
+let create ?tel ?chaos ?log ?(trace = false) ?state_dir ?(job_retries = 3)
+    ?(restart_limit = 5) ?(backoff_base = 0.05) ?(hb_stale = 30.0) ?make_pool
+    ?on_child_fork ~workers () =
   if workers < 1 then invalid_arg "Supervisor.create: workers must be >= 1";
   if job_retries < 1 then invalid_arg "Supervisor.create: job_retries must be >= 1";
   let t =
     {
       tel;
       chaos;
+      log;
+      trace;
       state_dir;
       job_retries;
       restart_limit;

@@ -31,6 +31,23 @@
 
 type t
 
+(** One finished job as the parent collects it.  [o_counters] is the
+    worker's telemetry drain (nonzero counters only) for the server to
+    fold into the fleet table.  [o_tracks] carries the worker's span
+    buffers — already re-based onto the parent telemetry timeline — and
+    is nonempty only when the supervisor was created with
+    [~trace:true]; [o_worker_pid]/[o_worker_slot] identify the process
+    that ran the job ([-1] when none did, e.g. a retry-budget
+    exhaustion synthesised by the parent). *)
+type outcome = {
+  o_job : Scheduler.job;
+  o_result : Scheduler.result;
+  o_counters : (string * int) list;
+  o_worker_pid : int;
+  o_worker_slot : int;
+  o_tracks : Asc_util.Telemetry.track list;
+}
+
 (** [create ~workers ()] forks the initial fleet.  [make_pool] runs {e in
     the child} after fork to build the worker-private domain pool
     (domains do not survive fork, so the parent of a supervised server
@@ -41,10 +58,21 @@ type t
     gives workers per-job checkpoint/resume; workers never write the
     result-cache files (the parent is the single writer).  [chaos] arms
     [worker.fork] and [supervisor.dispatch] in the parent and is
-    inherited by workers across fork for in-worker points. *)
+    inherited by workers across fork for in-worker points.
+
+    [log] receives structured lifecycle events in the parent
+    ([worker.start] / [worker.restart] / [worker.crash] /
+    [worker.retired] / [job.dispatched] / [job.requeued]) — workers
+    never write the event log, so lines cannot interleave.  [trace]
+    (default [false]) makes each worker ship its span buffers with
+    every result, re-based worker-side onto the parent's telemetry
+    timeline so the server can stitch one fleet-wide trace; off, span
+    buffers are folded away with the drain as before. *)
 val create :
   ?tel:Asc_util.Telemetry.t ->
   ?chaos:Asc_util.Chaos.t ->
+  ?log:Asc_util.Log.t ->
+  ?trace:bool ->
   ?state_dir:string ->
   ?job_retries:int ->
   ?restart_limit:int ->
@@ -73,10 +101,8 @@ val dispatch : t -> sched:Scheduler.t -> unit
     idle workers with stale heartbeats. *)
 val pump : t -> sched:Scheduler.t -> unit
 
-(** Finished jobs since the last call, each with the worker's telemetry
-    drain (nonzero counters only) for the server to accumulate. *)
-val take_results :
-  t -> (Scheduler.job * Scheduler.result * (string * int) list) list
+(** Finished jobs since the last call — see {!outcome}. *)
+val take_results : t -> outcome list
 
 (** Workers currently executing a job — the drain-mode exit gate. *)
 val busy_count : t -> int

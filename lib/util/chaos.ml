@@ -62,13 +62,14 @@ let serve_dispatch = "serve.dispatch"
 let worker_fork = "worker.fork"
 let worker_heartbeat = "worker.heartbeat"
 let supervisor_dispatch = "supervisor.dispatch"
+let log_write = "log.write"
 
 let all_points =
   [
     checkpoint_open; checkpoint_output; checkpoint_rename; checkpoint_rotate;
     checkpoint_read; pool_task; pool_poll; bench_io_read; tset_io_read;
     serve_read; serve_write; serve_dispatch; worker_fork; worker_heartbeat;
-    supervisor_dispatch;
+    supervisor_dispatch; log_write;
   ]
 
 let create ?tel rules =

@@ -107,6 +107,12 @@ val supervisor_dispatch : string
     [SIGKILL] of the chosen worker — modelling a worker crash mid-job —
     so occurrence counting stays parent-side and deterministic. *)
 
+val log_write : string
+(** Immediately before an event-log line is written ({!Asc_util.Log}).  A
+    [Fail] rule models a full disk / closed fd: the log degrades (warns
+    once, drops events, bumps [log_write_failures]) — it never raises
+    into the serving loop. *)
+
 val all_points : string list
 
 (** {1 Schedules}

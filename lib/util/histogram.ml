@@ -1,0 +1,188 @@
+(* Fixed-bucket latency histograms for the serving layer.
+
+   A histogram is an array of log-spaced bucket upper bounds plus one
+   overflow bucket, a per-bucket count array, and running sum/min/max.
+   [record] is allocation-free — a linear scan over ~two dozen floats and
+   three unboxed float-array stores — so the serving loop can stamp every
+   job without perturbing it.  Histograms with the same bounds merge by
+   component-wise addition, which is associative and commutative (QCheck
+   properties in test/test_obs.ml), so the server can fold per-worker
+   histograms into fleet totals exactly like it folds counters.
+
+   Bucket bounds are upper-inclusive ([v <= bound]), matching the
+   Prometheus histogram convention where cumulative bucket counts are
+   published under `le` labels. *)
+
+type t = {
+  bounds : float array; (* strictly increasing bucket upper bounds *)
+  counts : int array; (* length bounds + 1; last bucket is +Inf overflow *)
+  scalars : float array; (* unboxed [| sum; min; max |] *)
+  mutable total : int;
+}
+
+(* 24 powers of two from 100 µs: 0.0001 s .. ~838 s, then +Inf.  Wide
+   enough for queue-wait through end-to-end times of any served job. *)
+let default_bounds = Array.init 24 (fun i -> 1e-4 *. (2.0 ** float_of_int i))
+
+let check_bounds bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Histogram.create: empty bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i - 1) >= bounds.(i) then
+      invalid_arg "Histogram.create: bounds must be strictly increasing"
+  done
+
+let create ?(bounds = default_bounds) () =
+  check_bounds bounds;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    scalars = [| 0.0; infinity; neg_infinity |];
+    total = 0;
+  }
+
+let bucket_of t v =
+  let n = Array.length t.bounds in
+  let i = ref 0 in
+  while !i < n && v > t.bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let record t v =
+  let i = bucket_of t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.scalars.(0) <- t.scalars.(0) +. v;
+  if v < t.scalars.(1) then t.scalars.(1) <- v;
+  if v > t.scalars.(2) then t.scalars.(2) <- v
+
+let count t = t.total
+
+let sum t = if t.total = 0 then 0.0 else t.scalars.(0)
+
+let min_value t = if t.total = 0 then None else Some t.scalars.(1)
+
+let max_value t = if t.total = 0 then None else Some t.scalars.(2)
+
+let bounds t = Array.copy t.bounds
+
+let bucket_counts t = Array.copy t.counts
+
+(* Cumulative counts per Prometheus `le` bound; the caller appends the
+   +Inf bucket as [count t]. *)
+let cumulative t =
+  let acc = ref 0 in
+  Array.mapi
+    (fun i bound ->
+      acc := !acc + t.counts.(i);
+      (bound, !acc))
+    t.bounds
+
+let same_bounds a b =
+  Array.length a.bounds = Array.length b.bounds
+  && Array.for_all2 (fun x y -> x = y) a.bounds b.bounds
+
+let merge a b =
+  if not (same_bounds a b) then invalid_arg "Histogram.merge: bounds differ";
+  let t = create ~bounds:a.bounds () in
+  Array.iteri (fun i n -> t.counts.(i) <- n + b.counts.(i)) a.counts;
+  t.total <- a.total + b.total;
+  if t.total > 0 then begin
+    t.scalars.(0) <- sum a +. sum b;
+    t.scalars.(1) <- Float.min a.scalars.(1) b.scalars.(1);
+    t.scalars.(2) <- Float.max a.scalars.(2) b.scalars.(2)
+  end;
+  t
+
+(* Percentile estimate (p in [0, 100], the {!Stats.percentile_f}
+   convention): find the bucket where the cumulative count reaches the
+   nearest rank, interpolate linearly inside it, and clamp to the
+   observed [min, max].  The estimate is exact to within one bucket's
+   width of the true sample percentile — the QCheck cross-check in
+   test/test_obs.ml holds it to that. *)
+let quantile t ~p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Histogram.quantile: p must be in [0, 100] (got %g)" p);
+  if t.total = 0 then None
+  else begin
+    let rank =
+      Stdlib.max 1
+        (Stdlib.min t.total
+           (int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.total))))
+    in
+    let n = Array.length t.bounds in
+    let rec find i acc =
+      if i > n then n
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then i else find (i + 1) acc
+    in
+    let k = find 0 0 in
+    let before = ref 0 in
+    for i = 0 to k - 1 do
+      before := !before + t.counts.(i)
+    done;
+    let estimate =
+      if k = n then t.scalars.(2) (* overflow bucket: best bound is the max *)
+      else
+        let lo = if k = 0 then 0.0 else t.bounds.(k - 1) in
+        let hi = t.bounds.(k) in
+        let inside = float_of_int (rank - !before) in
+        let width = float_of_int t.counts.(k) in
+        lo +. ((hi -. lo) *. (inside /. width))
+    in
+    Some (Float.max t.scalars.(1) (Float.min t.scalars.(2) estimate))
+  end
+
+(* --- JSON codec (the `histograms` section of the metrics op) ----------- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.total);
+      ("sum", Json.Float (sum t));
+      ("le", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) t.bounds)));
+      ( "buckets",
+        Json.List (Array.to_list (Array.map (fun n -> Json.Int n) t.counts)) );
+    ]
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram lacks %S" name)
+  in
+  let* total = field "count" Json.as_int in
+  let* s = field "sum" Json.as_float in
+  let* le = field "le" Json.as_list in
+  let* buckets = field "buckets" Json.as_list in
+  let* bounds =
+    try
+      Ok (Array.of_list (List.map (fun j -> Option.get (Json.as_float j)) le))
+    with Invalid_argument _ -> Error "histogram: non-numeric bound"
+  in
+  let* counts =
+    try
+      Ok (Array.of_list (List.map (fun j -> Option.get (Json.as_int j)) buckets))
+    with Invalid_argument _ -> Error "histogram: non-integer bucket"
+  in
+  if Array.length counts <> Array.length bounds + 1 then
+    Error "histogram: bucket/bound arity mismatch"
+  else begin
+    match check_bounds bounds with
+    | () ->
+        let t = create ~bounds () in
+        Array.blit counts 0 t.counts 0 (Array.length counts);
+        t.total <- total;
+        (* min/max are not shipped; a decoded histogram merges and renders
+           but reports bound-based quantiles only. *)
+        if total > 0 then begin
+          t.scalars.(0) <- s;
+          t.scalars.(1) <- 0.0;
+          t.scalars.(2) <- infinity
+        end;
+        Ok t
+    | exception Invalid_argument m -> Error m
+  end

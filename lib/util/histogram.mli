@@ -1,0 +1,63 @@
+(** Fixed-bucket latency histograms for the serving layer.
+
+    A histogram holds log-spaced bucket upper bounds plus one overflow
+    bucket, per-bucket counts, and running sum/min/max.  {!record} is
+    allocation-free, so the serving loop can stamp every job's
+    queue-wait, execute and end-to-end times without perturbing it.
+    Histograms with identical bounds {!merge} by component-wise addition
+    (associative and commutative), which is how per-worker distributions
+    fold into fleet totals.
+
+    Bounds are upper-inclusive ([v <= bound]), the Prometheus [le]
+    convention; {!cumulative} gives the bucket series a text-exposition
+    renderer needs. *)
+
+type t
+
+(** 24 powers of two from 100 µs (0.0001 s .. ~838 s). *)
+val default_bounds : float array
+
+(** [create ()] is an empty histogram over [default_bounds] (or [bounds],
+    which must be strictly increasing and non-empty; the array is
+    copied). *)
+val create : ?bounds:float array -> unit -> t
+
+(** Add one observation.  Allocation-free. *)
+val record : t -> float -> unit
+
+val count : t -> int
+
+(** Sum of all observations (0.0 when empty). *)
+val sum : t -> float
+
+val min_value : t -> float option
+val max_value : t -> float option
+
+(** The bucket upper bounds (copy). *)
+val bounds : t -> float array
+
+(** Per-bucket counts (copy); one longer than {!bounds} — the last entry
+    is the +Inf overflow bucket. *)
+val bucket_counts : t -> int array
+
+(** [(bound, cumulative count)] per bound, ascending; the +Inf bucket's
+    cumulative count is {!count}. *)
+val cumulative : t -> (float * int) array
+
+(** Component-wise sum of two histograms with identical bounds.
+    @raise Invalid_argument when the bounds differ. *)
+val merge : t -> t -> t
+
+(** [quantile t ~p] estimates the [p]-th percentile ([0 <= p <= 100], the
+    {!Stats.percentile_f} convention) by linear interpolation inside the
+    bucket where the cumulative count reaches the nearest rank, clamped
+    to the observed min/max.  [None] when empty. *)
+val quantile : t -> p:float -> float option
+
+(** The JSON shape the [metrics] protocol op ships:
+    [{"count", "sum", "le": [bounds], "buckets": [per-bucket counts]}]. *)
+val to_json : t -> Json.t
+
+(** Decode {!to_json} output (min/max are not shipped, so a decoded
+    histogram merges and renders but clamps quantiles loosely). *)
+val of_json : Json.t -> (t, string) result

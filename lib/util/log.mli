@@ -1,0 +1,79 @@
+(** Structured event log: line-delimited JSON with size-based rotation.
+
+    A log handle follows the {!Telemetry}/{!Chaos} ownership rule: the
+    top-level driver creates it (from [--log-file]) and threads it
+    downward as [?log : t option]; library code only {!emit}s into it,
+    and the disabled handle costs one branch per site.
+
+    Observability must never take the service down: any write failure (a
+    full disk, a closed fd, an injected [log.write] chaos [Fail])
+    degrades the handle — one warning on stderr, subsequent events
+    dropped and counted under the [log_write_failures] telemetry counter
+    — and never raises into the serving loop.  Only {!Chaos.Killed}
+    propagates. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+(** {1 Events}
+
+    One JSON object per line: [ts] (Unix seconds), [level], [event], an
+    optional [job] content-hash key, then event-specific extra members.
+    The schema is documented in docs/OBSERVABILITY.md. *)
+
+type event = {
+  ev_ts : float;
+  ev_level : level;
+  ev_event : string;
+  ev_job : string option;
+  ev_fields : (string * Json.t) list;
+      (** extra members; reserved names (ts/level/event/job) are skipped *)
+}
+
+val event_to_json : event -> Json.t
+
+(** Decode one logged line ({!event_to_json} round-trips — QCheck
+    property in test/test_obs.ml). *)
+val event_of_json : Json.t -> (event, string) result
+
+(** {1 Handles} *)
+
+type t
+
+(** [create path] opens [path] for appending.  Events below [level]
+    (default [Info]) are dropped.  When a write would push the file past
+    [max_bytes] (default 8 MiB), copies rotate [<file>.(k)] to
+    [<file>.(k+1)] up to [keep] (default 2) by atomic renames — the
+    checkpoint rotation idiom.  A path that cannot be opened degrades
+    the handle immediately instead of raising. *)
+val create :
+  ?level:level ->
+  ?max_bytes:int ->
+  ?keep:int ->
+  ?tel:Telemetry.t ->
+  ?chaos:Chaos.t ->
+  string ->
+  t
+
+(** [emit log name] appends one event line; [job] and [fields] become the
+    [job] member and extra members.  No-op when [log] is [None] or the
+    level is below the handle's threshold; drops (and counts) when the
+    handle has degraded. *)
+val emit :
+  ?level:level ->
+  ?job:string ->
+  ?fields:(string * Json.t) list ->
+  t option ->
+  string ->
+  unit
+
+(** Whether an {!emit} at [level] would actually write — lets callers
+    skip building expensive fields. *)
+val enabled : t option -> level -> bool
+
+(** Events dropped by write failures (including the failing write). *)
+val write_failures : t -> int
+
+val close : t option -> unit

@@ -59,6 +59,8 @@ type counter =
   | Worker_crashes  (** worker exits the supervisor classed as crashes *)
   | Result_cache_persisted_hits
       (** result-cache hits served from the on-disk store *)
+  | Log_write_failures
+      (** event-log lines dropped because the sink could not be written *)
 
 let counter_index = function
   | Faults_simulated -> 0
@@ -92,6 +94,7 @@ let counter_index = function
   | Jobs_requeued -> 28
   | Worker_crashes -> 29
   | Result_cache_persisted_hits -> 30
+  | Log_write_failures -> 31
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -125,6 +128,7 @@ let counter_name = function
   | Jobs_requeued -> "jobs_requeued"
   | Worker_crashes -> "worker_crashes"
   | Result_cache_persisted_hits -> "result_cache_persisted_hits"
+  | Log_write_failures -> "log_write_failures"
 
 let all_counters =
   [
@@ -137,6 +141,7 @@ let all_counters =
     Jobs_submitted; Jobs_completed; Jobs_partial; Jobs_failed; Jobs_resumed;
     Result_cache_hits; Result_cache_misses;
     Worker_restarts; Jobs_requeued; Worker_crashes; Result_cache_persisted_hits;
+    Log_write_failures;
   ]
 
 let n_counters = List.length all_counters
@@ -195,6 +200,8 @@ let buffer t =
       b
 
 let now t = Unix.gettimeofday () -. t.origin
+
+let origin t = t.origin
 
 let add tel c n =
   match tel with
@@ -413,72 +420,79 @@ let imbalance loads =
 (* µs, the trace-event time unit. *)
 let us ts = ts *. 1e6
 
-let trace_json snapshot =
-  let meta =
-    List.concat_map
-      (fun tr ->
+(* One trace document over any number of processes: each [(pid, name,
+   tracks)] element renders as a Perfetto process with one thread per
+   domain track.  Event timestamps must already share one timeline (the
+   server re-bases worker events onto its own origin before stitching). *)
+let stitched_trace_json processes =
+  let process_events (pid, pname, tracks) =
+    let process_meta =
+      Json.Obj
         [
+          ("name", Json.Str "process_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Int pid);
+          ("args", Json.Obj [ ("name", Json.Str pname) ]);
+        ]
+    in
+    let meta =
+      List.map
+        (fun tr ->
           Json.Obj
             [
               ("name", Json.Str "thread_name");
               ("ph", Json.Str "M");
-              ("pid", Json.Int 1);
+              ("pid", Json.Int pid);
               ("tid", Json.Int tr.dom);
               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" tr.dom)) ]);
-            ];
-        ])
-      snapshot.tracks
-  in
-  let process_meta =
-    Json.Obj
-      [
-        ("name", Json.Str "process_name");
-        ("ph", Json.Str "M");
-        ("pid", Json.Int 1);
-        ("args", Json.Obj [ ("name", Json.Str "asc") ]);
-      ]
-  in
-  let events =
-    List.concat_map
-      (fun tr ->
-        List.map
-          (function
-            | Begin { name; ts; args } ->
-                Json.Obj
-                  ([
-                     ("name", Json.Str name);
-                     ("cat", Json.Str "asc");
-                     ("ph", Json.Str "B");
-                     ("ts", Json.Float (us ts));
-                     ("pid", Json.Int 1);
-                     ("tid", Json.Int tr.dom);
-                   ]
-                  @
-                  if args = [] then []
-                  else
+            ])
+        tracks
+    in
+    let events =
+      List.concat_map
+        (fun tr ->
+          List.map
+            (function
+              | Begin { name; ts; args } ->
+                  Json.Obj
+                    ([
+                       ("name", Json.Str name);
+                       ("cat", Json.Str "asc");
+                       ("ph", Json.Str "B");
+                       ("ts", Json.Float (us ts));
+                       ("pid", Json.Int pid);
+                       ("tid", Json.Int tr.dom);
+                     ]
+                    @
+                    if args = [] then []
+                    else
+                      [
+                        ( "args",
+                          Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+                        );
+                      ])
+              | End { name; ts } ->
+                  Json.Obj
                     [
-                      ( "args",
-                        Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
-                      );
+                      ("name", Json.Str name);
+                      ("cat", Json.Str "asc");
+                      ("ph", Json.Str "E");
+                      ("ts", Json.Float (us ts));
+                      ("pid", Json.Int pid);
+                      ("tid", Json.Int tr.dom);
                     ])
-            | End { name; ts } ->
-                Json.Obj
-                  [
-                    ("name", Json.Str name);
-                    ("cat", Json.Str "asc");
-                    ("ph", Json.Str "E");
-                    ("ts", Json.Float (us ts));
-                    ("pid", Json.Int 1);
-                    ("tid", Json.Int tr.dom);
-                  ])
           tr.events)
-      snapshot.tracks
+        tracks
+    in
+    (process_meta :: meta) @ events
   in
   Json.Obj
     [
-      ("traceEvents", Json.List ((process_meta :: meta) @ events));
+      ("traceEvents", Json.List (List.concat_map process_events processes));
       ("displayTimeUnit", Json.Str "ms");
     ]
+
+let trace_json snapshot = stitched_trace_json [ (1, "asc", snapshot.tracks) ]
 
 let write_trace path snapshot = Json.write_file ~compact:true path (trace_json snapshot)
 

@@ -20,6 +20,11 @@ type t
 
 val create : unit -> t
 
+(** [Unix.gettimeofday] at handle creation; every event timestamp is
+    relative to it.  Lets a supervisor re-base spans shipped by worker
+    processes (whose handles have their own origins) onto one timeline. *)
+val origin : t -> float
+
 (** {1 Counters}
 
     Monotonic event counters, merged across domains on {!drain}.  Bump
@@ -58,6 +63,8 @@ type counter =
   | Worker_crashes  (** worker exits the supervisor classed as crashes *)
   | Result_cache_persisted_hits
       (** result-cache hits served from the on-disk store *)
+  | Log_write_failures
+      (** event-log lines dropped because the sink could not be written *)
 
 val counter_name : counter -> string
 
@@ -151,6 +158,12 @@ val imbalance : load list -> float
 (** The snapshot as a Chrome trace-event JSON document (one track per
     domain; loads in Perfetto and chrome://tracing). *)
 val trace_json : snapshot -> Json.t
+
+(** [stitched_trace_json [(pid, name, tracks); ...]] is one trace
+    document spanning several processes — a supervisor plus its workers —
+    each rendered as a Perfetto process with one thread per domain track.
+    All timestamps must already be on one timeline (see {!origin}). *)
+val stitched_trace_json : (int * string * track list) list -> Json.t
 
 (** [trace_json] written compactly to a file. *)
 val write_trace : string -> snapshot -> unit

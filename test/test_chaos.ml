@@ -521,6 +521,55 @@ let test_io_read_points () =
   | exception Chaos.Killed _ -> ()
   | _ -> Alcotest.fail "tset_io: expected Killed"
 
+(* --- Event-log sink faults ---------------------------------------------- *)
+
+(* The [log.write] point fires before each physical event-log write.  A
+   [Fail] must degrade the handle — one stderr warning, every later
+   event dropped and counted — without ever raising into the caller
+   (the serving select loop); a [Kill] must propagate as a hard crash
+   like every other kill site. *)
+let test_log_write_chaos () =
+  Test_obs.with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "events.jsonl" in
+  let tel = Some (Telemetry.create ()) in
+  let chaos =
+    Chaos.create
+      [ { Chaos.point = Chaos.log_write; occurrence = 2; action = Chaos.Fail } ]
+  in
+  let log = Some (Log.create ?tel ~chaos path) in
+  Log.emit log "first";
+  Log.emit log "injected";
+  (* degraded *)
+  Log.emit log "dropped";
+  Log.emit log "dropped";
+  (match log with
+  | Some t ->
+      Alcotest.(check int) "failing write plus two drops" 3
+        (Log.write_failures t)
+  | None -> assert false);
+  Log.close log;
+  let ic = open_in path in
+  let first = input_line ic in
+  let eof = match input_line ic with _ -> false | exception End_of_file -> true in
+  close_in ic;
+  Alcotest.(check bool) "only the pre-fault line survives" true
+    (String.length first > 0 && eof);
+  Alcotest.(check int) "drops counted in telemetry" 3
+    (Telemetry.counter_value
+       (Telemetry.drain (Option.get tel))
+       "log_write_failures");
+  Alcotest.(check int) "the fault was counted as an injection" 1
+    (Chaos.injections chaos);
+  (* A Kill at the same point is a crash, not a degradation. *)
+  let chaos =
+    Chaos.create
+      [ { Chaos.point = Chaos.log_write; occurrence = 1; action = Chaos.Kill } ]
+  in
+  let log = Some (Log.create ~chaos (Filename.concat dir "k.jsonl")) in
+  match Log.emit log "boom" with
+  | exception Chaos.Killed _ -> Log.close log
+  | () -> Alcotest.fail "log.write kill must propagate"
+
 let suite =
   [
     ( "chaos",
@@ -545,6 +594,8 @@ let suite =
           test_rotation_and_recovery;
         Alcotest.test_case "file readers fail and die mid-read" `Quick
           test_io_read_points;
+        Alcotest.test_case "event-log sink faults degrade or kill" `Quick
+          test_log_write_chaos;
         Alcotest.test_case "pool survives a poisoned task" `Quick
           test_pool_survives_poisoned_task;
         Alcotest.test_case "persistent write failure degrades, not aborts" `Slow

@@ -38,4 +38,5 @@ let () =
          Test_chaos.suite;
          Test_kernel.suite;
          Test_serve.suite;
+         Test_obs.suite;
        ])

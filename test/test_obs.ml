@@ -1,0 +1,446 @@
+(* Tests for the serving-observability layer: Histogram (QCheck algebraic
+   properties plus a cross-check against the exact Stats percentiles),
+   the structured event log (codec round-trip, rotation, degradation) and
+   the Prometheus text exposition renderer. *)
+
+open Asc_util
+module H = Histogram
+module Protocol = Asc_core.Protocol
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Generators --------------------------------------------------------- *)
+
+(* Latency-like samples spanning the default bucket range (0.1 ms .. 100 s)
+   so every property exercises underflow, interior and near-overflow
+   buckets. *)
+let sample_gen = QCheck.map (fun i -> float_of_int i *. 1e-4) QCheck.(int_range 1 1_000_000)
+
+let samples_gen = QCheck.(list_of_size (Gen.int_range 1 200) sample_gen)
+
+let hist_of samples =
+  let h = H.create () in
+  List.iter (H.record h) samples;
+  h
+
+let json_str j = Json.to_string ~compact:true j
+
+(* --- Histogram properties ----------------------------------------------- *)
+
+let prop_record_lossless =
+  QCheck.Test.make ~name:"histogram: record never loses a sample" ~count:200
+    samples_gen (fun samples ->
+      let h = hist_of samples in
+      let n = List.length samples in
+      H.count h = n
+      && Array.fold_left ( + ) 0 (H.bucket_counts h) = n
+      (* records accumulate left-to-right, exactly like fold_left *)
+      && H.sum h = List.fold_left ( +. ) 0.0 samples)
+
+let prop_cumulative_monotone =
+  QCheck.Test.make ~name:"histogram: cumulative buckets are monotone"
+    ~count:200 samples_gen (fun samples ->
+      let h = hist_of samples in
+      let cum = H.cumulative h in
+      let ok = ref true in
+      Array.iteri
+        (fun i (_, c) -> if i > 0 && c < snd cum.(i - 1) then ok := false)
+        cum;
+      !ok
+      && snd cum.(Array.length cum - 1) <= H.count h
+      && snd cum.(Array.length cum - 1)
+         + (H.bucket_counts h).(Array.length cum)
+         = H.count h)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"histogram: merge is commutative" ~count:200
+    QCheck.(pair samples_gen samples_gen) (fun (xs, ys) ->
+      let ab = H.merge (hist_of xs) (hist_of ys) in
+      let ba = H.merge (hist_of ys) (hist_of xs) in
+      json_str (H.to_json ab) = json_str (H.to_json ba)
+      && H.min_value ab = H.min_value ba
+      && H.max_value ab = H.max_value ba)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"histogram: merge is associative" ~count:200
+    QCheck.(triple samples_gen samples_gen samples_gen) (fun (xs, ys, zs) ->
+      let a, b, c = (hist_of xs, hist_of ys, hist_of zs) in
+      let l = H.merge (H.merge a b) c in
+      let r = H.merge a (H.merge b c) in
+      H.bucket_counts l = H.bucket_counts r
+      && H.count l = H.count r
+      && H.min_value l = H.min_value r
+      && H.max_value l = H.max_value r
+      (* float addition is commutative but not bit-exactly associative:
+         hold the sums to a relative tolerance instead *)
+      && Float.abs (H.sum l -. H.sum r) <= 1e-9 *. Float.abs (H.sum l))
+
+(* The estimator's contract versus the exact sample statistics from
+   {!Stats}: a histogram quantile always lands in the same bucket as the
+   nearest-rank sample it approximates, stays inside the observed
+   envelope, and is exact at p = 100 (both definitions give the max). *)
+let prop_quantile_vs_stats =
+  QCheck.Test.make ~name:"histogram: quantile tracks Stats.percentile_f"
+    ~count:200
+    QCheck.(pair samples_gen (int_range 0 100))
+    (fun (samples, pi) ->
+      let p = float_of_int pi in
+      let h = hist_of samples in
+      let n = List.length samples in
+      let q = Option.get (H.quantile h ~p) in
+      let sorted = List.sort compare samples in
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min n (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n))))
+      in
+      let nearest = List.nth sorted (rank - 1) in
+      let bounds = H.bounds h in
+      let m = Array.length bounds in
+      let bucket v =
+        let i = ref 0 in
+        while !i < m && v > bounds.(!i) do
+          incr i
+        done;
+        !i
+      in
+      let k = bucket nearest in
+      let lo = if k = 0 then 0.0 else bounds.(k - 1) in
+      let hi = if k = m then infinity else bounds.(k) in
+      q >= lo && q <= hi
+      && q >= List.hd sorted
+      && q <= List.nth sorted (n - 1)
+      && H.quantile h ~p:100.0 = Some (Stats.percentile_f ~p:100.0 samples))
+
+let prop_histogram_roundtrip =
+  QCheck.Test.make ~name:"histogram: JSON codec round-trips" ~count:200
+    samples_gen (fun samples ->
+      let h = hist_of samples in
+      match H.of_json (H.to_json h) with
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      | Ok h' ->
+          H.bounds h = H.bounds h'
+          && H.bucket_counts h = H.bucket_counts h'
+          && H.count h = H.count h'
+          && H.sum h = H.sum h')
+
+let test_histogram_edges () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check bool) "empty quantile" true (H.quantile h ~p:50.0 = None);
+  Alcotest.(check bool) "empty min" true (H.min_value h = None);
+  Alcotest.(check (float 0.0)) "empty sum" 0.0 (H.sum h);
+  (match H.quantile h ~p:101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p > 100 must raise");
+  (match H.create ~bounds:[||] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty bounds must raise");
+  (match H.create ~bounds:[| 1.0; 1.0 |] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing bounds must raise");
+  let a = H.create ~bounds:[| 1.0 |] () and b = H.create ~bounds:[| 2.0 |] () in
+  (match H.merge a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merging different bounds must raise");
+  (* Upper-inclusive (Prometheus le) bucketing: a value equal to a bound
+     lands in that bound's bucket, just above it in the next. *)
+  let h = H.create ~bounds:[| 1.0; 2.0 |] () in
+  H.record h 1.0;
+  H.record h 1.0000001;
+  H.record h 5.0;
+  Alcotest.(check (array int)) "le bucketing" [| 1; 1; 1 |] (H.bucket_counts h)
+
+(* --- Event-log codec ----------------------------------------------------- *)
+
+(* Timestamps are whole seconds so the %.12g JSON float format
+   round-trips them exactly; keys avoid the reserved ts/level/event/job
+   names so the field list survives the reserved-name filter verbatim. *)
+let event_gen =
+  QCheck.make
+    ~print:(fun e -> json_str (Log.event_to_json e))
+    QCheck.Gen.(
+      let* ts = int_range 0 2_000_000_000 in
+      let* level = oneofl [ Log.Debug; Log.Info; Log.Warn; Log.Error ] in
+      let* name = oneofl [ "job.completed"; "worker.crash"; "a.b.c"; "x" ] in
+      let* job = opt (oneofl [ "604f7aa57166d9f6"; "deadbeef" ]) in
+      let* fields =
+        list_size (int_range 0 4)
+          (pair
+             (oneofl [ "k1"; "k2"; "slot"; "reason" ])
+             (oneofl [ Json.Int 7; Json.Str "s"; Json.Bool true ]))
+      in
+      return
+        {
+          Log.ev_ts = float_of_int ts;
+          ev_level = level;
+          ev_event = name;
+          ev_job = job;
+          ev_fields = fields;
+        })
+
+let prop_event_roundtrip =
+  QCheck.Test.make ~name:"log: event codec round-trips through JSONL"
+    ~count:500 event_gen (fun e ->
+      let line = json_str (Log.event_to_json e) in
+      match Json.parse line with
+      | Error err -> QCheck.Test.fail_reportf "unparseable line: %s" err
+      | Ok json -> (
+          match Log.event_of_json json with
+          | Error err -> QCheck.Test.fail_reportf "decode failed: %s" err
+          | Ok e' -> e' = e))
+
+(* --- Log handle behaviour ------------------------------------------------ *)
+
+let temp_dir () =
+  let path = Filename.temp_file "asc-obs" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_log_writes_jsonl () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "events.jsonl" in
+  let log = Some (Log.create path) in
+  Log.emit log "server.start" ~fields:[ ("workers", Json.Int 2) ];
+  Log.emit log "job.completed" ~job:"abc" ~level:Log.Info;
+  Log.emit log "worker.crash" ~level:Log.Warn ~fields:[ ("slot", Json.Int 0) ];
+  Log.close log;
+  let lines = read_lines path in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Result.bind (Json.parse line) Log.event_of_json with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "bad line %S: %s" line e)
+    lines;
+  (match Result.bind (Json.parse (List.nth lines 1)) Log.event_of_json with
+  | Ok e ->
+      Alcotest.(check string) "event name" "job.completed" e.Log.ev_event;
+      Alcotest.(check (option string)) "job key" (Some "abc") e.Log.ev_job
+  | Error e -> Alcotest.failf "decode: %s" e)
+
+let test_log_threshold () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "events.jsonl" in
+  let log = Some (Log.create ~level:Log.Warn path) in
+  Alcotest.(check bool) "info disabled" false (Log.enabled log Log.Info);
+  Alcotest.(check bool) "error enabled" true (Log.enabled log Log.Error);
+  Log.emit log "dropped" ~level:Log.Info;
+  Log.emit log "dropped" ~level:Log.Debug;
+  Log.emit log "kept" ~level:Log.Error;
+  Log.close log;
+  Alcotest.(check int) "only the error line" 1 (List.length (read_lines path))
+
+let test_log_rotation () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "events.jsonl" in
+  (* Each line is ~60 bytes: a 256-byte cap forces several rotations. *)
+  let log = Some (Log.create ~max_bytes:256 ~keep:2 path) in
+  for i = 1 to 40 do
+    Log.emit log "tick" ~fields:[ ("i", Json.Int i) ]
+  done;
+  Log.close log;
+  Alcotest.(check bool) "live file exists" true (Sys.file_exists path);
+  Alcotest.(check bool) "rotated copy exists" true (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool) "keep bounds copies" false
+    (Sys.file_exists (path ^ ".2"));
+  (* Every surviving line — in both generations — is still valid JSONL. *)
+  List.iter
+    (fun file ->
+      List.iter
+        (fun line ->
+          match Result.bind (Json.parse line) Log.event_of_json with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "bad rotated line %S: %s" line e)
+        (read_lines file))
+    [ path; path ^ ".1" ]
+
+let test_log_degrades_on_bad_path () =
+  let tel = Some (Telemetry.create ()) in
+  let log = Some (Log.create ?tel "/nonexistent-asc-dir/events.jsonl") in
+  (match log with
+  | Some t -> Alcotest.(check int) "open failure counted" 1 (Log.write_failures t)
+  | None -> assert false);
+  Alcotest.(check bool) "degraded handle is disabled" false
+    (Log.enabled log Log.Info);
+  (* Emitting into a degraded handle never raises — it drops and counts. *)
+  Log.emit log "dropped";
+  Log.emit log "dropped";
+  (match log with
+  | Some t -> Alcotest.(check int) "drops counted" 3 (Log.write_failures t)
+  | None -> assert false);
+  let snap = Telemetry.drain (Option.get tel) in
+  Alcotest.(check int) "telemetry counter" 3
+    (Telemetry.counter_value snap "log_write_failures");
+  Log.close log
+
+(* --- Metrics JSON determinism and Prometheus rendering ------------------- *)
+
+let test_metrics_sorted_deterministic () =
+  let h = H.create () in
+  H.record h 0.01;
+  let render counters gauges =
+    json_str
+      (Protocol.metrics_response ~gauges ~histograms:[ ("h", h) ] ~pending:1
+         ~counters ())
+  in
+  let a = render [ ("b", 2); ("a", 1) ] [ ("y", 2.0); ("x", 1.0) ] in
+  let b = render [ ("a", 1); ("b", 2) ] [ ("x", 1.0); ("y", 2.0) ] in
+  Alcotest.(check string) "insertion order cannot leak" a b;
+  let ia = Asc_util.Json.to_string ~compact:true (Json.Obj [ ("a", Json.Int 1) ]) in
+  Alcotest.(check bool) "sanity" true (String.length ia > 0)
+
+let test_prometheus_exposition () =
+  let h = H.create () in
+  List.iter (H.record h) [ 0.00005; 0.0003; 1000.0 ];
+  let metrics =
+    Protocol.metrics_response
+      ~gauges:[ ("queue_depth", 4.0); ("uptime_seconds", 1.25) ]
+      ~histograms:[ ("job_e2e_seconds", h) ]
+      ~pending:4
+      ~counters:[ ("jobs_completed", 7); ("jobs_failed", 0) ]
+      ()
+  in
+  match Protocol.prometheus_of_metrics metrics with
+  | Error e -> Alcotest.failf "renderer failed: %s" e
+  | Ok text ->
+      let has needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i =
+          i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun line -> Alcotest.(check bool) line true (has line))
+        [
+          "# TYPE asc_jobs_completed_total counter";
+          "asc_jobs_completed_total 7\n";
+          "asc_pending 4\n";
+          "asc_queue_depth 4\n";
+          "asc_uptime_seconds 1.25\n";
+          "# TYPE asc_job_e2e_seconds histogram";
+          "asc_job_e2e_seconds_bucket{le=\"0.0001\"} 1\n";
+          "asc_job_e2e_seconds_bucket{le=\"+Inf\"} 3\n";
+          "asc_job_e2e_seconds_count 3\n";
+        ];
+      (* Bucket series must be cumulative: extract every le value in
+         order and check it never decreases. *)
+      let values = ref [] in
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             match String.index_opt line '}' with
+             | Some i
+               when String.length line > i + 1
+                    && String.sub line 0 4 = "asc_"
+                    && String.index_opt line '{' <> None ->
+                 let v =
+                   String.sub line (i + 2) (String.length line - i - 2)
+                 in
+                 values := int_of_string v :: !values
+             | _ -> ());
+      let series = List.rev !values in
+      Alcotest.(check int) "all bucket lines" (Array.length (H.bounds h) + 1)
+        (List.length series);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "cumulative non-decreasing" true (monotone series)
+
+let test_prometheus_rejects_non_metrics () =
+  match Protocol.prometheus_of_metrics (Json.Obj [ ("ok", Json.Bool true) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-metrics JSON must be rejected"
+
+(* --- Stitched traces ----------------------------------------------------- *)
+
+let test_stitched_trace_shape () =
+  let track name ts =
+    {
+      Telemetry.dom = 0;
+      events =
+        [
+          Telemetry.Begin { name; ts; args = [] };
+          Telemetry.End { name; ts = ts +. 0.5 };
+        ];
+    }
+  in
+  let doc =
+    Telemetry.stitched_trace_json
+      [
+        (100, "asc supervisor", [ track "serve:job" 1.0 ]);
+        (200, "asc worker", [ track "serve:job" 2.0 ]);
+        (300, "asc worker", []);
+      ]
+  in
+  let text = Json.to_string doc in
+  Alcotest.(check bool) "valid trace JSON" true (Test_telemetry.json_ok text);
+  match doc with
+  | Json.Obj members -> (
+      match List.assoc "traceEvents" members with
+      | Json.List events ->
+          let pids =
+            List.filter_map
+              (function
+                | Json.Obj m -> Option.bind (List.assoc_opt "pid" m) Json.as_int
+                | _ -> None)
+              events
+            |> List.sort_uniq compare
+          in
+          Alcotest.(check (list int)) "one process per pid" [ 100; 200; 300 ]
+            pids
+      | _ -> Alcotest.fail "traceEvents must be a list")
+  | _ -> Alcotest.fail "trace must be an object"
+
+let suite =
+  [
+    ( "obs",
+      [
+        qtest prop_record_lossless;
+        qtest prop_cumulative_monotone;
+        qtest prop_merge_commutative;
+        qtest prop_merge_associative;
+        qtest prop_quantile_vs_stats;
+        qtest prop_histogram_roundtrip;
+        Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+        qtest prop_event_roundtrip;
+        Alcotest.test_case "log writes decodable JSONL" `Quick
+          test_log_writes_jsonl;
+        Alcotest.test_case "log level threshold" `Quick test_log_threshold;
+        Alcotest.test_case "log rotation keeps bounded copies" `Quick
+          test_log_rotation;
+        Alcotest.test_case "log degrades on an unwritable path" `Quick
+          test_log_degrades_on_bad_path;
+        Alcotest.test_case "metrics JSON is order-independent" `Quick
+          test_metrics_sorted_deterministic;
+        Alcotest.test_case "prometheus exposition format" `Quick
+          test_prometheus_exposition;
+        Alcotest.test_case "prometheus rejects non-metrics JSON" `Quick
+          test_prometheus_rejects_non_metrics;
+        Alcotest.test_case "stitched trace has one track per process" `Quick
+          test_stitched_trace_shape;
+      ] );
+  ]

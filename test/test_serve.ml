@@ -1009,6 +1009,173 @@ let test_server_supervised_poison () =
     Alcotest.(check bool) "clean exit after poison job" true
       (st = Unix.WEXITED 0)
 
+(* The queue-depth gauge is computed from the queues themselves — redo
+   queue plus per-source FIFOs — so a requeued in-flight job counts
+   again and the number cannot drift from the real backlog. *)
+let test_scheduler_pending_counts_redo () =
+  let sched = Scheduler.create () in
+  let submit source seed =
+    match Scheduler.submit sched ~source (spec ~circuit:"s27" ~seed ()) with
+    | Scheduler.Accepted j -> j
+    | _ -> Alcotest.fail "expected Accepted"
+  in
+  let _ = submit 1 1 and _ = submit 1 2 and _ = submit 2 3 in
+  Alcotest.(check int) "three queued" 3 (Scheduler.pending sched);
+  let job =
+    match Scheduler.pick sched with
+    | Some j -> j
+    | None -> Alcotest.fail "pick returned nothing"
+  in
+  Alcotest.(check int) "picked job leaves the count" 2 (Scheduler.pending sched);
+  Alcotest.(check bool) "pick stamps the dispatch time" true
+    (job.Scheduler.j_dispatched >= job.Scheduler.j_submitted
+    && job.Scheduler.j_dispatched > 0.0);
+  Scheduler.requeue sched job;
+  Alcotest.(check int) "requeued job counts again" 3 (Scheduler.pending sched);
+  (* The redo queue drains first, then the FIFOs. *)
+  (match Scheduler.pick sched with
+  | Some j ->
+      Alcotest.(check int) "redo job first" job.Scheduler.j_id j.Scheduler.j_id
+  | None -> Alcotest.fail "redo pick returned nothing");
+  ignore (Scheduler.pick sched);
+  ignore (Scheduler.pick sched);
+  Alcotest.(check int) "drained" 0 (Scheduler.pending sched);
+  Alcotest.(check bool) "empty pick" true (Scheduler.pick sched = None)
+
+(* Acceptance gate for the observability stack: served results must be
+   byte-identical with full observability on (event log at debug, trace
+   stitching, prometheus file) and off, in-process-style single-worker
+   and across a four-worker fleet.  While at it, assert the artifacts
+   themselves: decodable JSONL with a submitted->completed pair per job,
+   a valid stitched trace with one process per worker pid, and a
+   grammar-consistent exposition file. *)
+let test_server_obs_identity () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else
+    List.iter
+      (fun workers ->
+        let dir = temp_dir "asc-obs-id" in
+        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        let submit_both sock =
+          let c1 = client_connect sock in
+          let c2 = client_connect sock in
+          Fun.protect ~finally:(fun () -> List.iter client_close [ c1; c2 ])
+          @@ fun () ->
+          client_request c1 (submit_line ~tset:true "s298");
+          client_request c2 (submit_line ~tset:true "s344");
+          let r1 = client_recv c1 in
+          let r2 = client_recv c2 in
+          List.iter (fun r -> check_bool_member r "ok" true) [ r1; r2 ];
+          let out = (str_member r1 "tset", str_member r2 "tset") in
+          shutdown_server c1;
+          out
+        in
+        let plain = ref ("", "") in
+        let st =
+          with_server ~args:[ "--workers"; string_of_int workers ] (fun sock ->
+              plain := submit_both sock)
+        in
+        Alcotest.(check bool) "plain server exits cleanly" true
+          (st = Unix.WEXITED 0);
+        let events = Filename.concat dir "events.jsonl" in
+        let trace = Filename.concat dir "trace.json" in
+        let prom = Filename.concat dir "prom.txt" in
+        let observed = ref ("", "") in
+        let st =
+          with_server
+            ~args:
+              [
+                "--workers"; string_of_int workers;
+                "--log-file"; events; "--log-level"; "debug";
+                "--trace"; trace; "--prom-file"; prom;
+              ]
+            (fun sock -> observed := submit_both sock)
+        in
+        Alcotest.(check bool) "observed server exits cleanly" true
+          (st = Unix.WEXITED 0);
+        let tag s = Printf.sprintf "%s (workers=%d)" s workers in
+        Alcotest.(check string) (tag "s298 identical with obs on")
+          (fst !plain) (fst !observed);
+        Alcotest.(check string) (tag "s344 identical with obs on")
+          (snd !plain) (snd !observed);
+        (* Event log: decodable JSONL, one submitted->completed pair per
+           job key. *)
+        let lines =
+          String.split_on_char '\n' (read_file events)
+          |> List.filter (fun l -> l <> "")
+        in
+        Alcotest.(check bool) (tag "event log is non-trivial") true
+          (List.length lines >= 6);
+        let decoded =
+          List.map
+            (fun line ->
+              match Result.bind (Json.parse line) Asc_util.Log.event_of_json with
+              | Ok e -> e
+              | Error e -> Alcotest.failf "bad event line %S: %s" line e)
+            lines
+        in
+        let keys_of name =
+          List.filter_map
+            (fun e ->
+              if e.Asc_util.Log.ev_event = name then e.Asc_util.Log.ev_job
+              else None)
+            decoded
+          |> List.sort_uniq compare
+        in
+        Alcotest.(check (list string)) (tag "submitted jobs all completed")
+          (keys_of "job.submitted") (keys_of "job.completed");
+        Alcotest.(check int) (tag "two jobs logged") 2
+          (List.length (keys_of "job.submitted"));
+        (* Stitched trace: valid Chrome JSON, balanced begin/end pairs,
+           parent process plus one process per worker pid. *)
+        let trace_text = read_file trace in
+        Alcotest.(check bool) (tag "trace is valid") true
+          (Test_telemetry.json_ok (String.trim trace_text));
+        (match Json.parse trace_text with
+        | Error e -> Alcotest.failf "unparseable trace: %s" e
+        | Ok (Json.Obj members) -> (
+            match List.assoc_opt "traceEvents" members with
+            | Some (Json.List evs) ->
+                let phase p =
+                  List.length
+                    (List.filter
+                       (function
+                         | Json.Obj m ->
+                             List.assoc_opt "ph" m = Some (Json.Str p)
+                         | _ -> false)
+                       evs)
+                in
+                Alcotest.(check int) (tag "balanced B/E events") (phase "B")
+                  (phase "E");
+                let pids =
+                  List.filter_map
+                    (function
+                      | Json.Obj m ->
+                          Option.bind (List.assoc_opt "pid" m) Json.as_int
+                      | _ -> None)
+                    evs
+                  |> List.sort_uniq compare
+                in
+                (* the parent plus every worker that ran a job *)
+                let want = if workers >= 2 then 3 else 2 in
+                Alcotest.(check bool)
+                  (tag
+                     (Printf.sprintf "at least %d process tracks (got %d)"
+                        want (List.length pids)))
+                  true
+                  (List.length pids >= want)
+            | _ -> Alcotest.fail "trace lacks traceEvents")
+        | Ok _ -> Alcotest.fail "trace is not an object");
+        (* Exposition file: the final rewrite reflects both completions. *)
+        let prom_text = read_file prom in
+        Alcotest.(check bool) (tag "prom counter") true
+          (contains prom_text "asc_jobs_completed_total 2\n");
+        Alcotest.(check bool) (tag "prom histogram count") true
+          (contains prom_text "asc_job_e2e_seconds_count 2\n");
+        Alcotest.(check bool) (tag "prom +Inf bucket") true
+          (contains prom_text "asc_job_e2e_seconds_bucket{le=\"+Inf\"} 2\n"))
+      [ 1; 4 ]
+
 let suite =
   [
     ( "serve",
@@ -1051,5 +1218,9 @@ let suite =
           test_server_supervised_chaos;
         Alcotest.test_case "poison job exhausts its retry budget" `Slow
           test_server_supervised_poison;
+        Alcotest.test_case "pending counts redo queue plus FIFOs" `Quick
+          test_scheduler_pending_counts_redo;
+        Alcotest.test_case "observability never perturbs served results" `Slow
+          test_server_obs_identity;
       ] );
   ]
