@@ -668,6 +668,24 @@ let resolve_listen socket tcp =
   | Some _, Some _ -> die exit_usage "--socket and --tcp are mutually exclusive"
   | None, None -> die exit_usage "need --socket PATH or --tcp HOST:PORT"
 
+let log_file_arg =
+  let doc =
+    "Append structured JSONL lifecycle events (job submitted / \
+     dispatched / completed, worker crash / restart) to $(docv), \
+     rotated by size; see docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "log-file" ] ~doc ~docv:"FILE")
+
+let log_level_arg =
+  let doc = "Event-log threshold: debug, info, warn or error." in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~doc ~docv:"LEVEL")
+
+let resolve_log_level log_level =
+  match Asc_util.Log.level_of_string log_level with
+  | Some l -> l
+  | None ->
+      die exit_usage "bad --log-level %S (debug|info|warn|error)" log_level
+
 let serve_cmd =
   let state_dir_arg =
     let doc =
@@ -694,17 +712,28 @@ let serve_cmd =
       & opt (positive_int "job retries") 3
       & info [ "job-retries" ] ~doc ~docv:"K")
   in
-  let log_file_arg =
+  let max_pending_arg =
     let doc =
-      "Append structured JSONL lifecycle events (job submitted / \
-       dispatched / completed, worker crash / restart) to $(docv), \
-       rotated by size; see docs/OBSERVABILITY.md."
+      "Admission cap: while $(docv) jobs are already queued, new \
+       submissions are refused with a typed $(b,overloaded) reject \
+       carrying a $(b,retry_after_ms) backpressure hint, instead of \
+       growing the queue without bound.  Unset means unbounded."
     in
-    Arg.(value & opt (some string) None & info [ "log-file" ] ~doc ~docv:"FILE")
+    Arg.(
+      value
+      & opt (some (positive_int "max pending")) None
+      & info [ "max-pending" ] ~doc ~docv:"N")
   in
-  let log_level_arg =
-    let doc = "Event-log threshold: debug, info, warn or error." in
-    Arg.(value & opt string "info" & info [ "log-level" ] ~doc ~docv:"LEVEL")
+  let max_pending_per_source_arg =
+    let doc =
+      "Per-connection admission cap: like $(b,--max-pending) but \
+       counting only jobs queued by the same client connection, so one \
+       greedy client cannot fill the whole queue."
+    in
+    Arg.(
+      value
+      & opt (some (positive_int "max pending per source")) None
+      & info [ "max-pending-per-source" ] ~doc ~docv:"N")
   in
   let trace_arg =
     let doc =
@@ -720,8 +749,9 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "prom-file" ] ~doc ~docv:"FILE")
   in
-  let run socket tcp state_dir domains workers job_retries log_file log_level
-      trace prom_file sim_kernel verbose =
+  let run socket tcp state_dir domains workers job_retries max_pending
+      max_pending_per_source log_file log_level trace prom_file sim_kernel
+      verbose =
     guard @@ fun () ->
     setup_logs verbose;
     apply_sim_kernel sim_kernel;
@@ -732,11 +762,16 @@ let serve_cmd =
        pool for the jobs after it. *)
     let tel = Some (Asc_util.Telemetry.create ()) in
     let chaos = chaos_of_env ?tel () in
-    let level =
-      match Asc_util.Log.level_of_string log_level with
-      | Some l -> l
-      | None -> die exit_usage "bad --log-level %S (debug|info|warn|error)"
-          log_level
+    let level = resolve_log_level log_level in
+    (* Test knob: the heartbeat-staleness threshold defaults to 30 s,
+       far too slow for a test that SIGSTOPs a worker on purpose. *)
+    let hb_stale =
+      match Sys.getenv_opt "ASC_HB_STALE" with
+      | None -> None
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some v when v > 0.0 -> Some v
+          | _ -> die exit_usage "bad ASC_HB_STALE %S (positive seconds)" s)
     in
     let log =
       Option.map (fun path -> Asc_util.Log.create ~level ?tel ?chaos path)
@@ -760,13 +795,14 @@ let serve_cmd =
              worker builds its own through [make_pool], recording into its
              own telemetry handle. *)
           Asc_core.Server.serve ?tel ?chaos ?log ?trace_file:trace
-            ?prom_file ~on_ready ~workers ~job_retries
+            ?prom_file ~on_ready ~workers ~job_retries ?max_pending
+            ?max_pending_per_source ?hb_stale
             ~make_pool:(fun ~tel -> make_pool ~tel ?chaos domains)
             config
         else begin
           let pool = make_pool ?tel ?chaos domains in
           Asc_core.Server.serve ?pool ?tel ?chaos ?log ?trace_file:trace
-            ?prom_file ~on_ready config
+            ?prom_file ~on_ready ?max_pending ?max_pending_per_source config
         end);
     Printf.printf "asc: server shut down\n%!"
   in
@@ -777,8 +813,90 @@ let serve_cmd =
           docs/SERVING.md)")
     Term.(
       const run $ socket_arg $ tcp_arg $ state_dir_arg $ domains_arg
-      $ workers_arg $ job_retries_arg $ log_file_arg $ log_level_arg
+      $ workers_arg $ job_retries_arg $ max_pending_arg
+      $ max_pending_per_source_arg $ log_file_arg $ log_level_arg
       $ trace_arg $ prom_file_arg $ sim_kernel_arg $ verbose_arg)
+
+(* A backend address: HOST:PORT when the suffix parses as a port,
+   otherwise a Unix-socket path.  The literal argument string is the
+   backend's rendezvous-hash identity. *)
+let parse_backend s =
+  let is_host_port =
+    match String.rindex_opt s ':' with
+    | None -> false
+    | Some i -> (
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some p -> p > 0 && p < 65536
+        | None -> false)
+  in
+  if is_host_port then
+    let host, port = parse_host_port s in
+    (s, Asc_core.Server.Tcp (host, port))
+  else (s, Asc_core.Server.Unix_socket s)
+
+let route_cmd =
+  let backend_arg =
+    let doc =
+      "A backend `asc serve` address (repeatable; at least one): a \
+       Unix-socket path, or HOST:PORT for TCP.  The literal argument \
+       string is the backend's rendezvous-hash identity — keep it \
+       stable across restarts, or keys re-home."
+    in
+    Arg.(non_empty & opt_all string [] & info [ "backend" ] ~doc ~docv:"ADDR")
+  in
+  let request_retries_arg =
+    let doc =
+      "Failover budget: total dispatch attempts per submission across \
+       backends before a typed $(b,no_backend) reject."
+    in
+    Arg.(
+      value
+      & opt (positive_int "request retries")
+          Asc_core.Router.default_request_retries
+      & info [ "request-retries" ] ~doc ~docv:"K")
+  in
+  let run socket tcp backends request_retries log_file log_level verbose =
+    guard @@ fun () ->
+    setup_logs verbose;
+    let listen = resolve_listen socket tcp in
+    let tel = Some (Asc_util.Telemetry.create ()) in
+    let chaos = chaos_of_env ?tel () in
+    let level = resolve_log_level log_level in
+    let log =
+      Option.map (fun path -> Asc_util.Log.create ~level ?tel ?chaos path)
+        log_file
+    in
+    let cfg =
+      {
+        Asc_core.Router.listen;
+        backends = List.map parse_backend backends;
+        max_frame = Asc_core.Server.default_max_frame;
+        request_retries;
+      }
+    in
+    let where =
+      match listen with
+      | Asc_core.Server.Unix_socket p -> p
+      | Asc_core.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+    in
+    let on_ready () =
+      Printf.printf "asc: routing on %s across %d backends\n%!" where
+        (List.length backends)
+    in
+    Fun.protect
+      ~finally:(fun () -> Asc_util.Log.close log)
+      (fun () -> Asc_core.Router.run ?tel ?chaos ?log ~on_ready cfg);
+    Printf.printf "asc: router shut down\n%!"
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Shard submissions across several `asc serve` backends \
+          (rendezvous hashing on the job's content key, health-checked \
+          failover; see docs/SERVING.md)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ backend_arg $ request_retries_arg
+      $ log_file_arg $ log_level_arg $ verbose_arg)
 
 let client_cmd =
   let op_arg =
@@ -786,9 +904,25 @@ let client_cmd =
                JSON line from stdin)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
-  let circuit_arg =
-    let doc = "Circuit name for submit (see `asc list`)." in
-    Arg.(value & pos 1 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  let circuits_arg =
+    let doc =
+      "Circuit names for submit (see `asc list`).  More than one makes \
+       one job each; combine with $(b,--pipeline) to keep several in \
+       flight at once."
+    in
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let pipeline_arg =
+    let doc =
+      "Keep up to $(docv) submissions in flight on the connection at \
+       once (submit only).  Responses are matched to requests by the \
+       echoed $(b,id) member, so they may arrive out of order; output \
+       is printed in request order regardless."
+    in
+    Arg.(
+      value
+      & opt (positive_int "pipeline depth") 1
+      & info [ "pipeline" ] ~doc ~docv:"K")
   in
   let netlist_arg =
     let doc = "Submit the ISCAS `.bench` netlist in $(docv) instead of a \
@@ -826,7 +960,9 @@ let client_cmd =
   let retry_backoff_arg =
     let doc =
       "Base backoff between retries, in milliseconds; attempt $(i,n) \
-       sleeps $(docv) * 2^$(i,n) before reconnecting."
+       sleeps uniformly in [0, $(docv) * 2^$(i,n)] (full jitter, capped \
+       at 5 s) before reconnecting, so a fleet of clients bounced by \
+       one event does not reconnect in lockstep."
     in
     Arg.(value & opt int 100 & info [ "retry-backoff" ] ~doc ~docv:"MS")
   in
@@ -872,95 +1008,298 @@ let client_cmd =
         | Sys_error msg -> finish (Error msg)
         | Unix.Unix_error (e, _, _) -> finish (Error (Unix.error_message e)))
   in
-  let run socket tcp op circuit netlist seed t0 job_timeout save retries
-      retry_backoff prometheus =
+  (* Pipelined submission: up to [pipeline] requests in flight on one
+     connection, responses matched to requests by the echoed [id]
+     member, so out-of-order completion (multi-worker shards, cache
+     hits) never misattributes a result.  Idempotence (results keyed by
+     content hash) is what makes the failure handling simple: a dropped
+     connection just reconnects with full-jitter backoff and resends
+     everything unanswered, and a typed [overloaded] reject re-queues
+     the job after the server's [retry_after_ms] hint. *)
+  let submit_pipelined ~listen ~specs ~labels ~want_tset ~retries
+      ~backoff_sleep ~pipeline =
+    let module J = Asc_util.Json in
+    let module P = Asc_core.Protocol in
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let n = Array.length specs in
+    let results : J.t option array = Array.make n None in
+    let retry_at = Array.make n 0.0 in
+    let attempts = Array.make n 0 in
+    let pending = ref (List.init n Fun.id) in
+    let outstanding : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let conn = ref None in
+    let conn_attempts = ref 0 in
+    let request_line j =
+      J.to_string ~compact:true
+        (P.request_to_json
+           (P.Submit
+              { spec = specs.(j); want_tset; client_id = Some j }))
+    in
+    let disconnect () =
+      (match !conn with
+      | Some (fd, _, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      conn := None;
+      (* Unanswered submissions go back in the send queue, in request
+         order so output order is stable. *)
+      let orphans = Hashtbl.fold (fun j () acc -> j :: acc) outstanding [] in
+      Hashtbl.reset outstanding;
+      pending := List.sort_uniq compare (orphans @ !pending)
+    in
+    let retry_or_die msg =
+      disconnect ();
+      if !conn_attempts < retries then begin
+        incr conn_attempts;
+        let d = backoff_sleep !conn_attempts in
+        Printf.eprintf "asc: %s; retry %d/%d in %.2fs\n%!" msg !conn_attempts
+          retries d;
+        Unix.sleepf d
+      end
+      else die exit_input "%s" msg
+    in
+    let rec ensure_conn () =
+      match !conn with
+      | Some c -> c
+      | None -> (
+          match connect listen with
+          | fd ->
+              let c =
+                (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+              in
+              conn := Some c;
+              c
+          | exception Unix.Unix_error (e, _, _) ->
+              retry_or_die
+                (Printf.sprintf "cannot connect: %s" (Unix.error_message e));
+              ensure_conn ())
+    in
+    let send j =
+      let _, _, oc = ensure_conn () in
+      match
+        output_string oc (request_line j);
+        output_char oc '\n';
+        flush oc
+      with
+      | () ->
+          Hashtbl.replace outstanding j ();
+          pending := List.filter (fun k -> k <> j) !pending
+      | exception (Sys_error _ | Unix.Unix_error _) ->
+          retry_or_die "connection lost while sending"
+    in
+    let handle_response line =
+      match J.parse line with
+      | Error e -> die exit_input "unparseable response: %s" e
+      | Ok json -> (
+          match Option.bind (J.member "id" json) J.as_int with
+          | Some j when j >= 0 && j < n && Hashtbl.mem outstanding j ->
+              Hashtbl.remove outstanding j;
+              let ok =
+                Option.bind (J.member "ok" json) J.as_bool = Some true
+              in
+              let reason = Option.bind (J.member "reason" json) J.as_str in
+              if (not ok) && reason = Some "overloaded" && attempts.(j) < retries
+              then begin
+                (* Backpressure, not failure: honor the server's hint
+                   (or our own jittered backoff, whichever is longer)
+                   and resubmit against the retry budget. *)
+                attempts.(j) <- attempts.(j) + 1;
+                let hint =
+                  match
+                    Option.bind (J.member "retry_after_ms" json) J.as_int
+                  with
+                  | Some ms -> float_of_int ms /. 1000.
+                  | None -> 0.0
+                in
+                let d = Float.max hint (backoff_sleep attempts.(j)) in
+                Printf.eprintf
+                  "asc: submit %s rejected (overloaded); retry %d/%d in %.2fs\n%!"
+                  labels.(j) attempts.(j) retries d;
+                retry_at.(j) <- Unix.gettimeofday () +. d;
+                pending := !pending @ [ j ]
+              end
+              else results.(j) <- Some json
+          | _ -> () (* an anonymous error frame; nothing to match *))
+    in
+    while Array.exists Option.is_none results do
+      (* Fill the window with whatever is ready to (re)send. *)
+      let now = Unix.gettimeofday () in
+      let ready = List.filter (fun j -> retry_at.(j) <= now) !pending in
+      let slots = pipeline - Hashtbl.length outstanding in
+      List.iteri (fun i j -> if i < slots then send j) ready;
+      if Hashtbl.length outstanding > 0 then begin
+        let _, ic, _ = ensure_conn () in
+        match input_line ic with
+        | line -> handle_response line
+        | exception (End_of_file | Sys_error _) ->
+            retry_or_die "server closed the connection"
+        | exception Unix.Unix_error (e, _, _) ->
+            retry_or_die (Unix.error_message e)
+      end
+      else if ready = [] && !pending <> [] then begin
+        (* Everything left is backing off after an overloaded reject. *)
+        let wake =
+          List.fold_left (fun a j -> Float.min a retry_at.(j)) infinity
+            !pending
+        in
+        Unix.sleepf (Float.max 0.0 (wake -. Unix.gettimeofday ()))
+      end
+    done;
+    disconnect ();
+    Array.map Option.get results
+  in
+  let run socket tcp op circuits netlist seed t0 job_timeout save retries
+      retry_backoff prometheus pipeline =
     guard @@ fun () ->
     let module J = Asc_util.Json in
     let module P = Asc_core.Protocol in
     if prometheus && op <> "metrics" then
       die exit_usage "--prometheus only applies to the metrics op";
-    let line =
-      match op with
-      | "ping" -> J.to_string ~compact:true (P.request_to_json P.Ping)
-      | "metrics" -> J.to_string ~compact:true (P.request_to_json P.Metrics)
-      | "shutdown" -> J.to_string ~compact:true (P.request_to_json P.Shutdown)
-      | "raw" -> (
-          try input_line stdin
-          with End_of_file -> die exit_usage "raw: no JSON line on stdin")
-      | "submit" ->
-          let netlist_text = Option.map read_file netlist in
-          if circuit = None && netlist_text = None then
-            die exit_usage "submit needs a CIRCUIT name or --netlist FILE";
-          let spec =
-            {
-              Asc_core.Scheduler.sp_circuit = circuit;
-              sp_netlist = netlist_text;
-              sp_seed = seed;
-              sp_t0 = t0;
-              sp_timeout = job_timeout;
-            }
-          in
-          J.to_string ~compact:true
-            (P.request_to_json (P.Submit { spec; want_tset = save <> None }))
-      | other ->
-          die exit_usage "unknown client op %S (ping|metrics|shutdown|submit|raw)"
-            other
-    in
+    if op <> "submit" && circuits <> [] then
+      die exit_usage "only the submit op takes CIRCUIT arguments";
     let listen = resolve_listen socket tcp in
-    let rec attempt n =
-      match try_request listen line with
-      | Ok response -> response
-      | Error msg when n < retries ->
-          let delay =
-            float_of_int retry_backoff /. 1000. *. (2. ** float_of_int n)
-          in
-          Printf.eprintf "asc: %s; retry %d/%d in %.1fs\n%!" msg (n + 1)
-            retries delay;
-          Unix.sleepf delay;
-          attempt (n + 1)
-      | Error msg -> die exit_input "%s" msg
+    let rng = Asc_util.Rng.of_name ~seed:(Unix.getpid ()) "client/backoff" in
+    let backoff_sleep attempt =
+      (* Full jitter: uniform in [0, base * 2^(attempt-1)], capped. *)
+      Asc_util.Backoff.full_jitter ~rng
+        ~base:(float_of_int retry_backoff /. 1000.)
+        (attempt - 1)
     in
-    let response = attempt 0 in
-    match J.parse response with
-    | Error e -> die exit_input "unparseable response: %s" e
-    | Ok json when prometheus -> (
-        match P.prometheus_of_metrics json with
-        | Ok text -> print_string text
-        | Error e -> die exit_input "%s" e)
-    | Ok json ->
-        (* The serialized test set can be large: divert it to --save and
-           print the response without it. *)
-        Option.iter
-          (fun path ->
-            match Option.bind (J.member "tset" json) J.as_str with
-            | Some tset ->
-                let och = open_out path in
-                output_string och tset;
-                close_out och
-            | None -> ())
-          save;
-        let shown =
-          match json with
-          | J.Obj fields -> J.Obj (List.filter (fun (k, _) -> k <> "tset") fields)
-          | other -> other
+    match op with
+    | "submit" ->
+        let netlist_text = Option.map read_file netlist in
+        if circuits = [] && netlist_text = None then
+          die exit_usage "submit needs CIRCUIT names or --netlist FILE";
+        let make_spec circuit =
+          {
+            Asc_core.Scheduler.sp_circuit = circuit;
+            sp_netlist = netlist_text;
+            sp_seed = seed;
+            sp_t0 = t0;
+            sp_timeout = job_timeout;
+          }
         in
-        print_endline (J.to_string ~compact:true shown);
-        let ok = Option.bind (J.member "ok" json) J.as_bool = Some true in
-        if not ok then exit exit_input;
-        (match Option.bind (J.member "status" json) J.as_str with
-         | Some "partial" -> exit exit_partial
-         | Some "failed" -> exit exit_input
-         | _ -> ())
+        let specs, labels =
+          match circuits with
+          | [] -> ([| make_spec None |], [| "netlist" |])
+          | _ when netlist_text <> None ->
+              die exit_usage "--netlist and CIRCUIT names are mutually exclusive"
+          | _ ->
+              ( Array.of_list (List.map (fun c -> make_spec (Some c)) circuits),
+                Array.of_list circuits )
+        in
+        let responses =
+          submit_pipelined ~listen ~specs ~labels ~want_tset:(save <> None)
+            ~retries ~backoff_sleep ~pipeline
+        in
+        let has_error = ref false and has_partial = ref false in
+        Array.iteri
+          (fun j json ->
+            (* The serialized test set can be large: divert it to --save
+               (suffixed per job when submitting several) and print the
+               response without it. *)
+            Option.iter
+              (fun path ->
+                let path =
+                  if Array.length responses > 1 then
+                    Printf.sprintf "%s.%s" path labels.(j)
+                  else path
+                in
+                match Option.bind (J.member "tset" json) J.as_str with
+                | Some tset ->
+                    let och = open_out path in
+                    output_string och tset;
+                    close_out och
+                | None -> ())
+              save;
+            let shown =
+              match json with
+              | J.Obj fields ->
+                  J.Obj (List.filter (fun (k, _) -> k <> "tset") fields)
+              | other -> other
+            in
+            print_endline (J.to_string ~compact:true shown);
+            let ok = Option.bind (J.member "ok" json) J.as_bool = Some true in
+            if not ok then begin
+              (* Typed reject: surface the reason class and message on
+                 stderr so scripts don't have to parse the JSON. *)
+              let reason =
+                Option.value ~default:"error"
+                  (Option.bind (J.member "reason" json) J.as_str)
+              in
+              let msg =
+                Option.value ~default:"rejected"
+                  (Option.bind (J.member "error" json) J.as_str)
+              in
+              Printf.eprintf "asc: submit %s rejected (%s): %s\n%!" labels.(j)
+                reason msg;
+              has_error := true
+            end
+            else
+              match Option.bind (J.member "status" json) J.as_str with
+              | Some "partial" -> has_partial := true
+              | Some "failed" -> has_error := true
+              | _ -> ())
+          responses;
+        if !has_error then exit exit_input;
+        if !has_partial then exit exit_partial
+    | _ ->
+        let line =
+          match op with
+          | "ping" -> J.to_string ~compact:true (P.request_to_json P.Ping)
+          | "metrics" -> J.to_string ~compact:true (P.request_to_json P.Metrics)
+          | "shutdown" ->
+              J.to_string ~compact:true (P.request_to_json P.Shutdown)
+          | "raw" -> (
+              try input_line stdin
+              with End_of_file -> die exit_usage "raw: no JSON line on stdin")
+          | other ->
+              die exit_usage
+                "unknown client op %S (ping|metrics|shutdown|submit|raw)" other
+        in
+        let rec attempt n =
+          match try_request listen line with
+          | Ok response -> response
+          | Error msg when n < retries ->
+              let delay = backoff_sleep (n + 1) in
+              Printf.eprintf "asc: %s; retry %d/%d in %.2fs\n%!" msg (n + 1)
+                retries delay;
+              Unix.sleepf delay;
+              attempt (n + 1)
+          | Error msg -> die exit_input "%s" msg
+        in
+        let response = attempt 0 in
+        (match J.parse response with
+        | Error e -> die exit_input "unparseable response: %s" e
+        | Ok json when prometheus -> (
+            match P.prometheus_of_metrics json with
+            | Ok text -> print_string text
+            | Error e -> die exit_input "%s" e)
+        | Ok json ->
+            print_endline (J.to_string ~compact:true json);
+            let ok = Option.bind (J.member "ok" json) J.as_bool = Some true in
+            if not ok then begin
+              (match Option.bind (J.member "error" json) J.as_str with
+              | Some msg ->
+                  let reason =
+                    Option.value ~default:"error"
+                      (Option.bind (J.member "reason" json) J.as_str)
+                  in
+                  Printf.eprintf "asc: %s rejected (%s): %s\n%!" op reason msg
+              | None -> ());
+              exit exit_input
+            end)
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Talk to a running `asc serve` (exit 0 complete, 3 partial, 1 \
-          error)")
+         "Talk to a running `asc serve` or `asc route` (exit 0 every job \
+          complete, 3 some job partial, 1 a job failed or was rejected \
+          or the connection/retry budget exhausted)")
     Term.(
-      const run $ socket_arg $ tcp_arg $ op_arg $ circuit_arg $ netlist_arg
+      const run $ socket_arg $ tcp_arg $ op_arg $ circuits_arg $ netlist_arg
       $ seed_arg $ t0_arg $ job_timeout_arg $ save_arg $ retries_arg
-      $ retry_backoff_arg $ prometheus_arg)
+      $ retry_backoff_arg $ prometheus_arg $ pipeline_arg)
 
 (* --- tables -------------------------------------------------------------- *)
 
@@ -1016,5 +1355,5 @@ let () =
           [
             list_cmd; info_cmd; export_cmd; import_cmd; run_cmd; baseline_cmd;
             atspeed_cmd; save_cmd; verify_cmd; audit_cmd; waveform_cmd;
-            partial_cmd; tables_cmd; serve_cmd; client_cmd;
+            partial_cmd; tables_cmd; serve_cmd; route_cmd; client_cmd;
           ]))

@@ -10,7 +10,11 @@ type request =
   | Ping
   | Metrics
   | Shutdown
-  | Submit of { spec : Scheduler.spec; want_tset : bool }
+  | Submit of {
+      spec : Scheduler.spec;
+      want_tset : bool;
+      client_id : int option;
+    }
 
 (* Typed member access: absent is fine (gives the default), present with
    the wrong type is a decode error. *)
@@ -61,7 +65,10 @@ let spec_to_members (spec : Scheduler.spec) =
 let submit_of_json json =
   let* spec = spec_of_json json in
   let* want_tset = field json "tset" J.as_bool ~default:false in
-  Ok (Submit { spec; want_tset })
+  let* client_id =
+    field json "id" (fun v -> Option.map Option.some (J.as_int v)) ~default:None
+  in
+  Ok (Submit { spec; want_tset; client_id })
 
 let request_of_json json =
   match J.member "op" json with
@@ -84,11 +91,12 @@ let request_to_json = function
   | Ping -> J.Obj [ ("op", J.Str "ping") ]
   | Metrics -> J.Obj [ ("op", J.Str "metrics") ]
   | Shutdown -> J.Obj [ ("op", J.Str "shutdown") ]
-  | Submit { spec; want_tset } ->
+  | Submit { spec; want_tset; client_id } ->
       J.Obj
         ([ ("op", J.Str "submit") ]
         @ spec_to_members spec
-        @ if want_tset then [ ("tset", J.Bool true) ] else [])
+        @ (if want_tset then [ ("tset", J.Bool true) ] else [])
+        @ match client_id with None -> [] | Some i -> [ ("id", J.Int i) ])
 
 (* --- Responses --------------------------------------------------------- *)
 
@@ -123,8 +131,18 @@ let metrics_response ?(gauges = []) ?(histograms = []) ~pending ~counters () =
              (List.map (fun (k, h) -> (k, Histogram.to_json h)) histograms)) );
     ]
 
-let error_response message =
-  J.Obj [ ("ok", J.Bool false); ("error", J.Str message) ]
+(* Optional members are emitted only when supplied, so pre-existing
+   reject responses — which the conformance transcripts pin byte-for-
+   byte — are unchanged: a bare [error_response msg] still renders as
+   {"ok":false,"error":MSG}. *)
+let error_response ?reason ?retry_after_ms ?id message =
+  J.Obj
+    ([ ("ok", J.Bool false); ("error", J.Str message) ]
+    @ (match reason with None -> [] | Some r -> [ ("reason", J.Str r) ])
+    @ (match retry_after_ms with
+      | None -> []
+      | Some ms -> [ ("retry_after_ms", J.Int ms) ])
+    @ match id with None -> [] | Some i -> [ ("id", J.Int i) ])
 
 let status_string = function
   | Scheduler.Complete -> "complete"

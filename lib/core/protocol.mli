@@ -15,8 +15,19 @@ type request =
   | Ping
   | Metrics
   | Shutdown
-  | Submit of { spec : Scheduler.spec; want_tset : bool }
-      (** [want_tset] asks for the serialized test set in the response. *)
+  | Submit of {
+      spec : Scheduler.spec;
+      want_tset : bool;
+      client_id : int option;
+    }
+      (** [want_tset] asks for the serialized test set in the response.
+          [client_id] is an optional client-chosen correlation id (the
+          request's ["id"] member): when present the server echoes it as
+          the response's [id] — including on cache hits and typed
+          rejects — which is what lets a pipelined client (or the shard
+          router) match out-of-order responses to requests.  Without it
+          the response [id] keeps its original meaning (server
+          submission order; [null] for cache hits). *)
 
 (** Decode a request object.  Unknown members are ignored (forward
     compatibility); a missing or unknown ["op"], or a present member of
@@ -57,7 +68,18 @@ val metrics_response :
   unit ->
   Asc_util.Json.t
 
-val error_response : string -> Asc_util.Json.t
+(** [error_response ?reason ?retry_after_ms ?id message] — a reject.
+    Optional members are emitted only when supplied, so the bare form
+    renders exactly as before ([{"ok":false,"error":MSG}]).  [reason] is
+    the typed reject class (["overloaded"], ["draining"], ["no_backend"]);
+    [retry_after_ms] is the server's backpressure hint; [id] echoes the
+    request's client id so pipelined clients can match the reject. *)
+val error_response :
+  ?reason:string ->
+  ?retry_after_ms:int ->
+  ?id:int ->
+  string ->
+  Asc_util.Json.t
 
 (** [submit_response ~id ~cached ~want_tset result] — [id] is [Null] for
     cache hits (no job ran).  The [tset] member is present only when

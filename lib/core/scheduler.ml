@@ -55,7 +55,11 @@ type result = {
   r_resumed : bool;
 }
 
-type submit_outcome = Accepted of job | Cached of result | Rejected of string
+type submit_outcome =
+  | Accepted of job
+  | Cached of result
+  | Rejected of string
+  | Overloaded of { retry_after_ms : int }
 
 (* --- Spec resolution --------------------------------------------------- *)
 
@@ -147,6 +151,10 @@ type t = {
   redo : job Queue.t;  (* requeued in-flight jobs, served before fresh work *)
   mutable rotation : int list;  (* sources with queued work, service order *)
   mutable next_id : int;
+  max_pending : int option;  (* global admission cap; None = unbounded *)
+  max_pending_per_source : int option;
+  sheds : (job * result) Queue.t;
+      (* deadline-expired jobs dropped by [pick], awaiting delivery *)
 }
 
 let rec mkdir_p dir =
@@ -156,8 +164,14 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let create ?pool ?tel ?chaos ?log ?state_dir ?(persist_results = true) () =
+let create ?pool ?tel ?chaos ?log ?state_dir ?(persist_results = true)
+    ?max_pending ?max_pending_per_source () =
   Option.iter mkdir_p state_dir;
+  let positive name = function
+    | Some n when n < 1 ->
+        invalid_arg (Printf.sprintf "Scheduler.create: %s must be >= 1" name)
+    | cap -> cap
+  in
   {
     pool;
     tel;
@@ -172,6 +186,10 @@ let create ?pool ?tel ?chaos ?log ?state_dir ?(persist_results = true) () =
     redo = Queue.create ();
     rotation = [];
     next_id = 0;
+    max_pending = positive "max_pending" max_pending;
+    max_pending_per_source =
+      positive "max_pending_per_source" max_pending_per_source;
+    sheds = Queue.create ();
   }
 
 (* Queue depth, computed from the queues themselves — the redo queue plus
@@ -235,6 +253,28 @@ let job_of_spec ~id ~source spec =
           j_dispatched = now;
         }
 
+(* Admission control: a submission that would push a queue past its cap
+   is refused with a backpressure hint proportional to the backlog —
+   100 ms per queued job, capped at 5 s — so a polite client's retry
+   schedule stretches with the queue it is waiting on.  Caps are checked
+   only for work that would actually occupy the queue: resolution errors
+   and cache hits are never overload-rejected. *)
+let retry_after_ms t = min 5000 (100 * (pending t + 1))
+
+let admission t ~source =
+  let over cap depth =
+    match cap with Some c -> depth >= c | None -> false
+  in
+  let source_depth =
+    match Hashtbl.find_opt t.queues source with
+    | Some q -> Queue.length q
+    | None -> 0
+  in
+  if over t.max_pending (pending t)
+     || over t.max_pending_per_source source_depth
+  then Some (retry_after_ms t)
+  else None
+
 let submit t ~source spec =
   match resolve spec with
   | Error message ->
@@ -243,9 +283,9 @@ let submit t ~source spec =
         ~fields:[ ("source", Json.Int source); ("reason", Json.Str message) ];
       Rejected message
   | Ok rv -> (
-      Telemetry.incr t.tel Telemetry.Jobs_submitted;
       match Result_cache.find t.cache rv.rv_key with
       | Some (entry, from_disk) ->
+          Telemetry.incr t.tel Telemetry.Jobs_submitted;
           Telemetry.incr t.tel Telemetry.Result_cache_hits;
           if from_disk then
             Telemetry.incr t.tel Telemetry.Result_cache_persisted_hits;
@@ -256,7 +296,20 @@ let submit t ~source spec =
                 ("store", Json.Str (if from_disk then "disk" else "memory"));
               ];
           Cached (result_of_entry entry)
+      | None -> (
+      match admission t ~source with
+      | Some retry_after_ms ->
+          Telemetry.incr t.tel Telemetry.Jobs_rejected_overload;
+          Log.emit t.log "job.rejected" ~level:Log.Warn ~job:rv.rv_key
+            ~fields:
+              [
+                ("source", Json.Int source);
+                ("reason", Json.Str "overloaded");
+                ("retry_after_ms", Json.Int retry_after_ms);
+              ];
+          Overloaded { retry_after_ms }
       | None ->
+          Telemetry.incr t.tel Telemetry.Jobs_submitted;
           Telemetry.incr t.tel Telemetry.Result_cache_misses;
           let job =
             {
@@ -292,29 +345,72 @@ let submit t ~source spec =
                 ("source", Json.Int source);
                 ("circuit", Json.Str job.j_name);
               ];
-          Accepted job)
+          Accepted job))
+
+let empty_result status =
+  { r_status = status; r_tests = 0; r_cycles = 0; r_detected = 0; r_targets = 0;
+    r_iterations = 0; r_tset = None; r_resumed = false }
 
 (* Pop one job: requeued in-flight jobs first (they already waited their
    turn), then round-robin source order — serve the head source, then
-   rotate it to the tail (or retire it if its queue drained). *)
+   rotate it to the tail (or retire it if its queue drained).
+
+   Deadline-aware shedding happens here, at the single point every
+   queued job must pass through: a job whose submit-side [timeout] has
+   already elapsed while it waited is doomed — its budget would fire on
+   the first poll — so executing it wastes a whole dispatch slot.  It is
+   dropped instead (bumping [Jobs_shed]) with a [Partial] result
+   ([reason="deadline"], [stage="queue"]) parked on the shed queue for
+   the server to deliver, and picking continues with the next job. *)
 let pick t =
+  let now = Unix.gettimeofday () in
+  let expired job =
+    match job.j_timeout with
+    | Some tm -> now -. job.j_submitted >= tm
+    | None -> false
+  in
+  let shed job =
+    Telemetry.incr t.tel Telemetry.Jobs_shed;
+    Telemetry.incr t.tel Telemetry.Jobs_partial;
+    Log.emit t.log "job.shed" ~level:Log.Warn ~job:job.j_key
+      ~fields:[ ("id", Json.Int job.j_id); ("source", Json.Int job.j_source) ];
+    Queue.push
+      (job, empty_result (Partial { reason = "deadline"; stage = "queue" }))
+      t.sheds
+  in
   let stamp job =
     job.j_dispatched <- Unix.gettimeofday ();
     job
   in
-  if not (Queue.is_empty t.redo) then Some (stamp (Queue.pop t.redo))
-  else
-    match t.rotation with
-    | [] -> None
-    | source :: rest -> (
-        match Hashtbl.find_opt t.queues source with
-        | None ->
-            t.rotation <- rest;
-            None
-        | Some q ->
-            let job = Queue.pop q in
-            t.rotation <- (if Queue.is_empty q then rest else rest @ [ source ]);
-            Some (stamp job))
+  let rec next () =
+    if not (Queue.is_empty t.redo) then check (Queue.pop t.redo)
+    else
+      match t.rotation with
+      | [] -> None
+      | source :: rest -> (
+          match Hashtbl.find_opt t.queues source with
+          | None ->
+              t.rotation <- rest;
+              None
+          | Some q ->
+              let job = Queue.pop q in
+              t.rotation <-
+                (if Queue.is_empty q then rest else rest @ [ source ]);
+              check job)
+  and check job = if expired job then (shed job; next ()) else Some (stamp job)
+  in
+  next ()
+
+(* Shed (job, result) pairs awaiting delivery, oldest first.  The server
+   drains this after every dispatch so a shed job's submitter still gets
+   its (partial) answer. *)
+let take_shed t =
+  let rec drain acc =
+    match Queue.take_opt t.sheds with
+    | None -> List.rev acc
+    | Some pair -> drain (pair :: acc)
+  in
+  drain []
 
 (* Put a dispatched job back at the head of the line (a worker crashed
    under it).  The caller owns the retry budget. *)
@@ -333,10 +429,6 @@ let cleanup_checkpoints path =
     let f = if i = 0 then path else path ^ "." ^ string_of_int i in
     if Sys.file_exists f then (try Sys.remove f with Sys_error _ -> ())
   done
-
-let empty_result status =
-  { r_status = status; r_tests = 0; r_cycles = 0; r_detected = 0; r_targets = 0;
-    r_iterations = 0; r_tset = None; r_resumed = false }
 
 let execute t job =
   let budget = Budget.create ?timeout:job.j_timeout () in

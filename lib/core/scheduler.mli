@@ -80,6 +80,13 @@ type submit_outcome =
   | Accepted of job  (** Queued; a later {!run_next} will execute it. *)
   | Cached of result  (** Answered from the result cache. *)
   | Rejected of string  (** Spec invalid (bad circuit, bad netlist, bad t0). *)
+  | Overloaded of { retry_after_ms : int }
+      (** Refused at admission: a queue cap ([max_pending] /
+          [max_pending_per_source]) was hit.  [retry_after_ms] is a
+          backpressure hint proportional to the backlog (100 ms per
+          queued job, capped at 5 s).  Resolution errors and cache hits
+          are never overload-rejected — caps apply only to work that
+          would occupy the queue. *)
 
 (** A result with the given status and every other field zero/absent. *)
 val empty_result : status -> result
@@ -102,8 +109,14 @@ type t
     workers still own their per-key job checkpoints.
 
     [log], when given, receives structured lifecycle events
-    ([job.submitted] / [job.cache_hit] / [job.rejected] /
-    [job.dispatched]) — see {!Asc_util.Log}. *)
+    ([job.submitted] / [job.cache_hit] / [job.rejected] / [job.shed] /
+    [job.dispatched]) — see {!Asc_util.Log}.
+
+    [max_pending] / [max_pending_per_source] bound the global and
+    per-source queue depths: a submission that would exceed either is
+    answered {!Overloaded} instead of queued (admission control —
+    docs/SERVING.md "Fleet").  [None] (the default) means unbounded,
+    preserving the pre-cap behaviour; both must be [>= 1]. *)
 val create :
   ?pool:Asc_util.Domain_pool.t ->
   ?tel:Asc_util.Telemetry.t ->
@@ -111,6 +124,8 @@ val create :
   ?log:Asc_util.Log.t ->
   ?state_dir:string ->
   ?persist_results:bool ->
+  ?max_pending:int ->
+  ?max_pending_per_source:int ->
   unit ->
   t
 
@@ -142,8 +157,20 @@ val pending : t -> int
     which composes the same pieces. *)
 
 (** Pop the next job — requeued in-flight jobs first, then round-robin
-    source order.  [None] when nothing is queued. *)
+    source order.  [None] when nothing is queued.
+
+    Deadline-aware shedding: a queued job whose submit-side [timeout]
+    has already elapsed is dropped instead of dispatched — it could only
+    have produced an immediate budget-exhausted partial — and parked on
+    the shed queue with a [Partial {reason="deadline"; stage="queue"}]
+    result (bumping [Jobs_shed] and [Jobs_partial]); picking continues
+    with the next live job.  Drain the drops with {!take_shed}. *)
 val pick : t -> job option
+
+(** Deadline-shed (job, result) pairs awaiting delivery, oldest first;
+    the queue is emptied.  The server calls this every loop turn so shed
+    submitters still receive their partial responses. *)
+val take_shed : t -> (job * result) list
 
 (** Put a dispatched job back at the head of the line (its worker
     crashed).  The caller owns the retry budget ([j_attempts]). *)

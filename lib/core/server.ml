@@ -44,7 +44,10 @@ type state = {
   started : float;
   max_frame : int;
   conns : (int, conn) Hashtbl.t;
-  waiting : (int, int * bool) Hashtbl.t;  (* job id -> (conn id, want tset) *)
+  waiting : (int, int * bool * int option) Hashtbl.t;
+      (* job id -> (conn id, want tset, client-supplied id to echo) *)
+  max_pending : int option;  (* echoed as gauges; enforced by the scheduler *)
+  max_pending_per_source : int option;
   cumulative : (string, int) Hashtbl.t;  (* counters across telemetry drains *)
   h_queue_wait : Histogram.t;  (* submit -> dispatch *)
   h_execute : Histogram.t;  (* dispatch -> delivery *)
@@ -117,11 +120,16 @@ let metrics state =
         (name, Option.value ~default:0 (Hashtbl.find_opt state.cumulative name)))
       Telemetry.all_counters
   in
+  let cap = function Some c -> float_of_int c | None -> 0.0 in
   let gauges =
     [
       ("queue_depth", float_of_int (Scheduler.pending state.sched));
       ("live_workers", float_of_int (live_workers state));
       ("uptime_seconds", Unix.gettimeofday () -. state.started);
+      (* 0 = unbounded, so a dashboard can alert on queue_depth
+         approaching a non-zero cap without a presence check. *)
+      ("max_pending", cap state.max_pending);
+      ("max_pending_per_source", cap state.max_pending_per_source);
     ]
   in
   let histograms =
@@ -178,20 +186,27 @@ let handle_request state conn = function
         state.draining <- true;
         state.shutdown_waiters <- conn.cid :: state.shutdown_waiters
       end
-  | Protocol.Submit { spec; want_tset } -> (
+  | Protocol.Submit { spec; want_tset; client_id } -> (
       if state.draining then
         write_response state conn
-          (Protocol.error_response "server is draining for shutdown")
+          (Protocol.error_response ~reason:"draining" ?id:client_id
+             "server is draining for shutdown")
       else
         match Scheduler.submit state.sched ~source:conn.cid spec with
         | Scheduler.Rejected message ->
-            write_response state conn (Protocol.error_response message)
+            write_response state conn (Protocol.error_response ?id:client_id message)
+        | Scheduler.Overloaded { retry_after_ms } ->
+            write_response state conn
+              (Protocol.error_response ~reason:"overloaded" ~retry_after_ms
+                 ?id:client_id "server overloaded: queue is full")
         | Scheduler.Cached result ->
             write_response state conn
-              (Protocol.submit_response ~id:None ~cached:true ~want_tset result)
+              (Protocol.submit_response ~id:client_id ~cached:true ~want_tset
+                 result)
         | Scheduler.Accepted job ->
             (* Deferred: the response is written when the job runs. *)
-            Hashtbl.replace state.waiting job.Scheduler.j_id (conn.cid, want_tset))
+            Hashtbl.replace state.waiting job.Scheduler.j_id
+              (conn.cid, want_tset, client_id))
 
 let handle_frame state conn line =
   try
@@ -298,13 +313,16 @@ let deliver state (job, result) =
   if state.draining then state.drained <- state.drained + 1;
   match Hashtbl.find_opt state.waiting job.Scheduler.j_id with
   | None -> ()
-  | Some (cid, want_tset) -> (
+  | Some (cid, want_tset, client_id) -> (
       Hashtbl.remove state.waiting job.Scheduler.j_id;
       match Hashtbl.find_opt state.conns cid with
       | Some conn when conn.alive ->
+          (* The response id is the client's correlation id when the
+             request carried one (pipelined clients, the shard router),
+             the server's job id otherwise. *)
+          let id = Some (Option.value client_id ~default:job.Scheduler.j_id) in
           write_response state conn
-            (Protocol.submit_response ~id:(Some job.Scheduler.j_id) ~cached:false
-               ~want_tset result)
+            (Protocol.submit_response ~id ~cached:false ~want_tset result)
       | _ -> ())
 
 (* Collect supervised results: fold each worker's telemetry drain into
@@ -372,14 +390,16 @@ let finish_drain state =
   end
 
 let serve ?pool ?tel ?chaos ?log ?trace_file ?prom_file ?on_ready ?(workers = 0)
-    ?job_retries ?make_pool config =
+    ?job_retries ?make_pool ?max_pending ?max_pending_per_source ?hb_stale
+    config =
   (* A client that disconnects mid-write must not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   if workers > 0 && pool <> None then
     invalid_arg "Server.serve: a supervised parent must not own a pool";
   let sched =
-    Scheduler.create ?pool ?tel ?chaos ?log ?state_dir:config.state_dir ()
+    Scheduler.create ?pool ?tel ?chaos ?log ?state_dir:config.state_dir
+      ?max_pending ?max_pending_per_source ()
   in
   let state =
     {
@@ -393,6 +413,8 @@ let serve ?pool ?tel ?chaos ?log ?trace_file ?prom_file ?on_ready ?(workers = 0)
       max_frame = config.max_frame;
       conns = Hashtbl.create 16;
       waiting = Hashtbl.create 16;
+      max_pending;
+      max_pending_per_source;
       cumulative = Hashtbl.create 64;
       h_queue_wait = Histogram.create ();
       h_execute = Histogram.create ();
@@ -414,7 +436,7 @@ let serve ?pool ?tel ?chaos ?log ?trace_file ?prom_file ?on_ready ?(workers = 0)
     state.sup <-
       Some
         (Supervisor.create ?tel ?chaos ?log ~trace:(trace_file <> None)
-           ?state_dir:config.state_dir ?job_retries ?make_pool
+           ?state_dir:config.state_dir ?job_retries ?hb_stale ?make_pool
            ~on_child_fork:(fun () ->
              (* Children must not hold the server's sockets: a stray
                 duplicate would keep client connections half-open past
@@ -508,6 +530,9 @@ let serve ?pool ?tel ?chaos ?log ?trace_file ?prom_file ?on_ready ?(workers = 0)
                 Option.iter (deliver state) (Scheduler.run_next sched)
               else Supervisor.dispatch s ~sched;
               collect_supervised state s);
+          (* Deadline-expired jobs dropped by [pick] still owe their
+             submitters a (partial) response. *)
+          List.iter (deliver state) (Scheduler.take_shed sched);
           if state.prom_dirty then begin
             state.prom_dirty <- false;
             write_prom state

@@ -45,6 +45,21 @@ val default_max_frame : int
     slot exhausts its restart budget the server degrades to in-process
     (single-domain, still bit-identical) execution.
 
+    {b Admission control} (docs/SERVING.md "Fleet") — [max_pending] /
+    [max_pending_per_source] bound the global and per-source queue
+    depths; a submission over either cap is refused with a typed
+    [overloaded] reject carrying a [retry_after_ms] backpressure hint
+    instead of growing the queue without bound.  Queued jobs whose
+    submit-side [timeout] expires before dispatch are {e shed}: answered
+    with a [partial] ([reason="deadline"], [stage="queue"]) response
+    without occupying a dispatch slot.  The caps surface as gauges
+    ([max_pending], [max_pending_per_source]; 0 = unbounded) next to the
+    [jobs_shed] / [jobs_rejected_overload] counters.
+
+    [hb_stale] overrides the supervised-mode heartbeat staleness
+    threshold in seconds (default 30; the [ASC_HB_STALE] knob exists so
+    tests can shrink it) — see {!Supervisor.create}.
+
     [pool] must carry no budget — job deadlines are per-submission.
     [tel] feeds the [metrics] op; counters are accumulated across
     {!Asc_util.Telemetry.drain} calls — including each worker's drains,
@@ -73,5 +88,8 @@ val serve :
   ?workers:int ->
   ?job_retries:int ->
   ?make_pool:(tel:Asc_util.Telemetry.t -> Asc_util.Domain_pool.t option) ->
+  ?max_pending:int ->
+  ?max_pending_per_source:int ->
+  ?hb_stale:float ->
   config ->
   unit

@@ -31,8 +31,11 @@
    - Idle workers heartbeat about once a second; an idle worker silent
      past the staleness threshold is killed and restarted.  Busy
      workers are single-threaded and deliberately do not heartbeat —
-     crash detection for them is pipe EOF, and a hang is bounded by the
-     job's own budget deadline.
+     crash detection for them is pipe EOF, a hang is normally bounded
+     by the job's own budget deadline, and a busy worker that overruns
+     that deadline by more than the staleness threshold (it stopped
+     polling entirely: SIGSTOP, livelock below the poll sites) is
+     killed the same way an idle-stale one is.
 
    Chaos points: [worker.fork] fires in the parent before each fork (a
    [Fail] rule models a failed spawn and exercises backoff);
@@ -49,6 +52,8 @@ module J = Asc_util.Json
 module Chaos = Asc_util.Chaos
 module Telemetry = Asc_util.Telemetry
 module Log = Asc_util.Log
+module Rng = Asc_util.Rng
+module Backoff = Asc_util.Backoff
 
 type worker = {
   w_slot : int;
@@ -91,11 +96,16 @@ type t = {
   on_child_fork : (unit -> unit) option;
   workers : worker array;
   results : outcome Queue.t;
+  rng : Rng.t;  (* respawn-jitter stream; parent-side only *)
   mutable stopping : bool;
 }
 
-let backoff t restarts =
-  Float.min 5.0 (t.backoff_base *. (2.0 ** float_of_int restarts))
+(* Respawn delays take full jitter — uniform in [0, base * 2^restarts],
+   capped at 5 s — so N slots killed by the same event (a chaos schedule,
+   an OOM sweep) do not respawn in lockstep and stampede the machine.
+   The stream is seeded from the parent pid: deterministic within one
+   supervisor, decorrelated across a fleet of servers. *)
+let backoff t restarts = Backoff.full_jitter ~cap:5.0 ~rng:t.rng ~base:t.backoff_base restarts
 
 (* --- Wire codec (one JSON object per line on each pipe) ----------------- *)
 
@@ -505,11 +515,26 @@ let pump t ~sched =
       end;
       if w.w_alive && w.w_busy = None && now -. w.w_last_hb > t.hb_stale then begin
         (* An idle worker that stopped heartbeating is wedged: replace
-           it.  Busy workers are exempt — they block in the job and are
-           bounded by its budget. *)
+           it. *)
         (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
         handle_death t ~sched w
-      end)
+      end;
+      (match w.w_busy with
+      | Some job
+        when w.w_alive
+             && (match job.Scheduler.j_timeout with
+                | Some tm ->
+                    now -. job.Scheduler.j_dispatched > tm +. t.hb_stale
+                | None -> false) ->
+          (* A busy worker polls its own budget, so a deadline overrun
+             longer than the staleness threshold means the process is
+             wedged (SIGSTOPped, livelocked below the poll sites), not
+             slow: kill it so the requeue/shed machinery can answer the
+             submitter.  Jobs without a timeout keep the old contract —
+             crash detection by pipe EOF only. *)
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          handle_death t ~sched w
+      | _ -> ()))
     t.workers
 
 (* --- Parent: event channel and dispatch --------------------------------- *)
@@ -671,6 +696,7 @@ let create ?tel ?chaos ?log ?(trace = false) ?state_dir ?(job_retries = 3)
               w_last_hb = 0.0;
             });
       results = Queue.create ();
+      rng = Rng.of_name ~seed:(Unix.getpid ()) "supervisor/backoff";
       stopping = false;
     }
   in
@@ -706,6 +732,12 @@ let live_count t =
   Array.fold_left (fun acc w -> acc + if w.w_alive then 1 else 0) 0 t.workers
 
 let all_retired t = Array.for_all (fun w -> w.w_retired) t.workers
+
+let worker_pids t =
+  Array.fold_left
+    (fun acc w -> if w.w_alive then (w.w_slot, w.w_pid) :: acc else acc)
+    [] t.workers
+  |> List.rev
 
 let stop t =
   t.stopping <- true;

@@ -16,13 +16,18 @@
     Failure semantics: a worker crash requeues its in-flight job, up to
     [job_retries] total dispatch attempts per job — past that the job
     fails cleanly with a typed [Failed "worker_crash"] result.  A slot
-    restarts with exponential backoff ([backoff_base] · 2{^restarts},
-    capped) up to [restart_limit] times, then is retired; when every
-    slot is retired ({!all_retired}), the caller should degrade to
-    in-process execution.  Idle workers heartbeat about once a second
-    and are killed/respawned when silent past [hb_stale] seconds; busy
-    workers don't heartbeat (they block in the job, bounded by its
-    budget).
+    restarts with full-jitter exponential backoff (uniform in
+    [\[0, backoff_base · 2{^restarts}\]], capped at 5 s —
+    {!Asc_util.Backoff.full_jitter}, so slots killed by one event don't
+    respawn in lockstep) up to [restart_limit] times, then is retired;
+    when every slot is retired ({!all_retired}), the caller should
+    degrade to in-process execution.  Idle workers heartbeat about once
+    a second and are killed/respawned when silent past [hb_stale]
+    seconds; busy workers don't heartbeat (they block in the job,
+    bounded by its budget) — but a busy worker that overruns its job's
+    deadline by more than [hb_stale] has stopped polling entirely
+    (SIGSTOP, livelock) and is killed/respawned the same way, its job
+    requeued against the retry budget.
 
     Telemetry (parent side): [worker_crashes], [jobs_requeued],
     [worker_restarts], and [jobs_failed] when a retry budget exhausts.
@@ -112,6 +117,11 @@ val live_count : t -> int
 (** Every slot exhausted its restart budget: degrade to in-process
     execution. *)
 val all_retired : t -> bool
+
+(** [(slot, pid)] of every live worker, in slot order — lets tests (and
+    diagnostics) address a specific worker process, e.g. to SIGSTOP it
+    and exercise the staleness path. *)
+val worker_pids : t -> (int * int) list
 
 (** Orderly shutdown: close job channels (workers exit on EOF) and reap
     every child.  In-flight work is abandoned — drain first. *)

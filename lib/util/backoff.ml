@@ -1,0 +1,25 @@
+(* Exponential backoff schedules with optional full jitter.
+
+   One module owns every retry sleep in the repository — the client's
+   reconnect loop, the supervisor's worker-respawn delays, the router's
+   backend re-probe schedule — so they all share the same shape:
+
+     delay n = min cap (base * 2^n)
+
+   and, where a *fleet* of independent agents might retry in lockstep
+   (clients stampeding a recovering server, worker slots respawning
+   together), the full-jitter variant draws uniformly from
+   [0, delay n] (AWS's "full jitter"), which decorrelates the herd
+   while keeping the same expected-growth envelope.  Jitter draws come
+   from the caller's seeded {!Rng} stream, so tests replay schedules
+   exactly. *)
+
+let delay ?(cap = 5.0) ~base n =
+  if base < 0.0 then invalid_arg "Backoff.delay: negative base";
+  if n < 0 then invalid_arg "Backoff.delay: negative attempt";
+  (* 2^n overflows float for huge n only; min against cap first via
+     exponent clamp so pathological attempt counts stay finite. *)
+  let n = min n 60 in
+  Float.min cap (base *. (2.0 ** float_of_int n))
+
+let full_jitter ?cap ~rng ~base n = Rng.float rng *. delay ?cap ~base n

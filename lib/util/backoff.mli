@@ -1,0 +1,16 @@
+(** Exponential backoff schedules with optional full jitter.
+
+    Every retry sleep in the repository — client reconnects, supervisor
+    worker respawns, router backend re-probes — draws its delay here so
+    they share one shape and one test surface. *)
+
+(** [delay ?cap ~base n] is the deterministic schedule
+    [min cap (base * 2^n)] for attempt [n] (0-based).  [cap] defaults
+    to 5 s.  Raises [Invalid_argument] on a negative [base] or [n]. *)
+val delay : ?cap:float -> base:float -> int -> float
+
+(** [full_jitter ?cap ~rng ~base n] is uniform in [\[0, delay n\]] —
+    AWS-style "full jitter", which decorrelates fleets of agents that
+    would otherwise retry in lockstep.  Deterministic given [rng]'s
+    state, so seeded tests replay schedules exactly. *)
+val full_jitter : ?cap:float -> rng:Rng.t -> base:float -> int -> float

@@ -63,6 +63,9 @@ let worker_fork = "worker.fork"
 let worker_heartbeat = "worker.heartbeat"
 let supervisor_dispatch = "supervisor.dispatch"
 let log_write = "log.write"
+let router_backend_read = "router.backend_read"
+let router_backend_write = "router.backend_write"
+let router_backend_health = "router.backend_health"
 
 let all_points =
   [
@@ -70,6 +73,7 @@ let all_points =
     checkpoint_read; pool_task; pool_poll; bench_io_read; tset_io_read;
     serve_read; serve_write; serve_dispatch; worker_fork; worker_heartbeat;
     supervisor_dispatch; log_write;
+    router_backend_read; router_backend_write; router_backend_health;
   ]
 
 let create ?tel rules =

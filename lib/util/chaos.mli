@@ -113,6 +113,23 @@ val log_write : string
     once, drops events, bumps [log_write_failures]) — it never raises
     into the serving loop. *)
 
+val router_backend_read : string
+(** In the shard router, each complete response frame read off a backend
+    connection ({!Asc_core.Router}).  A [Fail] rule models a backend that
+    dies mid-response: the router marks it down and fails affected
+    submits over to the next live shard. *)
+
+val router_backend_write : string
+(** In the shard router, each request the router is about to forward to
+    a backend.  A [Fail] rule models a refused / reset backend
+    connection at dispatch time. *)
+
+val router_backend_health : string
+(** In the shard router, immediately before each health-check [ping] is
+    sent.  A [Fail] rule makes the probe fail, driving the
+    mark-down / backoff / mark-up machinery without touching a real
+    backend. *)
+
 val all_points : string list
 
 (** {1 Schedules}

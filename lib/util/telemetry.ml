@@ -61,6 +61,12 @@ type counter =
       (** result-cache hits served from the on-disk store *)
   | Log_write_failures
       (** event-log lines dropped because the sink could not be written *)
+  | Jobs_shed  (** queued jobs dropped because their deadline already expired *)
+  | Jobs_rejected_overload
+      (** submissions refused at admission because a queue cap was hit *)
+  | Router_failovers  (** router submits re-hashed to the next live shard *)
+  | Router_markdowns  (** backends the router marked down after a failure *)
+  | Router_markups  (** marked-down backends the router restored to service *)
 
 let counter_index = function
   | Faults_simulated -> 0
@@ -95,6 +101,11 @@ let counter_index = function
   | Worker_crashes -> 29
   | Result_cache_persisted_hits -> 30
   | Log_write_failures -> 31
+  | Jobs_shed -> 32
+  | Jobs_rejected_overload -> 33
+  | Router_failovers -> 34
+  | Router_markdowns -> 35
+  | Router_markups -> 36
 
 let counter_name = function
   | Faults_simulated -> "faults_simulated"
@@ -129,6 +140,11 @@ let counter_name = function
   | Worker_crashes -> "worker_crashes"
   | Result_cache_persisted_hits -> "result_cache_persisted_hits"
   | Log_write_failures -> "log_write_failures"
+  | Jobs_shed -> "jobs_shed"
+  | Jobs_rejected_overload -> "jobs_rejected_overload"
+  | Router_failovers -> "router_failovers"
+  | Router_markdowns -> "router_markdowns"
+  | Router_markups -> "router_markups"
 
 let all_counters =
   [
@@ -142,6 +158,8 @@ let all_counters =
     Result_cache_hits; Result_cache_misses;
     Worker_restarts; Jobs_requeued; Worker_crashes; Result_cache_persisted_hits;
     Log_write_failures;
+    Jobs_shed; Jobs_rejected_overload;
+    Router_failovers; Router_markdowns; Router_markups;
   ]
 
 let n_counters = List.length all_counters

@@ -65,6 +65,12 @@ type counter =
       (** result-cache hits served from the on-disk store *)
   | Log_write_failures
       (** event-log lines dropped because the sink could not be written *)
+  | Jobs_shed  (** queued jobs dropped because their deadline already expired *)
+  | Jobs_rejected_overload
+      (** submissions refused at admission because a queue cap was hit *)
+  | Router_failovers  (** router submits re-hashed to the next live shard *)
+  | Router_markdowns  (** backends the router marked down after a failure *)
+  | Router_markups  (** marked-down backends the router restored to service *)
 
 val counter_name : counter -> string
 

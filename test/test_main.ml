@@ -38,5 +38,6 @@ let () =
          Test_chaos.suite;
          Test_kernel.suite;
          Test_serve.suite;
+         Test_route.suite;
          Test_obs.suite;
        ])

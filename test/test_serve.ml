@@ -363,7 +363,7 @@ let test_protocol_roundtrip () =
   roundtrip Protocol.Ping;
   roundtrip Protocol.Metrics;
   roundtrip Protocol.Shutdown;
-  roundtrip (Protocol.Submit { spec = spec ~circuit:"s298" (); want_tset = false });
+  roundtrip (Protocol.Submit { spec = spec ~circuit:"s298" (); want_tset = false; client_id = None });
   roundtrip
     (Protocol.Submit
        {
@@ -371,6 +371,7 @@ let test_protocol_roundtrip () =
            spec ~netlist:"INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n" ~seed:7 ~t0:"random"
              ~timeout:2.5 ();
          want_tset = true;
+         client_id = Some 42;
        })
 
 let test_protocol_decode_errors () =
@@ -1176,6 +1177,288 @@ let test_server_obs_identity () =
           (contains prom_text "asc_job_e2e_seconds_bucket{le=\"+Inf\"} 2\n"))
       [ 1; 4 ]
 
+(* --- Overload, shedding, jitter and staleness --------------------------- *)
+
+let test_backoff_bounds () =
+  let feps = Alcotest.float 1e-9 in
+  Alcotest.(check feps) "delay 0" 0.1 (Backoff.delay ~base:0.1 0);
+  Alcotest.(check feps) "delay 3 doubles" 0.8 (Backoff.delay ~base:0.1 3);
+  Alcotest.(check feps) "delay hits the cap" 5.0 (Backoff.delay ~base:0.1 10);
+  Alcotest.(check feps) "custom cap" 0.5 (Backoff.delay ~cap:0.5 ~base:0.1 10);
+  Alcotest.(check feps) "huge attempt stays finite" 5.0
+    (Backoff.delay ~base:0.1 1_000_000);
+  (* Full jitter: uniform in [0, delay] — check bounds over many samples
+     with a seeded stream, and that it actually spreads. *)
+  let rng = Rng.of_name ~seed:42 "test/backoff" in
+  let distinct = Hashtbl.create 64 in
+  for n = 0 to 9 do
+    let ceiling = Backoff.delay ~base:0.1 n in
+    for _ = 1 to 100 do
+      let d = Backoff.full_jitter ~rng ~base:0.1 n in
+      Alcotest.(check bool)
+        (Printf.sprintf "jitter %g within [0, %g]" d ceiling)
+        true
+        (d >= 0.0 && d <= ceiling);
+      Hashtbl.replace distinct d ()
+    done
+  done;
+  Alcotest.(check bool) "jitter spreads" true (Hashtbl.length distinct > 100)
+
+let test_scheduler_admission_overload () =
+  let tel = Telemetry.create () in
+  let sched = Scheduler.create ~tel ~max_pending:2 () in
+  let submit source seed =
+    Scheduler.submit sched ~source (spec ~circuit:"s27" ~seed ())
+  in
+  (match submit 1 1 with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "first submit should queue");
+  (match submit 1 2 with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "second submit should queue");
+  (match submit 2 3 with
+  | Scheduler.Overloaded { retry_after_ms } ->
+      Alcotest.(check bool) "retry hint in (0, 5000]" true
+        (retry_after_ms > 0 && retry_after_ms <= 5000)
+  | _ -> Alcotest.fail "third submit should be rejected overloaded");
+  Alcotest.(check int) "reject leaves the queue alone" 2
+    (Scheduler.pending sched);
+  (* Draining one job reopens admission... *)
+  (match Scheduler.run_next sched with
+  | Some (_, r) ->
+      Alcotest.(check bool) "drained job completes" true
+        (r.Scheduler.r_status = Scheduler.Complete)
+  | None -> Alcotest.fail "queue should not be empty");
+  (match submit 2 4 with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "freed slot should accept again");
+  (* ...and a cache hit is answered even with the queue full: it costs
+     no queue slot, so shedding it would only create retry traffic. *)
+  (match submit 3 1 with
+  | Scheduler.Cached _ -> ()
+  | _ -> Alcotest.fail "full queue must still answer cache hits");
+  let snap = Telemetry.drain tel in
+  let count name = Telemetry.counter_value snap name in
+  Alcotest.(check int) "one overload reject counted" 1
+    (count "jobs_rejected_overload");
+  (* Overload rejects are not submissions: 3 accepted + 1 cached. *)
+  Alcotest.(check int) "jobs_submitted excludes rejects" 4
+    (count "jobs_submitted")
+
+let test_scheduler_admission_per_source () =
+  let sched = Scheduler.create ~max_pending_per_source:1 () in
+  let submit source seed =
+    Scheduler.submit sched ~source (spec ~circuit:"s27" ~seed ())
+  in
+  (match submit 1 1 with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "source 1 first job should queue");
+  (match submit 1 2 with
+  | Scheduler.Overloaded _ -> ()
+  | _ -> Alcotest.fail "source 1 second job should be rejected");
+  (match submit 2 3 with
+  | Scheduler.Accepted _ -> ()
+  | _ -> Alcotest.fail "the cap is per source, not global")
+
+let test_scheduler_shed_deadline () =
+  let tel = Telemetry.create () in
+  let sched = Scheduler.create ~tel () in
+  let doomed =
+    match
+      Scheduler.submit sched ~source:1
+        (spec ~circuit:"s27" ~seed:1 ~timeout:0.01 ())
+    with
+    | Scheduler.Accepted j -> j
+    | _ -> Alcotest.fail "doomed job should queue"
+  in
+  let survivor =
+    match
+      Scheduler.submit sched ~source:2 (spec ~circuit:"s27" ~seed:2 ())
+    with
+    | Scheduler.Accepted j -> j
+    | _ -> Alcotest.fail "survivor should queue"
+  in
+  Unix.sleepf 0.05;
+  (* pick skips over the expired job and dispatches the live one. *)
+  (match Scheduler.pick sched with
+  | Some j ->
+      Alcotest.(check int) "survivor dispatched" survivor.Scheduler.j_id
+        j.Scheduler.j_id
+  | None -> Alcotest.fail "survivor should dispatch");
+  (match Scheduler.take_shed sched with
+  | [ (j, r) ] -> (
+      Alcotest.(check int) "shed the expired job" doomed.Scheduler.j_id
+        j.Scheduler.j_id;
+      match r.Scheduler.r_status with
+      | Scheduler.Partial { reason; stage } ->
+          Alcotest.(check string) "shed reason" "deadline" reason;
+          Alcotest.(check string) "shed stage" "queue" stage
+      | _ -> Alcotest.fail "shed result should be partial")
+  | other ->
+      Alcotest.failf "expected exactly one shed job, got %d"
+        (List.length other));
+  Alcotest.(check bool) "take_shed drains" true (Scheduler.take_shed sched = []);
+  let snap = Telemetry.drain tel in
+  Alcotest.(check int) "jobs_shed counted" 1
+    (Telemetry.counter_value snap "jobs_shed")
+
+(* Black-box: a burst past --max-pending answers typed overloaded rejects
+   (reason + retry_after_ms + echoed id) and honoring the hint retries
+   every job to completion; the caps surface as gauges. *)
+let test_server_overload_typed_rejects () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else
+    let circuits = [| "s27"; "s298"; "s344"; "s382" |] in
+    let st =
+      with_server ~args:[ "--max-pending"; "1" ] (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          let line i =
+            Printf.sprintf "{\"op\":\"submit\",\"circuit\":%S,\"seed\":1,\"id\":%d}"
+              circuits.(i) i
+          in
+          (* One write, four pipelined submits. *)
+          client_send c
+            (String.concat "\n" (List.init 4 line) ^ "\n");
+          let done_ids = Hashtbl.create 4 in
+          let rejected = ref [] in
+          List.iter
+            (fun _ ->
+              let r = client_recv c in
+              let id = int_member r "id" in
+              match Option.bind (response_member r "ok") Json.as_bool with
+              | Some true ->
+                  Alcotest.(check string) "complete" "complete"
+                    (str_member r "status");
+                  Hashtbl.replace done_ids id ()
+              | _ ->
+                  Alcotest.(check string) "typed reject" "overloaded"
+                    (str_member r "reason");
+                  Alcotest.(check bool) "carries a retry hint" true
+                    (int_member r "retry_after_ms" > 0);
+                  rejected := id :: !rejected)
+            (List.init 4 Fun.id);
+          Alcotest.(check bool) "the burst overflowed the cap" true
+            (!rejected <> []);
+          (* Retry each rejected job after its hint until it completes —
+             sequentially, so at most one queue slot is contended. *)
+          let rec retry budget id =
+            if budget = 0 then Alcotest.failf "job %d never completed" id;
+            client_request c (line id);
+            let r = client_recv c in
+            if Option.bind (response_member r "ok") Json.as_bool = Some true
+            then Hashtbl.replace done_ids id ()
+            else begin
+              Unix.sleepf
+                (float_of_int (int_member r "retry_after_ms") /. 1000.);
+              retry (budget - 1) id
+            end
+          in
+          List.iter (retry 50) !rejected;
+          Alcotest.(check int) "every job completed" 4 (Hashtbl.length done_ids);
+          client_request c "{\"op\":\"metrics\"}";
+          let m = client_recv c in
+          let counter name =
+            match Option.bind (response_member m "counters") (Json.member name) with
+            | Some v -> Option.value ~default:(-1) (Json.as_int v)
+            | None -> Alcotest.failf "metrics lacks counter %s" name
+          in
+          Alcotest.(check bool) "overload rejects counted" true
+            (counter "jobs_rejected_overload" >= 1);
+          Alcotest.(check int) "nothing shed" 0 (counter "jobs_shed");
+          (match
+             Option.bind (response_member m "gauges") (Json.member "max_pending")
+           with
+          | Some v ->
+              Alcotest.(check (option (float 1e-9))) "cap gauge" (Some 1.0)
+                (Json.as_float v)
+          | None -> Alcotest.fail "metrics lacks the max_pending gauge");
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit after overload burst" true
+      (st = Unix.WEXITED 0)
+
+(* Heartbeat staleness, end to end with the ASC_HB_STALE test knob: a
+   SIGSTOPped worker stops polling, overruns its job's deadline by more
+   than the (shrunk) staleness threshold, and is treated as crashed —
+   SIGKILLed, its job requeued (then shed: its deadline is gone) and the
+   slot respawned; the server keeps serving. *)
+let test_server_hb_staleness () =
+  if not (Sys.file_exists asc_exe) then Alcotest.skip ()
+  else begin
+    let dir = temp_dir "asc-hb" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let log_path = Filename.concat dir "events.jsonl" in
+    let worker_pid () =
+      (* The supervisor logs worker.start with the child pid. *)
+      let rec poll n =
+        if n = 0 then Alcotest.fail "worker.start never logged"
+        else
+          let pid =
+            if not (Sys.file_exists log_path) then None
+            else
+              List.find_map
+                (fun line ->
+                  match Json.parse line with
+                  | Ok json
+                    when Option.bind (Json.member "event" json) Json.as_str
+                         = Some "worker.start" ->
+                      Option.bind (Json.member "pid" json) Json.as_int
+                  | _ -> None)
+                (String.split_on_char '\n' (read_file log_path))
+          in
+          match pid with
+          | Some pid -> pid
+          | None ->
+              Unix.sleepf 0.1;
+              poll (n - 1)
+      in
+      poll 100
+    in
+    let st =
+      with_server
+        ~env:[ "ASC_HB_STALE=1" ]
+        ~args:[ "--workers"; "1"; "--log-file"; log_path ]
+        (fun sock ->
+          let c = client_connect sock in
+          Fun.protect ~finally:(fun () -> client_close c) @@ fun () ->
+          let pid = worker_pid () in
+          client_request c (submit_line ~timeout:0.5 "s1423");
+          (* Let the server dispatch, then freeze the worker mid-job. *)
+          Unix.sleepf 0.2;
+          Unix.kill pid Sys.sigstop;
+          (* deadline 0.5s + staleness 1s: well inside 15s the stalled
+             worker is killed and the job answered as shed. *)
+          let resp = client_recv c in
+          Alcotest.(check string) "stalled job shed as partial" "partial"
+            (str_member resp "status");
+          Alcotest.(check string) "shed reason" "deadline"
+            (str_member resp "reason");
+          client_request c "{\"op\":\"metrics\"}";
+          let m = client_recv c in
+          let counter name =
+            match Option.bind (response_member m "counters") (Json.member name) with
+            | Some v -> Option.value ~default:(-1) (Json.as_int v)
+            | None -> Alcotest.failf "metrics lacks counter %s" name
+          in
+          Alcotest.(check bool) "stale worker counted as crash" true
+            (counter "worker_crashes" >= 1);
+          Alcotest.(check bool) "its job was requeued" true
+            (counter "jobs_requeued" >= 1);
+          Alcotest.(check bool) "the expired requeue was shed" true
+            (counter "jobs_shed" >= 1);
+          (* The respawned slot still serves. *)
+          client_request c (submit_line "s27");
+          let r = client_recv c in
+          check_bool_member r "ok" true;
+          Alcotest.(check string) "respawned worker completes jobs" "complete"
+            (str_member r "status");
+          shutdown_server c)
+    in
+    Alcotest.(check bool) "clean exit after staleness kill" true
+      (st = Unix.WEXITED 0)
+  end
+
 let suite =
   [
     ( "serve",
@@ -1222,5 +1505,17 @@ let suite =
           test_scheduler_pending_counts_redo;
         Alcotest.test_case "observability never perturbs served results" `Slow
           test_server_obs_identity;
+        Alcotest.test_case "backoff delays and full jitter stay in bounds"
+          `Quick test_backoff_bounds;
+        Alcotest.test_case "admission control rejects past --max-pending"
+          `Quick test_scheduler_admission_overload;
+        Alcotest.test_case "admission control caps per source" `Quick
+          test_scheduler_admission_per_source;
+        Alcotest.test_case "expired queued jobs are shed, not dispatched"
+          `Quick test_scheduler_shed_deadline;
+        Alcotest.test_case "overload burst: typed rejects, retried to done"
+          `Slow test_server_overload_typed_rejects;
+        Alcotest.test_case "stale worker heartbeat treated as a crash" `Slow
+          test_server_hb_staleness;
       ] );
   ]
